@@ -1,0 +1,127 @@
+// Ablation X5 — defensive baseline from the paper's related work [13]
+// (DetectX-style current signatures): how well does a class-conditional
+// total-current profile detect the paper's attacks, and what does it
+// cost in clean false positives?
+//
+// Expected shape: near-perfect detection of strong single-pixel attacks
+// (their whole mechanism is a large current spike), poor detection of
+// small-ε FGSM (aggregate current barely moves) — the defense is narrow.
+#include <cstdio>
+#include <iostream>
+
+#include "xbarsec/attack/fgsm.hpp"
+#include "xbarsec/attack/pgd.hpp"
+#include "xbarsec/attack/single_pixel.hpp"
+#include "xbarsec/common/cli.hpp"
+#include "xbarsec/common/log.hpp"
+#include "xbarsec/common/table.hpp"
+#include "xbarsec/common/timer.hpp"
+#include "xbarsec/core/report.hpp"
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/loaders.hpp"
+#include "xbarsec/nn/metrics.hpp"
+#include "xbarsec/sidechannel/detector.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+
+using namespace xbarsec;
+
+int main(int argc, char** argv) {
+    Cli cli("bench_detector — DetectX-style current-signature defense vs the paper's attacks");
+    cli.flag("train", "4000", "training samples");
+    cli.flag("test", "800", "test samples");
+    cli.flag("epochs", "10", "victim training epochs");
+    cli.flag("enroll", "1500", "clean samples used to enrol the detector");
+    cli.flag("z", "0", "manual anomaly threshold (0 = auto-calibrated to 2% clean FPR)");
+    cli.flag("seed", "2022", "base seed");
+    cli.flag("data-dir", "", "directory with real MNIST files (optional)");
+    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        data::LoadOptions load;
+        load.data_dir = cli.str("data-dir");
+        load.train_count = static_cast<std::size_t>(cli.integer("train"));
+        load.test_count = static_cast<std::size_t>(cli.integer("test"));
+        load.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+        std::size_t epochs = static_cast<std::size_t>(cli.integer("epochs"));
+        std::size_t enroll = static_cast<std::size_t>(cli.integer("enroll"));
+        if (cli.boolean("smoke")) {
+            load.train_count = 400;
+            load.test_count = 120;
+            epochs = 4;
+            enroll = 300;
+        }
+
+        WallTimer timer;
+        const data::DataSplit split = data::load_mnist_like(load);
+        core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
+        config.train.epochs = epochs;
+        const core::TrainedVictim victim = core::train_victim(split, config);
+        const xbar::CrossbarNetwork hardware(victim.net, config.device, config.nonideal);
+
+        sidechannel::DetectorConfig dconfig;
+        dconfig.z_threshold = cli.real("z");
+        const sidechannel::CurrentSignatureDetector detector(hardware, split.train.take(enroll),
+                                                             dconfig);
+
+        const tensor::Vector l1 =
+            sidechannel::probe_columns(hardware.crossbar()).conductance_sums;
+        const data::Dataset eval = split.test;
+        Rng rng(load.seed + 9);
+
+        Table table({"Input batch", "Flagged fraction", "Victim acc on batch"});
+        auto add_row = [&](const std::string& name, const tensor::Matrix& inputs,
+                           const std::vector<int>& labels) {
+            table.begin_row();
+            table.add(name);
+            table.add(detector.flagged_fraction(inputs), 4);
+            table.add(nn::accuracy(victim.net, inputs, labels), 4);
+        };
+
+        add_row("clean test set", eval.inputs(), eval.labels());
+
+        for (const double strength : {2.0, 5.0, 8.0}) {
+            tensor::Matrix adv(eval.size(), eval.input_dim());
+            for (std::size_t i = 0; i < eval.size(); ++i) {
+                const tensor::Vector a = attack::attack_single_pixel(
+                    attack::SinglePixelMethod::PowerAdd, eval.input(i), eval.target(i), strength,
+                    &l1, nullptr, rng);
+                auto dst = adv.row_span(i);
+                std::copy(a.begin(), a.end(), dst.begin());
+            }
+            add_row("single-pixel '+' s=" + Table::format_number(strength, 0), adv,
+                    eval.labels());
+        }
+
+        for (const double eps : {0.03, 0.1, 0.3}) {
+            const tensor::Matrix adv = attack::fgsm_attack_batch(
+                victim.net, eval.inputs(), eval.labels(), eval.num_classes(), eps);
+            add_row("FGSM eps=" + Table::format_number(eps, 2), adv, eval.labels());
+        }
+
+        {
+            attack::PgdConfig pgd;
+            pgd.epsilon = 0.1;
+            pgd.step_size = 0.025;
+            pgd.steps = 10;
+            const tensor::Matrix adv = attack::pgd_attack_batch(
+                victim.net, eval.inputs(), eval.labels(), eval.num_classes(), pgd);
+            add_row("PGD eps=0.10 (10 steps)", adv, eval.labels());
+        }
+
+        std::cout << "\n## Current-signature detection (threshold=" << detector.threshold()
+                  << ", victim clean acc " << Table::format_number(victim.test_accuracy, 3)
+                  << ")\n\n"
+                  << table << "\n"
+                  << "Expected: strong single-pixel attacks are flagged nearly always "
+                     "(their current spike IS the attack); small-eps gradient attacks "
+                     "mostly evade — the defense is narrow, motivating the paper's broader "
+                     "threat-model analysis.\n";
+        table.write_csv(core::results_dir() + "/detector.csv");
+        log::info("bench_detector finished in ", timer.seconds(), " s");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_detector: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark): throughput of the simulator's hot
+// paths at the paper's array sizes (10×784 MNIST, 10×3072 CIFAR).
+#include <benchmark/benchmark.h>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/nn/trainer.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+#include "xbarsec/tensor/gemm.hpp"
+#include "xbarsec/tensor/ops.hpp"
+#include "xbarsec/xbar/crossbar.hpp"
+
+namespace {
+
+using namespace xbarsec;
+
+xbar::Crossbar make_crossbar(std::size_t rows, std::size_t cols) {
+    Rng rng(1);
+    xbar::DeviceSpec spec;
+    spec.g_on_max = 100e-6;
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, rows, cols);
+    return xbar::Crossbar(map_weights(W, spec));
+}
+
+void BM_CrossbarMvm(benchmark::State& state) {
+    const auto cols = static_cast<std::size_t>(state.range(0));
+    const xbar::Crossbar xbar = make_crossbar(10, cols);
+    Rng rng(2);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, cols);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(xbar.mvm(u));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10 * cols);
+}
+BENCHMARK(BM_CrossbarMvm)->Arg(784)->Arg(3072);
+
+void BM_CrossbarTotalCurrent(benchmark::State& state) {
+    const auto cols = static_cast<std::size_t>(state.range(0));
+    const xbar::Crossbar xbar = make_crossbar(10, cols);
+    Rng rng(3);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, cols);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(xbar.total_current(u));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10 * cols);
+}
+BENCHMARK(BM_CrossbarTotalCurrent)->Arg(784)->Arg(3072);
+
+void BM_FullPowerProbe(benchmark::State& state) {
+    const auto cols = static_cast<std::size_t>(state.range(0));
+    const xbar::Crossbar xbar = make_crossbar(10, cols);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sidechannel::probe_columns(xbar));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * cols);
+}
+BENCHMARK(BM_FullPowerProbe)->Arg(784)->Arg(3072);
+
+void BM_Gemm(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(4);
+    const tensor::Matrix A = tensor::Matrix::random_normal(rng, n, n);
+    const tensor::Matrix B = tensor::Matrix::random_normal(rng, n, n);
+    tensor::Matrix C(n, n, 0.0);
+    for (auto _ : state) {
+        tensor::gemm(1.0, A, tensor::Op::None, B, tensor::Op::None, 0.0, C);
+        benchmark::DoNotOptimize(C.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256);
+
+void BM_BatchForward(benchmark::State& state) {
+    // One minibatch forward pass of the MNIST-scale single layer — the
+    // inner loop of every Figure-5 surrogate fit.
+    Rng rng(5);
+    nn::SingleLayerNet net(rng, 784, 10, nn::Activation::Linear, nn::Loss::Mse);
+    const tensor::Matrix X = tensor::Matrix::random_uniform(rng, 32, 784);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.layer().forward_batch(X));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32 * 784 * 10);
+}
+BENCHMARK(BM_BatchForward);
+
+void BM_ColumnAbsSums(benchmark::State& state) {
+    // The surrogate's power model (Eq. 9's p̂) reduces to this kernel.
+    Rng rng(6);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 10, 3072);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::column_abs_sums(W));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10 * 3072);
+}
+BENCHMARK(BM_ColumnAbsSums);
+
+}  // namespace
+
+BENCHMARK_MAIN();

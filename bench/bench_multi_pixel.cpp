@@ -1,0 +1,103 @@
+// Ablation X1 — the Section-III remark: attacking the pixels with the
+// top-N column 1-norms (random ± per pixel) *loses* effectiveness as N
+// grows, because all directions must be guessed right ((1/2)^N). The
+// all-add and white-box-direction variants are included for contrast.
+#include <cstdio>
+#include <iostream>
+
+#include "xbarsec/attack/multi_pixel.hpp"
+#include "xbarsec/common/cli.hpp"
+#include "xbarsec/common/log.hpp"
+#include "xbarsec/common/table.hpp"
+#include "xbarsec/common/timer.hpp"
+#include "xbarsec/core/report.hpp"
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/loaders.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+
+using namespace xbarsec;
+
+int main(int argc, char** argv) {
+    Cli cli("bench_multi_pixel — top-N 1-norm multi-pixel attack (Section III remark)");
+    cli.flag("train", "5000", "training samples");
+    cli.flag("test", "1000", "test samples");
+    cli.flag("epochs", "12", "victim training epochs");
+    cli.flag("strength", "5.0", "attack strength per pixel");
+    cli.flag("pixels", "1,2,4,8,16,32", "N sweep (top-N 1-norm pixels)");
+    cli.flag("seed", "2022", "base seed");
+    cli.flag("data-dir", "", "directory with real MNIST files (optional)");
+    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        data::LoadOptions load;
+        load.data_dir = cli.str("data-dir");
+        load.train_count = static_cast<std::size_t>(cli.integer("train"));
+        load.test_count = static_cast<std::size_t>(cli.integer("test"));
+        load.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+        std::vector<long long> pixel_counts = cli.integer_list("pixels");
+        std::size_t epochs = static_cast<std::size_t>(cli.integer("epochs"));
+        if (cli.boolean("smoke")) {
+            load.train_count = 400;
+            load.test_count = 120;
+            pixel_counts = {1, 4};
+            epochs = 4;
+        }
+
+        WallTimer timer;
+        const data::DataSplit split = data::load_mnist_like(load);
+        core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
+        config.train.epochs = epochs;
+        const core::TrainedVictim victim = core::train_victim(split, config);
+        core::CrossbarOracle oracle = core::deploy_victim(victim.net, config);
+        const tensor::Vector l1 =
+            sidechannel::probe_columns(oracle.power_measure_fn(), oracle.inputs())
+                .conductance_sums;
+
+        const double strength = cli.real("strength");
+        // Two regimes: fixed per-pixel strength (total perturbation grows
+        // with N) and fixed total l1 budget (strength/N per pixel — the
+        // regime where the paper's (1/2)^N direction-guessing argument
+        // bites, because random signs cancel).
+        Table table({"N", "Rand acc (per-pixel)", "Rand acc (budget)", "AllAdd acc (budget)",
+                     "OracleDir acc (per-pixel)"});
+        for (const long long n : pixel_counts) {
+            Rng rng(load.seed + static_cast<std::uint64_t>(n));
+            const auto pixels = static_cast<std::size_t>(n);
+            const double per_budget = strength / static_cast<double>(n);
+            table.begin_row();
+            table.add(n);
+            table.add(attack::evaluate_multi_pixel_attack(
+                          victim.net, split.test, l1, pixels, strength,
+                          attack::MultiPixelDirection::RandomPerPixel, rng),
+                      4);
+            table.add(attack::evaluate_multi_pixel_attack(
+                          victim.net, split.test, l1, pixels, per_budget,
+                          attack::MultiPixelDirection::RandomPerPixel, rng),
+                      4);
+            table.add(attack::evaluate_multi_pixel_attack(
+                          victim.net, split.test, l1, pixels, per_budget,
+                          attack::MultiPixelDirection::AllAdd, rng),
+                      4);
+            table.add(attack::evaluate_multi_pixel_attack(
+                          victim.net, split.test, l1, pixels, strength,
+                          attack::MultiPixelDirection::Oracle, rng),
+                      4);
+        }
+        std::cout << "\n## Multi-pixel attack vs N (clean acc "
+                  << Table::format_number(victim.test_accuracy, 3) << ", strength "
+                  << Table::format_number(strength, 1) << ")\n\n"
+                  << table << "\n"
+                  << "Paper shape: at a FIXED TOTAL BUDGET, random-direction accuracy rises "
+                     "with N (attack weakens; direction guessing cancels, the paper's "
+                     "(1/2)^N argument), while the budget-matched AllAdd baseline shows the "
+                     "cancellation is the cause. With fixed per-pixel strength the total "
+                     "perturbation grows and accuracy simply falls.\n";
+        table.write_csv(core::results_dir() + "/multi_pixel.csv");
+        log::info("bench_multi_pixel finished in ", timer.seconds(), " s");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_multi_pixel: %s\n", e.what());
+        return 1;
+    }
+}

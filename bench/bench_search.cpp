@@ -1,0 +1,117 @@
+// Ablation X2 — the Section-III remark on finding the largest 1-norm
+// with fewer queries: budgeted search strategies on the MNIST-like
+// (smooth) vs CIFAR-like (rough) probed 1-norm fields.
+#include <cstdio>
+#include <iostream>
+
+#include "xbarsec/common/cli.hpp"
+#include "xbarsec/common/log.hpp"
+#include "xbarsec/common/table.hpp"
+#include "xbarsec/common/timer.hpp"
+#include "xbarsec/core/report.hpp"
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/loaders.hpp"
+#include "xbarsec/sidechannel/search.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+using namespace xbarsec;
+
+namespace {
+
+struct Field {
+    std::string name;
+    tensor::Vector values;  // ground-truth probed 1-norms
+    data::ImageShape shape;
+};
+
+void sweep(const Field& field, Table& table, std::uint64_t seed) {
+    using sidechannel::SearchStrategy;
+    const std::size_t true_best = tensor::argmax(field.values);
+    for (const SearchStrategy strategy :
+         {SearchStrategy::FullScan, SearchStrategy::RandomSubset, SearchStrategy::HillClimb,
+          SearchStrategy::CoarseToFine}) {
+        for (const std::size_t budget : {32u, 64u, 128u}) {
+            if (strategy == SearchStrategy::FullScan && budget != 32u) continue;
+            // Success rate over repeated seeds (search is stochastic).
+            constexpr int kTrials = 25;
+            int hits = 0;
+            std::uint64_t queries_acc = 0;
+            double value_ratio_acc = 0.0;
+            for (int trial = 0; trial < kTrials; ++trial) {
+                sidechannel::SearchOptions options;
+                options.budget = budget;
+                options.seed = seed + static_cast<std::uint64_t>(trial);
+                const sidechannel::SearchResult r = sidechannel::find_argmax(
+                    [&field](std::size_t j) { return field.values[j]; }, field.shape, strategy,
+                    options);
+                if (r.best_index == true_best) ++hits;
+                queries_acc += r.queries;
+                value_ratio_acc += r.best_value / field.values[true_best];
+            }
+            table.begin_row();
+            table.add(field.name);
+            table.add(to_string(strategy));
+            table.add(static_cast<long long>(strategy == SearchStrategy::FullScan
+                                                 ? field.values.size()
+                                                 : budget));
+            table.add(static_cast<long long>(queries_acc / kTrials));
+            table.add(static_cast<double>(hits) / kTrials, 2);
+            table.add(value_ratio_acc / kTrials, 3);
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_search — query-efficient 1-norm argmax search (smooth vs rough fields)");
+    cli.flag("train", "5000", "training samples per dataset");
+    cli.flag("test", "1000", "test samples per dataset");
+    cli.flag("epochs", "12", "victim training epochs");
+    cli.flag("seed", "2022", "base seed");
+    cli.flag("data-dir", "", "directory with real dataset files (optional)");
+    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        data::LoadOptions load;
+        load.data_dir = cli.str("data-dir");
+        load.train_count = static_cast<std::size_t>(cli.integer("train"));
+        load.test_count = static_cast<std::size_t>(cli.integer("test"));
+        load.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+        std::size_t epochs = static_cast<std::size_t>(cli.integer("epochs"));
+        if (cli.boolean("smoke")) {
+            load.train_count = 400;
+            load.test_count = 120;
+            epochs = 4;
+        }
+
+        WallTimer timer;
+        std::vector<Field> fields;
+        for (const bool cifar : {false, true}) {
+            const data::DataSplit split =
+                cifar ? data::load_cifar10_like(load) : data::load_mnist_like(load);
+            core::VictimConfig config =
+                core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
+            config.train.epochs = epochs;
+            const core::TrainedVictim victim = core::train_victim(split, config);
+            fields.push_back(Field{cifar ? "CIFAR-10-like" : "MNIST-like",
+                                   tensor::column_abs_sums(victim.net.weights()),
+                                   split.train.shape()});
+        }
+
+        Table table({"Field", "Strategy", "Budget", "Mean queries", "Hit rate", "Value ratio"});
+        for (const Field& field : fields) sweep(field, table, load.seed);
+
+        std::cout << "\n## Query-efficient argmax search over probed 1-norm fields\n\n"
+                  << table << "\n"
+                  << "Paper shape: budgeted strategies recover most of the max on the smooth "
+                     "MNIST-like field but degrade on the rough CIFAR-like field.\n";
+        table.write_csv(core::results_dir() + "/search.csv");
+        log::info("bench_search finished in ", timer.seconds(), " s");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_search: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,74 @@
+// Defensive scenario (library extension): the deployment adds power
+// obfuscation — supply-rail dithering or randomised dummy loads — and we
+// measure how much side-channel quality the attacker loses.
+#include <cstdio>
+#include <iostream>
+
+#include "xbarsec/common/table.hpp"
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/loaders.hpp"
+#include "xbarsec/sidechannel/obfuscation.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+int main() {
+    using namespace xbarsec;
+    try {
+        data::LoadOptions load;
+        load.train_count = 2000;
+        load.test_count = 400;
+        const data::DataSplit split = data::load_mnist_like(load);
+
+        core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
+        config.train.epochs = 10;
+        const core::TrainedVictim victim = core::train_victim(split, config);
+        core::CrossbarOracle oracle = core::deploy_victim(victim.net, config);
+        const tensor::Vector truth = tensor::column_abs_sums(victim.net.weights());
+        const double scale = tensor::max(truth);
+
+        struct Row {
+            const char* name;
+            sidechannel::TotalCurrentFn measure;
+            std::size_t repeats;
+        };
+        std::vector<Row> rows;
+        rows.push_back({"undefended", oracle.power_measure_fn(), 1});
+        rows.push_back({"dither (1 probe)",
+                        sidechannel::make_dithered_measure(oracle.power_measure_fn(), 0.5 * scale, 1),
+                        1});
+        rows.push_back({"dither (32 probes avg)",
+                        sidechannel::make_dithered_measure(oracle.power_measure_fn(), 0.5 * scale, 2),
+                        32});
+        rows.push_back({"uniform dummies",
+                        sidechannel::make_uniform_dummy_measure(oracle.power_measure_fn(), scale),
+                        1});
+        rows.push_back({"random dummies",
+                        sidechannel::make_random_dummy_measure(oracle.power_measure_fn(),
+                                                               oracle.inputs(), scale, 3),
+                        1});
+        rows.push_back({"random dummies (32 probes avg)",
+                        sidechannel::make_random_dummy_measure(oracle.power_measure_fn(),
+                                                               oracle.inputs(), scale, 3),
+                        32});
+
+        Table table({"Deployment", "L1 rel. error", "Top-16 ranking agreement"});
+        for (const Row& row : rows) {
+            sidechannel::ProbeOptions po;
+            po.repeats = row.repeats;
+            const tensor::Vector est =
+                sidechannel::probe_columns(row.measure, oracle.inputs(), po).conductance_sums;
+            table.begin_row();
+            table.add(row.name);
+            table.add(sidechannel::relative_error(est, truth), 4);
+            table.add(sidechannel::topk_agreement(est, truth, 16), 3);
+        }
+        std::cout << table
+                  << "\nTakeaways: dithering is defeated by averaging; uniform dummies shift "
+                     "magnitudes but cannot hide the *ranking*; randomised per-line dummies "
+                     "survive averaging and actually blunt the attack.\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "defended_deployment: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,40 @@
+// Multi-pixel extension of the power-guided attack (Section III remark).
+//
+// The paper notes that attacking the pixels with the top-N column 1-norms
+// (each with a random ± direction) *decreases* in effectiveness with N,
+// because the probability of guessing every direction correctly is
+// (1/2)^N. These helpers implement that experiment (bench_multi_pixel)
+// plus the all-add variant for comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/data/dataset.hpp"
+#include "xbarsec/nn/network.hpp"
+
+namespace xbarsec::attack {
+
+enum class MultiPixelDirection {
+    RandomPerPixel,  ///< each selected pixel gets an independent ± (paper's setup)
+    AllAdd,          ///< every selected pixel gets +strength
+    Oracle,          ///< white-box sign per pixel (upper bound on this pixel set)
+};
+
+/// Indices of the top-n entries of `ranking`, descending.
+std::vector<std::size_t> top_n_indices(const tensor::Vector& ranking, std::size_t n);
+
+/// Perturbs the `pixels` of u by ±strength according to `direction`.
+/// `white_box` is required only for MultiPixelDirection::Oracle.
+tensor::Vector attack_pixels(const tensor::Vector& u, const tensor::Vector& target,
+                             const std::vector<std::size_t>& pixels, double strength,
+                             MultiPixelDirection direction, const nn::SingleLayerNet* white_box,
+                             Rng& rng);
+
+/// Victim accuracy over `test` when the top-n 1-norm pixels are attacked.
+double evaluate_multi_pixel_attack(const nn::SingleLayerNet& victim, const data::Dataset& test,
+                                   const tensor::Vector& power_l1, std::size_t n, double strength,
+                                   MultiPixelDirection direction, Rng& rng);
+
+}  // namespace xbarsec::attack

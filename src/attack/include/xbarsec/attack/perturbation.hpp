@@ -1,0 +1,29 @@
+// Perturbation bookkeeping shared by the attack implementations.
+#pragma once
+
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::attack {
+
+/// Constraint set R for adversarial perturbations (Eq. 1's feasible set).
+struct PerturbationBudget {
+    /// ℓ∞ cap on the perturbation (0 = unconstrained).
+    double linf = 0.0;
+
+    /// When true, the perturbed input is clamped back into [box_lo, box_hi].
+    /// The paper's Figure-4 sweep does NOT clamp (attack strengths up to 10
+    /// on [0,1] images), so this defaults off.
+    bool clip_to_box = false;
+    double box_lo = 0.0;
+    double box_hi = 1.0;
+};
+
+/// Applies `r` to `u` under the budget: r is ℓ∞-projected first, then the
+/// sum is optionally box-clamped. Returns the adversarial input u′.
+tensor::Vector apply_perturbation(const tensor::Vector& u, const tensor::Vector& r,
+                                  const PerturbationBudget& budget);
+
+/// ℓ∞ projection of r onto the budget ball (identity when linf == 0).
+tensor::Vector project_linf(const tensor::Vector& r, double linf);
+
+}  // namespace xbarsec::attack

@@ -1,0 +1,43 @@
+// Projected gradient descent (iterated FGSM; Madry et al. 2018).
+//
+// Library extension beyond the paper: the paper evaluates single-step
+// FGSM (Eq. 2); PGD is the standard stronger multi-step variant and is
+// used by the ablations to bound how much headroom the one-step attack
+// leaves on the table. Each step ascends the loss by step_size·sign(∇)
+// and re-projects into the ℓ∞ ball of radius epsilon around the clean
+// input (plus the optional box).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xbarsec/attack/perturbation.hpp"
+#include "xbarsec/nn/network.hpp"
+
+namespace xbarsec::attack {
+
+struct PgdConfig {
+    double epsilon = 0.1;     ///< ℓ∞ radius of the perturbation ball
+    double step_size = 0.025; ///< per-iteration step (≈ epsilon/4 is typical)
+    std::size_t steps = 10;
+    /// Start from a uniform random point inside the ball instead of the
+    /// clean input (random restarts decorrelate from gradient masking).
+    bool random_start = false;
+    std::uint64_t seed = 71;
+    /// Optional box clamp applied after every step.
+    bool clip_to_box = false;
+    double box_lo = 0.0;
+    double box_hi = 1.0;
+};
+
+/// Runs PGD on one sample against `net` (untargeted: ascends the loss of
+/// the true label). Returns the adversarial input.
+tensor::Vector pgd_attack(const nn::SingleLayerNet& net, const tensor::Vector& u,
+                          const tensor::Vector& target, const PgdConfig& config);
+
+/// Batch variant over rows of X with integer labels.
+tensor::Matrix pgd_attack_batch(const nn::SingleLayerNet& net, const tensor::Matrix& X,
+                                const std::vector<int>& labels, std::size_t num_classes,
+                                const PgdConfig& config);
+
+}  // namespace xbarsec::attack

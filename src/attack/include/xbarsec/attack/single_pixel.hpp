@@ -1,0 +1,52 @@
+// Single-pixel attacks guided by power information (Section III, Fig. 4).
+//
+// Five methods, exactly as the paper's legend defines them:
+//   RandomPixel (RP)   — random pixel, random ± direction (no model info);
+//   PowerAdd (+)       — pixel with the largest column 1-norm, +strength;
+//   PowerSub (−)       — same pixel, −strength;
+//   PowerRandomDir (RD)— same pixel, random ± direction;
+//   WorstCase (Worst)  — white-box bound: the most loss-sensitive pixel,
+//                        perturbed in the loss-ascending direction
+//                        (single-pixel FGSM).
+// The power-guided methods consume only the 1-norm ranking the side
+// channel leaks; WorstCase needs the true gradient and is the reference
+// lower bound for accuracy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/data/dataset.hpp"
+#include "xbarsec/nn/network.hpp"
+
+namespace xbarsec::attack {
+
+enum class SinglePixelMethod { RandomPixel, PowerAdd, PowerSub, PowerRandomDir, WorstCase };
+
+/// Paper legend label ("RP", "+", "-", "RD", "Worst").
+std::string to_string(SinglePixelMethod m);
+
+/// All five methods in the paper's legend order.
+const std::vector<SinglePixelMethod>& all_single_pixel_methods();
+
+/// Produces the adversarial input for one sample.
+///   * `power_l1` — the attacker's (possibly noisy) estimate of the column
+///     1-norms; required by the three power-guided methods.
+///   * `white_box` — the true victim network; required by WorstCase.
+///   * `rng` — consumed by RandomPixel / PowerRandomDir.
+/// Inputs are NOT box-clamped (matching the paper's Figure 4 sweep).
+tensor::Vector attack_single_pixel(SinglePixelMethod method, const tensor::Vector& u,
+                                   const tensor::Vector& target, double strength,
+                                   const tensor::Vector* power_l1,
+                                   const nn::SingleLayerNet* white_box, Rng& rng);
+
+/// Victim accuracy over `test` when every sample is attacked with
+/// `method` at `strength`. `victim` is the network being evaluated (the
+/// oracle); for WorstCase the same network provides the gradients.
+double evaluate_single_pixel_attack(const nn::SingleLayerNet& victim, const data::Dataset& test,
+                                    SinglePixelMethod method, double strength,
+                                    const tensor::Vector* power_l1, Rng& rng);
+
+}  // namespace xbarsec::attack

@@ -1,0 +1,48 @@
+#include "xbarsec/attack/fgsm.hpp"
+
+#include <algorithm>
+
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::attack {
+
+tensor::Vector fgsm_perturbation(const nn::SingleLayerNet& net, const tensor::Vector& u,
+                                 const tensor::Vector& target, double epsilon) {
+    XS_EXPECTS(epsilon >= 0.0);
+    tensor::Vector r = tensor::sign(net.input_gradient(u, target));
+    r *= epsilon;
+    return r;
+}
+
+tensor::Vector fgv_perturbation(const nn::SingleLayerNet& net, const tensor::Vector& u,
+                                const tensor::Vector& target, double epsilon) {
+    XS_EXPECTS(epsilon >= 0.0);
+    tensor::Vector g = net.input_gradient(u, target);
+    const double m = tensor::norm_inf(g);
+    if (m == 0.0) return tensor::Vector(g.size(), 0.0);
+    g *= epsilon / m;
+    return g;
+}
+
+tensor::Matrix fgsm_attack_batch(const nn::SingleLayerNet& net, const tensor::Matrix& X,
+                                 const std::vector<int>& labels, std::size_t num_classes,
+                                 double epsilon, const PerturbationBudget& budget) {
+    XS_EXPECTS(X.rows() == labels.size());
+    XS_EXPECTS(num_classes == net.outputs());
+    tensor::Matrix out(X.rows(), X.cols());
+    tensor::Vector u(X.cols());
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+        const auto src = X.row_span(i);
+        std::copy(src.begin(), src.end(), u.begin());
+        tensor::Vector t(num_classes, 0.0);
+        XS_EXPECTS(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < num_classes);
+        t[static_cast<std::size_t>(labels[i])] = 1.0;
+        const tensor::Vector r = fgsm_perturbation(net, u, t, epsilon);
+        const tensor::Vector adv = apply_perturbation(u, r, budget);
+        auto dst = out.row_span(i);
+        std::copy(adv.begin(), adv.end(), dst.begin());
+    }
+    return out;
+}
+
+}  // namespace xbarsec::attack

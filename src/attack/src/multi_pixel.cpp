@@ -1,0 +1,63 @@
+#include "xbarsec/attack/multi_pixel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::attack {
+
+std::vector<std::size_t> top_n_indices(const tensor::Vector& ranking, std::size_t n) {
+    XS_EXPECTS(n >= 1 && n <= ranking.size());
+    std::vector<std::size_t> idx(ranking.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n), idx.end(),
+                      [&ranking](std::size_t a, std::size_t b) { return ranking[a] > ranking[b]; });
+    idx.resize(n);
+    return idx;
+}
+
+tensor::Vector attack_pixels(const tensor::Vector& u, const tensor::Vector& target,
+                             const std::vector<std::size_t>& pixels, double strength,
+                             MultiPixelDirection direction, const nn::SingleLayerNet* white_box,
+                             Rng& rng) {
+    XS_EXPECTS(strength >= 0.0);
+    tensor::Vector adv = u;
+    tensor::Vector gradient;
+    if (direction == MultiPixelDirection::Oracle) {
+        if (white_box == nullptr) {
+            throw ConfigError("oracle-direction multi-pixel attack needs white-box access");
+        }
+        gradient = white_box->input_gradient(u, target);
+    }
+    for (const std::size_t j : pixels) {
+        XS_EXPECTS(j < u.size());
+        double dir = 1.0;
+        switch (direction) {
+            case MultiPixelDirection::RandomPerPixel: dir = rng.sign(); break;
+            case MultiPixelDirection::AllAdd: dir = 1.0; break;
+            case MultiPixelDirection::Oracle: dir = gradient[j] >= 0.0 ? 1.0 : -1.0; break;
+        }
+        adv[j] += dir * strength;
+    }
+    return adv;
+}
+
+double evaluate_multi_pixel_attack(const nn::SingleLayerNet& victim, const data::Dataset& test,
+                                   const tensor::Vector& power_l1, std::size_t n, double strength,
+                                   MultiPixelDirection direction, Rng& rng) {
+    XS_EXPECTS(test.size() > 0);
+    XS_EXPECTS(power_l1.size() == victim.inputs());
+    const std::vector<std::size_t> pixels = top_n_indices(power_l1, n);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const tensor::Vector u = test.input(i);
+        const tensor::Vector t = test.target(i);
+        const tensor::Vector adv = attack_pixels(u, t, pixels, strength, direction, &victim, rng);
+        if (victim.classify(adv) == test.label(i)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+}  // namespace xbarsec::attack

@@ -1,0 +1,57 @@
+#include "xbarsec/attack/pgd.hpp"
+
+#include <algorithm>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::attack {
+
+tensor::Vector pgd_attack(const nn::SingleLayerNet& net, const tensor::Vector& u,
+                          const tensor::Vector& target, const PgdConfig& config) {
+    XS_EXPECTS(config.epsilon >= 0.0);
+    XS_EXPECTS(config.step_size > 0.0);
+    XS_EXPECTS(config.steps >= 1);
+    XS_EXPECTS(u.size() == net.inputs());
+
+    tensor::Vector adv = u;
+    if (config.random_start && config.epsilon > 0.0) {
+        Rng rng(config.seed);
+        for (std::size_t j = 0; j < adv.size(); ++j) {
+            adv[j] += rng.uniform(-config.epsilon, config.epsilon);
+        }
+    }
+
+    for (std::size_t step = 0; step < config.steps; ++step) {
+        const tensor::Vector g = net.input_gradient(adv, target);
+        for (std::size_t j = 0; j < adv.size(); ++j) {
+            if (g[j] > 0.0) adv[j] += config.step_size;
+            else if (g[j] < 0.0) adv[j] -= config.step_size;
+            // Project back into the ℓ∞ ball around the clean input.
+            adv[j] = std::clamp(adv[j], u[j] - config.epsilon, u[j] + config.epsilon);
+            if (config.clip_to_box) adv[j] = std::clamp(adv[j], config.box_lo, config.box_hi);
+        }
+    }
+    return adv;
+}
+
+tensor::Matrix pgd_attack_batch(const nn::SingleLayerNet& net, const tensor::Matrix& X,
+                                const std::vector<int>& labels, std::size_t num_classes,
+                                const PgdConfig& config) {
+    XS_EXPECTS(X.rows() == labels.size());
+    XS_EXPECTS(num_classes == net.outputs());
+    tensor::Matrix out(X.rows(), X.cols());
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+        XS_EXPECTS(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < num_classes);
+        tensor::Vector t(num_classes, 0.0);
+        t[static_cast<std::size_t>(labels[i])] = 1.0;
+        PgdConfig per_sample = config;
+        per_sample.seed = config.seed + i;  // independent random starts
+        const tensor::Vector adv = pgd_attack(net, X.row(i), t, per_sample);
+        auto dst = out.row_span(i);
+        std::copy(adv.begin(), adv.end(), dst.begin());
+    }
+    return out;
+}
+
+}  // namespace xbarsec::attack

@@ -1,0 +1,84 @@
+#include "xbarsec/attack/single_pixel.hpp"
+
+#include <cmath>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::attack {
+
+std::string to_string(SinglePixelMethod m) {
+    switch (m) {
+        case SinglePixelMethod::RandomPixel: return "RP";
+        case SinglePixelMethod::PowerAdd: return "+";
+        case SinglePixelMethod::PowerSub: return "-";
+        case SinglePixelMethod::PowerRandomDir: return "RD";
+        case SinglePixelMethod::WorstCase: return "Worst";
+    }
+    return "?";
+}
+
+const std::vector<SinglePixelMethod>& all_single_pixel_methods() {
+    static const std::vector<SinglePixelMethod> methods = {
+        SinglePixelMethod::RandomPixel, SinglePixelMethod::PowerAdd, SinglePixelMethod::PowerSub,
+        SinglePixelMethod::PowerRandomDir, SinglePixelMethod::WorstCase};
+    return methods;
+}
+
+tensor::Vector attack_single_pixel(SinglePixelMethod method, const tensor::Vector& u,
+                                   const tensor::Vector& target, double strength,
+                                   const tensor::Vector* power_l1,
+                                   const nn::SingleLayerNet* white_box, Rng& rng) {
+    XS_EXPECTS(strength >= 0.0);
+    tensor::Vector adv = u;
+    switch (method) {
+        case SinglePixelMethod::RandomPixel: {
+            const auto j = static_cast<std::size_t>(rng.below(u.size()));
+            adv[j] += rng.sign() * strength;
+            return adv;
+        }
+        case SinglePixelMethod::PowerAdd:
+        case SinglePixelMethod::PowerSub:
+        case SinglePixelMethod::PowerRandomDir: {
+            if (power_l1 == nullptr) {
+                throw ConfigError("power-guided single-pixel attack needs the 1-norm estimate");
+            }
+            XS_EXPECTS(power_l1->size() == u.size());
+            const std::size_t j = tensor::argmax(*power_l1);
+            double direction = 1.0;
+            if (method == SinglePixelMethod::PowerSub) direction = -1.0;
+            if (method == SinglePixelMethod::PowerRandomDir) direction = rng.sign();
+            adv[j] += direction * strength;
+            return adv;
+        }
+        case SinglePixelMethod::WorstCase: {
+            if (white_box == nullptr) {
+                throw ConfigError("the worst-case single-pixel attack needs white-box access");
+            }
+            const tensor::Vector g = white_box->input_gradient(u, target);
+            // Most sensitive pixel, perturbed along the loss gradient.
+            const std::size_t j = tensor::argmax(tensor::abs(g));
+            adv[j] += (g[j] >= 0.0 ? 1.0 : -1.0) * strength;
+            return adv;
+        }
+    }
+    throw ConfigError("unhandled single-pixel method");
+}
+
+double evaluate_single_pixel_attack(const nn::SingleLayerNet& victim, const data::Dataset& test,
+                                    SinglePixelMethod method, double strength,
+                                    const tensor::Vector* power_l1, Rng& rng) {
+    XS_EXPECTS(test.size() > 0);
+    XS_EXPECTS(test.input_dim() == victim.inputs());
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const tensor::Vector u = test.input(i);
+        const tensor::Vector t = test.target(i);
+        const tensor::Vector adv =
+            attack_single_pixel(method, u, t, strength, power_l1, &victim, rng);
+        if (victim.classify(adv) == test.label(i)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+}  // namespace xbarsec::attack

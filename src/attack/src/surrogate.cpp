@@ -1,0 +1,177 @@
+#include "xbarsec/attack/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/gemm.hpp"
+#include "xbarsec/tensor/linalg.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::attack {
+
+double surrogate_power(const nn::SingleLayerNet& surrogate, const tensor::Vector& u) {
+    XS_EXPECTS(u.size() == surrogate.inputs());
+    return tensor::dot(tensor::column_abs_sums(surrogate.weights()), u);
+}
+
+tensor::Vector surrogate_power_batch(const tensor::Matrix& W, const tensor::Matrix& U) {
+    XS_EXPECTS(U.cols() == W.cols());
+    const tensor::Vector colabs = tensor::column_abs_sums(W);
+    tensor::Vector p(U.rows(), 0.0);
+    for (std::size_t r = 0; r < U.rows(); ++r) {
+        const auto row = U.row_span(r);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * colabs[j];
+        p[r] = acc;
+    }
+    return p;
+}
+
+namespace {
+
+void validate(const QueryDataset& q) {
+    if (q.inputs.rows() == 0) throw ConfigError("surrogate: empty query set");
+    if (q.outputs.rows() != q.inputs.rows()) {
+        throw ConfigError("surrogate: inputs/outputs row mismatch");
+    }
+    if (q.power.size() != q.inputs.rows()) {
+        throw ConfigError("surrogate: inputs/power row mismatch");
+    }
+}
+
+tensor::Matrix gather_rows(const tensor::Matrix& src, const std::vector<std::size_t>& idx,
+                           std::size_t lo, std::size_t hi) {
+    tensor::Matrix out(hi - lo, src.cols());
+    for (std::size_t r = lo; r < hi; ++r) {
+        const auto s = src.row_span(idx[r]);
+        auto d = out.row_span(r - lo);
+        std::copy(s.begin(), s.end(), d.begin());
+    }
+    return out;
+}
+
+}  // namespace
+
+SurrogateTrainResult train_surrogate(const QueryDataset& queries, const SurrogateConfig& config) {
+    validate(queries);
+    XS_EXPECTS(config.power_loss_weight >= 0.0);
+    const std::size_t n_inputs = queries.inputs.cols();
+    const std::size_t n_outputs = queries.outputs.cols();
+    const std::size_t Q = queries.size();
+    const auto& tc = config.train;
+    XS_EXPECTS(tc.epochs > 0 && tc.batch_size > 0);
+
+    Rng init_rng(config.init_seed);
+    SurrogateTrainResult result{
+        nn::SingleLayerNet(init_rng, n_inputs, n_outputs, nn::Activation::Linear, nn::Loss::Mse),
+        {},
+        {}};
+    nn::SingleLayerNet& net = result.surrogate;
+
+    auto optimizer = nn::make_optimizer(tc.optimizer, tc.learning_rate, tc.momentum);
+    const std::size_t w_slot = optimizer->register_parameter(net.weights().size());
+
+    double decay = 1.0;
+    if (tc.final_lr_fraction > 0.0 && tc.epochs > 1 && tc.optimizer == nn::OptimizerKind::Sgd) {
+        decay = std::pow(tc.final_lr_fraction, 1.0 / static_cast<double>(tc.epochs - 1));
+    }
+
+    Rng shuffle_rng(tc.shuffle_seed);
+    std::vector<std::size_t> order(Q);
+    for (std::size_t i = 0; i < Q; ++i) order[i] = i;
+
+    const double lambda = config.power_loss_weight;
+    tensor::Matrix grad_w(n_outputs, n_inputs, 0.0);
+
+    for (std::size_t epoch = 0; epoch < tc.epochs; ++epoch) {
+        shuffle_rng.shuffle(order);
+        double out_loss_acc = 0.0, power_loss_acc = 0.0;
+        std::size_t sample_count = 0;
+
+        for (std::size_t lo = 0; lo < Q; lo += tc.batch_size) {
+            const std::size_t hi = std::min(lo + tc.batch_size, Q);
+            const std::size_t b = hi - lo;
+            const double inv_b = 1.0 / static_cast<double>(b);
+            const tensor::Matrix xb = gather_rows(queries.inputs, order, lo, hi);
+            const tensor::Matrix tb = gather_rows(queries.outputs, order, lo, hi);
+
+            // ---- output term: linear activation, MSE over outputs -------
+            tensor::Matrix sb(b, n_outputs, 0.0);
+            tensor::gemm(1.0, xb, tensor::Op::None, net.weights(), tensor::Op::Transpose, 0.0, sb);
+            // δ = 2/M (ŷ − t); accumulate the loss from the same residuals.
+            tensor::Matrix delta(b, n_outputs);
+            const double out_scale = 2.0 / static_cast<double>(n_outputs);
+            for (std::size_t r = 0; r < b; ++r) {
+                const auto srow = sb.row_span(r);
+                const auto trow = tb.row_span(r);
+                auto drow = delta.row_span(r);
+                double sample_loss = 0.0;
+                for (std::size_t c = 0; c < n_outputs; ++c) {
+                    const double resid = srow[c] - trow[c];
+                    drow[c] = out_scale * resid;
+                    sample_loss += resid * resid;
+                }
+                out_loss_acc += sample_loss / static_cast<double>(n_outputs);
+            }
+            tensor::gemm(inv_b, delta, tensor::Op::Transpose, xb, tensor::Op::None, 0.0, grad_w);
+
+            // ---- power term (Eq. 9): p̂ = X·colabs(W) -------------------
+            if (lambda > 0.0) {
+                tensor::Vector p_hat = surrogate_power_batch(net.weights(), xb);
+                tensor::Vector e(b);
+                for (std::size_t r = 0; r < b; ++r) {
+                    e[r] = p_hat[r] - queries.power[order[lo + r]];
+                    power_loss_acc += e[r] * e[r];
+                }
+                // q_j = (2/b) Σ_r e_r x_rj; ∂L_power/∂w_ij = λ·sign(w_ij)·q_j.
+                tensor::Vector q(n_inputs, 0.0);
+                for (std::size_t r = 0; r < b; ++r) {
+                    const auto xrow = xb.row_span(r);
+                    const double er = 2.0 * inv_b * e[r];
+                    if (er == 0.0) continue;
+                    for (std::size_t j = 0; j < n_inputs; ++j) q[j] += er * xrow[j];
+                }
+                tensor::Matrix& W = net.weights();
+                for (std::size_t i = 0; i < n_outputs; ++i) {
+                    auto wrow = W.row_span(i);
+                    auto grow = grad_w.row_span(i);
+                    for (std::size_t j = 0; j < n_inputs; ++j) {
+                        if (wrow[j] > 0.0) grow[j] += lambda * q[j];
+                        else if (wrow[j] < 0.0) grow[j] -= lambda * q[j];
+                    }
+                }
+            }
+
+            optimizer->step(w_slot, {net.weights().data(), net.weights().size()},
+                            {grad_w.data(), grad_w.size()});
+            sample_count += b;
+        }
+
+        result.epoch_output_loss.push_back(out_loss_acc / static_cast<double>(sample_count));
+        result.epoch_power_loss.push_back(
+            lambda > 0.0 ? power_loss_acc / static_cast<double>(sample_count) : 0.0);
+        if (auto* sgd = dynamic_cast<nn::Sgd*>(optimizer.get()); sgd != nullptr && decay != 1.0) {
+            sgd->set_learning_rate(sgd->learning_rate() * decay);
+        }
+    }
+    return result;
+}
+
+nn::SingleLayerNet fit_least_squares_surrogate(const QueryDataset& queries, double lambda_ridge) {
+    validate(queries);
+    const std::size_t n_inputs = queries.inputs.cols();
+    const std::size_t n_outputs = queries.outputs.cols();
+    tensor::Matrix Wt;  // N × M solution of min ‖U·X − Y‖
+    if (lambda_ridge == 0.0 && queries.size() >= n_inputs) {
+        Wt = tensor::lstsq(queries.inputs, queries.outputs);
+    } else {
+        Wt = tensor::ridge_solve(queries.inputs, queries.outputs,
+                                 lambda_ridge > 0.0 ? lambda_ridge : 1e-8);
+    }
+    nn::DenseLayer layer(n_outputs, n_inputs, /*with_bias=*/false);
+    layer.weights() = Wt.transposed();
+    return nn::SingleLayerNet(std::move(layer), nn::Activation::Linear, nn::Loss::Mse);
+}
+
+}  // namespace xbarsec::attack

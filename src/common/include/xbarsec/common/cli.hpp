@@ -1,0 +1,62 @@
+// Small command-line flag parser for benches and examples.
+//
+// Accepted forms: --name=value, --name value, and bare --name (boolean
+// true). Unknown flags are an error so typos do not silently run the
+// wrong experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xbarsec {
+
+/// Declarative flag registry + parser.
+class Cli {
+public:
+    /// `program_summary` is printed by help().
+    explicit Cli(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+    /// Registers a flag with a default value (rendered in help output).
+    void flag(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+    /// Parses argv. Throws ConfigError on unknown flags or malformed input.
+    /// Returns false if --help was requested (help text already printed).
+    bool parse(int argc, const char* const* argv);
+
+    /// Typed accessors; throw ConfigError when conversion fails.
+    std::string str(const std::string& name) const;
+    long long integer(const std::string& name) const;
+    double real(const std::string& name) const;
+    bool boolean(const std::string& name) const;
+
+    /// Comma-separated list of doubles (e.g. "0,0.002,0.01").
+    std::vector<double> real_list(const std::string& name) const;
+
+    /// Comma-separated list of integers (e.g. "2,10,50").
+    std::vector<long long> integer_list(const std::string& name) const;
+
+    /// True when the user explicitly supplied the flag.
+    bool provided(const std::string& name) const;
+
+    /// Renders the help text.
+    std::string help() const;
+
+private:
+    struct Flag {
+        std::string default_value;
+        std::string help;
+        std::optional<std::string> value;
+    };
+
+    const Flag& find(const std::string& name) const;
+
+    std::string summary_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;  // help output in registration order
+};
+
+}  // namespace xbarsec

@@ -1,0 +1,81 @@
+// Contract checking for xbarsec.
+//
+// Public API boundaries validate their inputs with XS_EXPECTS and promise
+// results with XS_ENSURES. Violations throw xbarsec::ContractViolation so
+// that misuse is observable (and testable) rather than undefined behaviour.
+// Internal hot loops may use XS_ASSERT, which compiles away in release
+// builds when XBARSEC_NO_ASSERT is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xbarsec {
+
+/// Thrown when a precondition (XS_EXPECTS) or postcondition (XS_ENSURES)
+/// of a public API is violated. Carries the failing expression and location.
+class ContractViolation : public std::logic_error {
+public:
+    ContractViolation(const char* kind, const char* expr, const char* file, int line,
+                      const std::string& message)
+        : std::logic_error(format(kind, expr, file, line, message)) {}
+
+private:
+    static std::string format(const char* kind, const char* expr, const char* file, int line,
+                              const std::string& message) {
+        std::string out;
+        out += kind;
+        out += " violated: (";
+        out += expr;
+        out += ") at ";
+        out += file;
+        out += ":";
+        out += std::to_string(line);
+        if (!message.empty()) {
+            out += " — ";
+            out += message;
+        }
+        return out;
+    }
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line, const std::string& message = {}) {
+    throw ContractViolation(kind, expr, file, line, message);
+}
+}  // namespace detail
+
+}  // namespace xbarsec
+
+/// Precondition check: throws ContractViolation when `cond` is false.
+#define XS_EXPECTS(cond)                                                               \
+    do {                                                                               \
+        if (!(cond)) ::xbarsec::detail::contract_fail("Precondition", #cond, __FILE__, \
+                                                      __LINE__);                       \
+    } while (false)
+
+/// Precondition check with an explanatory message.
+#define XS_EXPECTS_MSG(cond, msg)                                                      \
+    do {                                                                               \
+        if (!(cond)) ::xbarsec::detail::contract_fail("Precondition", #cond, __FILE__, \
+                                                      __LINE__, (msg));                \
+    } while (false)
+
+/// Postcondition check: throws ContractViolation when `cond` is false.
+#define XS_ENSURES(cond)                                                                \
+    do {                                                                                \
+        if (!(cond)) ::xbarsec::detail::contract_fail("Postcondition", #cond, __FILE__, \
+                                                      __LINE__);                        \
+    } while (false)
+
+/// Internal invariant; disabled when XBARSEC_NO_ASSERT is defined.
+#ifdef XBARSEC_NO_ASSERT
+#define XS_ASSERT(cond) ((void)0)
+#else
+#define XS_ASSERT(cond)                                                             \
+    do {                                                                            \
+        if (!(cond)) ::xbarsec::detail::contract_fail("Invariant", #cond, __FILE__, \
+                                                      __LINE__);                    \
+    } while (false)
+#endif

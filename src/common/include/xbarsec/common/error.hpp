@@ -1,0 +1,34 @@
+// Exception hierarchy for recoverable runtime errors (IO, parsing,
+// configuration). Programming errors use contracts.hpp instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xbarsec {
+
+/// Base class for all recoverable xbarsec runtime errors.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// File or stream IO failed (missing file, short read, write failure).
+class IoError : public Error {
+public:
+    explicit IoError(const std::string& what) : Error("IO error: " + what) {}
+};
+
+/// Input bytes/text did not conform to the expected format.
+class ParseError : public Error {
+public:
+    explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A user-supplied configuration value is out of range or inconsistent.
+class ConfigError : public Error {
+public:
+    explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+}  // namespace xbarsec

@@ -1,0 +1,166 @@
+// Deterministic, self-contained pseudo-random number generation.
+//
+// We do not use <random> distributions because their output is
+// implementation-defined: the same seed gives different streams on
+// libstdc++ vs libc++, which would make the paper-reproduction benches
+// non-reproducible across platforms. Instead we implement:
+//   * SplitMix64      — seed expansion (Steele, Lea & Flood 2014)
+//   * Xoshiro256**    — main generator (Blackman & Vigna 2018)
+//   * uniform / normal / bernoulli / integer helpers with fixed algorithms
+// All xbarsec components take an explicit Rng& (or a seed); there is no
+// global generator.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "xbarsec/common/contracts.hpp"
+
+namespace xbarsec {
+
+/// SplitMix64: tiny generator used to expand a 64-bit seed into the
+/// 256-bit state of Xoshiro256**. Also usable standalone for cheap
+/// decorrelated stream splitting.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG with 256-bit state.
+/// Satisfies (a subset of) the UniformRandomBitGenerator requirements.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the 256-bit state by running SplitMix64 on `seed`.
+    explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ull) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) s = sm.next();
+        // A state of all zeros is invalid for xoshiro; SplitMix64 cannot
+        // produce four consecutive zeros, but keep the guard for safety.
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    result_type operator()() { return next(); }
+
+    std::uint64_t next() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1) with 53 bits of precision.
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        XS_EXPECTS(lo <= hi);
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Standard normal deviate via the Marsaglia polar method (deterministic
+    /// given the stream; one spare value is cached).
+    double normal() {
+        if (has_spare_) {
+            has_spare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = 2.0 * uniform() - 1.0;
+            v = 2.0 * uniform() - 1.0;
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double m = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * m;
+        has_spare_ = true;
+        return u * m;
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    double normal(double mean, double stddev) {
+        XS_EXPECTS(stddev >= 0.0);
+        return mean + stddev * normal();
+    }
+
+    /// Uniform integer in [0, n). Uses rejection sampling, so it is exactly
+    /// uniform (no modulo bias).
+    std::uint64_t below(std::uint64_t n) {
+        XS_EXPECTS(n > 0);
+        const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold) return r % n;
+        }
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t integer(std::int64_t lo, std::int64_t hi) {
+        XS_EXPECTS(lo <= hi);
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
+
+    /// Bernoulli trial with success probability p.
+    bool bernoulli(double p) {
+        XS_EXPECTS(p >= 0.0 && p <= 1.0);
+        return uniform() < p;
+    }
+
+    /// Random sign: +1 with probability 1/2, otherwise -1.
+    double sign() { return (next() & 1ull) ? 1.0 : -1.0; }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(below(i));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+    /// Derives an independent child generator; used to give each parallel
+    /// task its own decorrelated stream.
+    Rng split() { return Rng(next() ^ 0x9E3779B97F4A7C15ull); }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+    bool has_spare_ = false;
+    double spare_ = 0.0;
+};
+
+/// Returns `k` distinct indices drawn uniformly from [0, n) in random order
+/// (partial Fisher-Yates). Requires k <= n.
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n, std::size_t k);
+
+/// Returns a random permutation of [0, n).
+std::vector<std::size_t> random_permutation(Rng& rng, std::size_t n);
+
+}  // namespace xbarsec

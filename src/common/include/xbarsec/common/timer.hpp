@@ -1,0 +1,28 @@
+// Wall-clock timing helper for bench progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace xbarsec {
+
+/// Measures wall-clock time from construction (or the last reset()).
+class WallTimer {
+public:
+    WallTimer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Elapsed seconds since construction/reset.
+    double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Elapsed milliseconds since construction/reset.
+    double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace xbarsec

@@ -1,0 +1,148 @@
+#include "xbarsec/common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "xbarsec/common/contracts.hpp"
+#include "xbarsec/common/error.hpp"
+
+namespace xbarsec {
+
+void Cli::flag(const std::string& name, const std::string& default_value,
+               const std::string& help) {
+    XS_EXPECTS_MSG(!name.empty() && name.substr(0, 2) != "--",
+                   "register flags without the leading dashes");
+    const bool inserted = flags_.emplace(name, Flag{default_value, help, std::nullopt}).second;
+    XS_EXPECTS_MSG(inserted, "duplicate flag registration");
+    order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(help().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            throw ConfigError("unexpected positional argument '" + arg + "'");
+        }
+        arg = arg.substr(2);
+        std::string name, value;
+        bool has_value = false;
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        } else {
+            name = arg;
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end()) throw ConfigError("unknown flag '--" + name + "' (see --help)");
+        if (!has_value) {
+            // `--name value` when the next token is not itself a flag;
+            // otherwise treat as boolean true.
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        it->second.value = value;
+    }
+    return true;
+}
+
+const Cli::Flag& Cli::find(const std::string& name) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) throw ConfigError("flag '--" + name + "' was never registered");
+    return it->second;
+}
+
+std::string Cli::str(const std::string& name) const {
+    const Flag& f = find(name);
+    return f.value.value_or(f.default_value);
+}
+
+long long Cli::integer(const std::string& name) const {
+    const std::string v = str(name);
+    try {
+        std::size_t pos = 0;
+        const long long out = std::stoll(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return out;
+    } catch (const std::exception&) {
+        throw ConfigError("flag '--" + name + "': '" + v + "' is not an integer");
+    }
+}
+
+double Cli::real(const std::string& name) const {
+    const std::string v = str(name);
+    try {
+        std::size_t pos = 0;
+        const double out = std::stod(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return out;
+    } catch (const std::exception&) {
+        throw ConfigError("flag '--" + name + "': '" + v + "' is not a number");
+    }
+}
+
+bool Cli::boolean(const std::string& name) const {
+    const std::string v = str(name);
+    if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+    throw ConfigError("flag '--" + name + "': '" + v + "' is not a boolean");
+}
+
+namespace {
+std::vector<std::string> split_csv(const std::string& text) {
+    std::vector<std::string> parts;
+    std::string cur;
+    std::istringstream is(text);
+    while (std::getline(is, cur, ',')) parts.push_back(cur);
+    return parts;
+}
+}  // namespace
+
+std::vector<double> Cli::real_list(const std::string& name) const {
+    std::vector<double> out;
+    for (const auto& part : split_csv(str(name))) {
+        try {
+            out.push_back(std::stod(part));
+        } catch (const std::exception&) {
+            throw ConfigError("flag '--" + name + "': '" + part + "' is not a number");
+        }
+    }
+    return out;
+}
+
+std::vector<long long> Cli::integer_list(const std::string& name) const {
+    std::vector<long long> out;
+    for (const auto& part : split_csv(str(name))) {
+        try {
+            out.push_back(std::stoll(part));
+        } catch (const std::exception&) {
+            throw ConfigError("flag '--" + name + "': '" + part + "' is not an integer");
+        }
+    }
+    return out;
+}
+
+bool Cli::provided(const std::string& name) const { return find(name).value.has_value(); }
+
+std::string Cli::help() const {
+    std::ostringstream os;
+    os << summary_ << "\n\nFlags:\n";
+    for (const auto& name : order_) {
+        const Flag& f = flags_.at(name);
+        os << "  --" << name;
+        if (!f.default_value.empty()) os << " (default: " << f.default_value << ")";
+        os << "\n      " << f.help << "\n";
+    }
+    os << "  --help\n      Show this message.\n";
+    return os.str();
+}
+
+}  // namespace xbarsec

@@ -1,0 +1,25 @@
+#include "xbarsec/common/rng.hpp"
+
+#include <numeric>
+
+namespace xbarsec {
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n, std::size_t k) {
+    XS_EXPECTS(k <= n);
+    std::vector<std::size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), std::size_t{0});
+    // Partial Fisher-Yates: after i swaps the first i entries are a uniform
+    // sample without replacement.
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + static_cast<std::size_t>(rng.below(n - i));
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+std::vector<std::size_t> random_permutation(Rng& rng, std::size_t n) {
+    return sample_without_replacement(rng, n, n);
+}
+
+}  // namespace xbarsec

@@ -1,0 +1,108 @@
+#include "xbarsec/common/threadpool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "xbarsec/common/contracts.hpp"
+
+namespace xbarsec {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : hw;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    XS_EXPECTS(task != nullptr);
+    {
+        std::lock_guard lock(mutex_);
+        XS_EXPECTS_MSG(!stopping_, "submit() after destruction began");
+        queue_.push(std::move(task));
+        ++in_flight_;
+    }
+    cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();  // tasks are noexcept-wrapped by parallel_for; see below
+        {
+            std::lock_guard lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) cv_idle_.notify_all();
+        }
+    }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+    if (count == 1) {
+        body(0);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count || failed.load(std::memory_order_relaxed)) return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    // One drain task per worker; the calling thread participates too, so a
+    // pool of size 1 still gives two lanes of progress.
+    const std::size_t tasks = std::min(pool.thread_count(), count);
+    for (std::size_t t = 0; t < tasks; ++t) pool.submit(drain);
+    drain();
+    pool.wait_idle();
+
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+    static ThreadPool pool;  // sized to hardware once; benches share it
+    parallel_for(pool, count, body);
+}
+
+}  // namespace xbarsec

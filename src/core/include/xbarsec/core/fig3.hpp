@@ -1,0 +1,30 @@
+// Figure 3: sensitivity maps vs 1-norm maps.
+//
+// Each panel pair is (mean |∂L/∂u| over the test set, probed column
+// 1-norms), rendered as per-pixel grids. The bench prints ASCII heat maps
+// and writes CSV grids for re-plotting; the per-pair Pearson correlation
+// quantifies the visual match the paper describes.
+#pragma once
+
+#include <string>
+
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/dataset.hpp"
+
+namespace xbarsec::core {
+
+/// One (sensitivity map, 1-norm map) panel pair.
+struct Fig3Panel {
+    std::string label;
+    data::ImageShape shape;
+    tensor::Vector sensitivity_map;  ///< mean |∂L/∂u| over the test set
+    tensor::Vector l1_map;           ///< probed column 1-norms (weight units)
+    double correlation = 0.0;        ///< pearson(sensitivity_map, l1_map)
+    double victim_test_accuracy = 0.0;
+};
+
+/// Trains one victim and produces its panel pair.
+Fig3Panel run_fig3_config(const data::DataSplit& split, const std::string& dataset_name,
+                          const OutputConfig& output, const VictimConfig& base_config);
+
+}  // namespace xbarsec::core

@@ -1,0 +1,78 @@
+// The attacker-facing query interface (the paper's threat model).
+//
+// Attack code never touches the victim's weights: it sees only this
+// oracle, which exposes (depending on the scenario being modelled)
+//   * classification labels        (always — the deployed model's output)
+//   * raw output vectors           (Figure 5 rows 2/4)
+//   * power readings               (the side channel, Eq. 5)
+// and counts every query so experiments can report attacker cost. Power
+// readings are normalised to weight units (i_total / weight_scale for a
+// 1 V read), which models an attacker who knows the device family's
+// conductance scale — the paper's implicit assumption.
+#pragma once
+
+#include <cstdint>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+#include "xbarsec/xbar/xbar_network.hpp"
+
+namespace xbarsec::core {
+
+/// What the deployment exposes to the attacker.
+struct OracleOptions {
+    bool expose_raw_outputs = true;
+    bool expose_power = true;
+};
+
+/// Thrown when a query kind is disabled by the deployment's options.
+class AccessDenied : public Error {
+public:
+    explicit AccessDenied(const std::string& what) : Error("oracle access denied: " + what) {}
+};
+
+/// Query counters (attacker cost accounting).
+struct QueryCounters {
+    std::uint64_t inference = 0;  ///< label or raw-output queries
+    std::uint64_t power = 0;      ///< total-current measurements
+};
+
+/// Black-box wrapper over a crossbar-deployed network.
+class CrossbarOracle {
+public:
+    /// Takes ownership of the deployed hardware model.
+    CrossbarOracle(xbar::CrossbarNetwork hardware, OracleOptions options = {});
+
+    std::size_t inputs() const { return hardware_.inputs(); }
+    std::size_t outputs() const { return hardware_.outputs(); }
+    const OracleOptions& options() const { return options_; }
+
+    /// Predicted class label for input u.
+    int query_label(const tensor::Vector& u);
+
+    /// Raw post-activation output vector. Throws AccessDenied when the
+    /// deployment hides raw outputs.
+    tensor::Vector query_raw(const tensor::Vector& u);
+
+    /// Power side channel in weight units: i_total(u) / weight_scale.
+    /// Throws AccessDenied when power measurement is not possible.
+    double query_power(const tensor::Vector& u);
+
+    /// Adapter for sidechannel::probe_columns and the obfuscation
+    /// wrappers; still counted. (Weight units, as query_power.)
+    sidechannel::TotalCurrentFn power_measure_fn();
+
+    const QueryCounters& counters() const { return counters_; }
+    void reset_counters() { counters_ = {}; }
+
+    /// The underlying hardware — for experiment *evaluation* only (e.g.
+    /// scoring adversarial examples); attack code must not call this.
+    const xbar::CrossbarNetwork& hardware_for_evaluation() const { return hardware_; }
+
+private:
+    xbar::CrossbarNetwork hardware_;
+    OracleOptions options_;
+    QueryCounters counters_;
+};
+
+}  // namespace xbarsec::core

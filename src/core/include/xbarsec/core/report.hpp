@@ -1,0 +1,31 @@
+// Rendering helpers for experiment outputs: CSV heat-map grids (for
+// re-plotting Figure 3) and ASCII heat maps (terminal-visible shape
+// checks in the benches).
+#pragma once
+
+#include <string>
+
+#include "xbarsec/data/dataset.hpp"
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::core {
+
+/// Writes one channel of a flattened per-pixel map as an H×W CSV grid.
+/// Throws IoError on write failure.
+void write_grid_csv(const std::string& path, const tensor::Vector& map,
+                    const data::ImageShape& shape, std::size_t channel = 0);
+
+/// Renders one channel of a per-pixel map as an ASCII heat map
+/// (min→' ', max→'@'), one text row per pixel row.
+std::string render_ascii_heatmap(const tensor::Vector& map, const data::ImageShape& shape,
+                                 std::size_t channel = 0);
+
+/// Filesystem-safe version of an experiment label ('/' and spaces → '_').
+std::string sanitize_label(const std::string& label);
+
+/// Directory used by the benches for CSV outputs; created on demand.
+/// Resolves to "bench_results" under the current working directory unless
+/// the XBARSEC_RESULTS_DIR environment variable overrides it.
+std::string results_dir();
+
+}  // namespace xbarsec::core

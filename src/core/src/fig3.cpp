@@ -1,0 +1,28 @@
+#include "xbarsec/core/fig3.hpp"
+
+#include "xbarsec/nn/sensitivity.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+#include "xbarsec/stats/correlation.hpp"
+
+namespace xbarsec::core {
+
+Fig3Panel run_fig3_config(const data::DataSplit& split, const std::string& dataset_name,
+                          const OutputConfig& output, const VictimConfig& base_config) {
+    VictimConfig config = base_config;
+    config.output = output;
+
+    const TrainedVictim victim = train_victim(split, config);
+    CrossbarOracle oracle = deploy_victim(victim.net, config);
+
+    Fig3Panel panel;
+    panel.label = dataset_name + "/" + output.name();
+    panel.shape = split.test.shape();
+    panel.sensitivity_map = nn::mean_abs_input_gradient(victim.net, split.test);
+    panel.l1_map =
+        sidechannel::probe_columns(oracle.power_measure_fn(), oracle.inputs()).conductance_sums;
+    panel.correlation = stats::pearson(panel.sensitivity_map, panel.l1_map);
+    panel.victim_test_accuracy = victim.test_accuracy;
+    return panel;
+}
+
+}  // namespace xbarsec::core

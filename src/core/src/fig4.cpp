@@ -1,0 +1,65 @@
+#include "xbarsec/core/fig4.hpp"
+
+#include "xbarsec/common/log.hpp"
+#include "xbarsec/nn/metrics.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+
+namespace xbarsec::core {
+
+Fig4Result run_fig4_config(const data::DataSplit& split, const std::string& dataset_name,
+                           const OutputConfig& output, const VictimConfig& base_config,
+                           const Fig4Options& options) {
+    XS_EXPECTS(!options.strengths.empty());
+    VictimConfig config = base_config;
+    config.output = output;
+
+    const TrainedVictim victim = train_victim(split, config);
+    CrossbarOracle oracle = deploy_victim(victim.net, config);
+
+    // What the victim actually computes in deployment (equals the software
+    // net when the device config is ideal).
+    const nn::SingleLayerNet deployed = oracle.hardware_for_evaluation().effective_network();
+
+    // Attacker side: probe the power channel once for the 1-norm ranking.
+    const tensor::Vector l1 =
+        sidechannel::probe_columns(oracle.power_measure_fn(), oracle.inputs()).conductance_sums;
+
+    const data::Dataset eval_set =
+        options.eval_limit > 0 ? split.test.take(options.eval_limit) : split.test;
+
+    Fig4Result result;
+    result.label = dataset_name + "/" + output.name();
+    result.strengths = options.strengths;
+    result.clean_accuracy = nn::accuracy(deployed, eval_set);
+
+    for (const attack::SinglePixelMethod method : attack::all_single_pixel_methods()) {
+        Fig4Series series;
+        series.method = method;
+        series.accuracy.reserve(options.strengths.size());
+        for (const double strength : options.strengths) {
+            // Fresh deterministic stream per (method, strength) point so
+            // points are independent and reproducible in isolation.
+            Rng rng(options.seed ^ (static_cast<std::uint64_t>(method) << 32) ^
+                    static_cast<std::uint64_t>(strength * 1024.0));
+            series.accuracy.push_back(attack::evaluate_single_pixel_attack(
+                deployed, eval_set, method, strength, &l1, rng));
+        }
+        log::info("fig4 ", result.label, " method ", to_string(method), " done");
+        result.series.push_back(std::move(series));
+    }
+    return result;
+}
+
+Table render_fig4(const Fig4Result& result) {
+    std::vector<std::string> header{"Strength"};
+    for (const auto& s : result.series) header.push_back(to_string(s.method));
+    Table t(std::move(header));
+    for (std::size_t k = 0; k < result.strengths.size(); ++k) {
+        t.begin_row();
+        t.add(result.strengths[k], 1);
+        for (const auto& s : result.series) t.add(s.accuracy[k], 4);
+    }
+    return t;
+}
+
+}  // namespace xbarsec::core

@@ -1,0 +1,36 @@
+#include "xbarsec/core/oracle.hpp"
+
+namespace xbarsec::core {
+
+CrossbarOracle::CrossbarOracle(xbar::CrossbarNetwork hardware, OracleOptions options)
+    : hardware_(std::move(hardware)), options_(options) {}
+
+int CrossbarOracle::query_label(const tensor::Vector& u) {
+    XS_EXPECTS(u.size() == inputs());
+    ++counters_.inference;
+    return hardware_.classify(u);
+}
+
+tensor::Vector CrossbarOracle::query_raw(const tensor::Vector& u) {
+    if (!options_.expose_raw_outputs) {
+        throw AccessDenied("raw outputs are not exposed by this deployment");
+    }
+    XS_EXPECTS(u.size() == inputs());
+    ++counters_.inference;
+    return hardware_.predict(u);
+}
+
+double CrossbarOracle::query_power(const tensor::Vector& u) {
+    if (!options_.expose_power) {
+        throw AccessDenied("power measurement is not possible on this deployment");
+    }
+    XS_EXPECTS(u.size() == inputs());
+    ++counters_.power;
+    return hardware_.total_current(u) / hardware_.crossbar().program().weight_scale;
+}
+
+sidechannel::TotalCurrentFn CrossbarOracle::power_measure_fn() {
+    return [this](const tensor::Vector& v) { return query_power(v); };
+}
+
+}  // namespace xbarsec::core

@@ -1,0 +1,51 @@
+#include "xbarsec/core/queries.hpp"
+
+#include <algorithm>
+
+namespace xbarsec::core {
+
+attack::QueryDataset collect_queries(CrossbarOracle& oracle, const data::Dataset& pool,
+                                     const QueryPlan& plan) {
+    XS_EXPECTS(plan.count > 0);
+    XS_EXPECTS(pool.size() > 0);
+    XS_EXPECTS(pool.input_dim() == oracle.inputs());
+
+    Rng rng(plan.seed);
+    // Without replacement while the pool lasts; extra draws (Q > pool) are
+    // uniform with replacement — the attacker reuses inputs.
+    std::vector<std::size_t> picks;
+    picks.reserve(plan.count);
+    {
+        const std::size_t head = std::min(plan.count, pool.size());
+        picks = sample_without_replacement(rng, pool.size(), head);
+        while (picks.size() < plan.count) {
+            picks.push_back(static_cast<std::size_t>(rng.below(pool.size())));
+        }
+    }
+
+    attack::QueryDataset q;
+    q.inputs = tensor::Matrix(plan.count, pool.input_dim());
+    q.outputs = tensor::Matrix(plan.count, oracle.outputs(), 0.0);
+    q.power = tensor::Vector(plan.count, 0.0);
+
+    for (std::size_t r = 0; r < plan.count; ++r) {
+        const tensor::Vector u = pool.input(picks[r]);
+        {
+            const auto src = pool.inputs().row_span(picks[r]);
+            auto dst = q.inputs.row_span(r);
+            std::copy(src.begin(), src.end(), dst.begin());
+        }
+        if (plan.raw_outputs) {
+            const tensor::Vector y = oracle.query_raw(u);
+            auto dst = q.outputs.row_span(r);
+            std::copy(y.begin(), y.end(), dst.begin());
+        } else {
+            const int label = oracle.query_label(u);
+            q.outputs(r, static_cast<std::size_t>(label)) = 1.0;
+        }
+        if (plan.record_power) q.power[r] = oracle.query_power(u);
+    }
+    return q;
+}
+
+}  // namespace xbarsec::core

@@ -1,0 +1,74 @@
+#include "xbarsec/core/report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "xbarsec/common/contracts.hpp"
+#include "xbarsec/common/error.hpp"
+
+namespace xbarsec::core {
+
+void write_grid_csv(const std::string& path, const tensor::Vector& map,
+                    const data::ImageShape& shape, std::size_t channel) {
+    XS_EXPECTS(map.size() == shape.pixels());
+    XS_EXPECTS(channel < shape.channels);
+    const std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(p);
+    if (!out) throw IoError("cannot open '" + path + "' for writing");
+    const std::size_t plane = shape.height * shape.width;
+    for (std::size_t y = 0; y < shape.height; ++y) {
+        for (std::size_t x = 0; x < shape.width; ++x) {
+            if (x) out << ',';
+            out << map[channel * plane + y * shape.width + x];
+        }
+        out << '\n';
+    }
+    if (!out) throw IoError("short write to '" + path + "'");
+}
+
+std::string render_ascii_heatmap(const tensor::Vector& map, const data::ImageShape& shape,
+                                 std::size_t channel) {
+    XS_EXPECTS(map.size() == shape.pixels());
+    XS_EXPECTS(channel < shape.channels);
+    static constexpr char kRamp[] = " .:-=+*#%@";
+    constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // exclude '\0', index max
+
+    const std::size_t plane = shape.height * shape.width;
+    const double* base = map.data() + channel * plane;
+    const auto [mn_it, mx_it] = std::minmax_element(base, base + plane);
+    const double mn = *mn_it, mx = *mx_it;
+    const double span = mx > mn ? mx - mn : 1.0;
+
+    std::ostringstream os;
+    for (std::size_t y = 0; y < shape.height; ++y) {
+        for (std::size_t x = 0; x < shape.width; ++x) {
+            const double t = (base[y * shape.width + x] - mn) / span;
+            const auto level = static_cast<std::size_t>(t * static_cast<double>(kLevels));
+            os << kRamp[std::min(level, kLevels)];
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string sanitize_label(const std::string& label) {
+    std::string out = label;
+    for (char& c : out) {
+        if (c == '/' || c == '\\' || c == ' ') c = '_';
+    }
+    return out;
+}
+
+std::string results_dir() {
+    if (const char* env = std::getenv("XBARSEC_RESULTS_DIR"); env != nullptr && *env != '\0') {
+        return env;
+    }
+    return "bench_results";
+}
+
+}  // namespace xbarsec::core

@@ -1,0 +1,93 @@
+// Labeled image dataset container.
+//
+// Inputs are stored flattened (one row per sample, pixel values in [0, 1])
+// because the paper's networks are single dense layers; image geometry is
+// retained as metadata so sensitivity/1-norm maps (Figure 3) can be
+// rendered back into H×W grids.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/tensor/matrix.hpp"
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::data {
+
+/// Image geometry metadata for a flattened dataset.
+struct ImageShape {
+    std::size_t height = 0;
+    std::size_t width = 0;
+    std::size_t channels = 1;
+
+    std::size_t pixels() const { return height * width * channels; }
+
+    friend bool operator==(const ImageShape&, const ImageShape&) = default;
+};
+
+/// A supervised classification dataset: flattened inputs, integer labels,
+/// and a one-hot target matrix derived from them.
+class Dataset {
+public:
+    Dataset() = default;
+
+    /// Builds from inputs (samples × features), per-sample labels in
+    /// [0, num_classes), and image geometry with pixels() == features.
+    Dataset(tensor::Matrix inputs, std::vector<int> labels, std::size_t num_classes,
+            ImageShape shape, std::string name = {});
+
+    std::size_t size() const { return labels_.size(); }
+    std::size_t input_dim() const { return inputs_.cols(); }
+    std::size_t num_classes() const { return num_classes_; }
+    const ImageShape& shape() const { return shape_; }
+    const std::string& name() const { return name_; }
+    bool empty() const { return labels_.empty(); }
+
+    const tensor::Matrix& inputs() const { return inputs_; }
+
+    /// One-hot targets (samples × num_classes), built lazily on first use
+    /// and cached.
+    const tensor::Matrix& targets() const;
+
+    int label(std::size_t i) const;
+    const std::vector<int>& labels() const { return labels_; }
+
+    /// Copy of sample i's input row.
+    tensor::Vector input(std::size_t i) const;
+
+    /// One-hot target for sample i.
+    tensor::Vector target(std::size_t i) const;
+
+    /// New dataset containing rows at `indices` (in that order).
+    Dataset subset(const std::vector<std::size_t>& indices) const;
+
+    /// First n samples (n clamped to size()).
+    Dataset take(std::size_t n) const;
+
+    /// In-place random permutation of samples.
+    void shuffle(Rng& rng);
+
+    /// Per-class sample counts.
+    std::vector<std::size_t> class_counts() const;
+
+private:
+    tensor::Matrix inputs_;
+    std::vector<int> labels_;
+    std::size_t num_classes_ = 0;
+    ImageShape shape_;
+    std::string name_;
+    mutable tensor::Matrix targets_cache_;
+};
+
+/// Train/test pair produced by generators and loaders.
+struct DataSplit {
+    Dataset train;
+    Dataset test;
+};
+
+/// Builds a one-hot matrix from labels.
+tensor::Matrix one_hot(const std::vector<int>& labels, std::size_t num_classes);
+
+}  // namespace xbarsec::data

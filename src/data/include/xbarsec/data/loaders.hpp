@@ -1,0 +1,49 @@
+// High-level dataset acquisition: real files when present, synthetic
+// otherwise.
+//
+// The benches call these so that dropping genuine MNIST / CIFAR-10 files
+// into --data-dir upgrades every experiment to the paper's real datasets
+// with no code change; in the default offline environment the calibrated
+// synthetic generators are used (the substitution is logged).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xbarsec/data/dataset.hpp"
+
+namespace xbarsec::data {
+
+/// Options shared by the dataset loaders.
+struct LoadOptions {
+    /// Directory searched for real dataset files ("" disables the search).
+    /// MNIST: train-images-idx3-ubyte / train-labels-idx1-ubyte /
+    ///        t10k-images-idx3-ubyte / t10k-labels-idx1-ubyte.
+    /// CIFAR-10: data_batch_1..5.bin / test_batch.bin.
+    std::string data_dir;
+
+    /// Sample budget; real datasets are truncated to these counts (0 =
+    /// keep everything), synthetic ones are generated at exactly these
+    /// counts.
+    std::size_t train_count = 8000;
+    std::size_t test_count = 2000;
+
+    /// Seed for synthetic generation and for subsampling real data.
+    std::uint64_t seed = 42;
+};
+
+/// True when all four MNIST IDX files exist under `dir`.
+bool mnist_files_present(const std::string& dir);
+
+/// True when the six CIFAR-10 binary batches exist under `dir`.
+bool cifar10_files_present(const std::string& dir);
+
+/// Loads real MNIST if present, otherwise generates the synthetic
+/// stand-in (see synthetic_mnist.hpp).
+DataSplit load_mnist_like(const LoadOptions& options);
+
+/// Loads real CIFAR-10 if present, otherwise generates the synthetic
+/// stand-in (see synthetic_cifar10.hpp).
+DataSplit load_cifar10_like(const LoadOptions& options);
+
+}  // namespace xbarsec::data

@@ -1,0 +1,90 @@
+#include "xbarsec/data/dataset.hpp"
+
+#include <algorithm>
+
+#include "xbarsec/common/contracts.hpp"
+
+namespace xbarsec::data {
+
+Dataset::Dataset(tensor::Matrix inputs, std::vector<int> labels, std::size_t num_classes,
+                 ImageShape shape, std::string name)
+    : inputs_(std::move(inputs)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes),
+      shape_(shape),
+      name_(std::move(name)) {
+    XS_EXPECTS(inputs_.rows() == labels_.size());
+    XS_EXPECTS(num_classes_ > 0);
+    XS_EXPECTS_MSG(shape_.pixels() == inputs_.cols(), "image shape does not match input width");
+    for (int label : labels_) {
+        XS_EXPECTS_MSG(label >= 0 && static_cast<std::size_t>(label) < num_classes_,
+                       "label out of range");
+    }
+}
+
+const tensor::Matrix& Dataset::targets() const {
+    if (targets_cache_.rows() != labels_.size()) {
+        targets_cache_ = one_hot(labels_, num_classes_);
+    }
+    return targets_cache_;
+}
+
+int Dataset::label(std::size_t i) const {
+    XS_EXPECTS(i < labels_.size());
+    return labels_[i];
+}
+
+tensor::Vector Dataset::input(std::size_t i) const {
+    XS_EXPECTS(i < labels_.size());
+    return inputs_.row(i);
+}
+
+tensor::Vector Dataset::target(std::size_t i) const {
+    XS_EXPECTS(i < labels_.size());
+    tensor::Vector t(num_classes_, 0.0);
+    t[static_cast<std::size_t>(labels_[i])] = 1.0;
+    return t;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+    tensor::Matrix inputs(indices.size(), input_dim());
+    std::vector<int> labels(indices.size());
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+        XS_EXPECTS(indices[r] < size());
+        const auto src = inputs_.row_span(indices[r]);
+        auto dst = inputs.row_span(r);
+        std::copy(src.begin(), src.end(), dst.begin());
+        labels[r] = labels_[indices[r]];
+    }
+    return Dataset(std::move(inputs), std::move(labels), num_classes_, shape_, name_);
+}
+
+Dataset Dataset::take(std::size_t n) const {
+    n = std::min(n, size());
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    return subset(idx);
+}
+
+void Dataset::shuffle(Rng& rng) {
+    const auto perm = random_permutation(rng, size());
+    *this = subset(perm);
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+    std::vector<std::size_t> counts(num_classes_, 0);
+    for (int label : labels_) ++counts[static_cast<std::size_t>(label)];
+    return counts;
+}
+
+tensor::Matrix one_hot(const std::vector<int>& labels, std::size_t num_classes) {
+    XS_EXPECTS(num_classes > 0);
+    tensor::Matrix t(labels.size(), num_classes, 0.0);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        XS_EXPECTS(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < num_classes);
+        t(i, static_cast<std::size_t>(labels[i])) = 1.0;
+    }
+    return t;
+}
+
+}  // namespace xbarsec::data

@@ -1,0 +1,101 @@
+#include "xbarsec/data/loaders.hpp"
+
+#include <filesystem>
+
+#include "xbarsec/common/log.hpp"
+#include "xbarsec/data/cifar_io.hpp"
+#include "xbarsec/data/idx_io.hpp"
+#include "xbarsec/data/synthetic_cifar10.hpp"
+#include "xbarsec/data/synthetic_mnist.hpp"
+
+namespace xbarsec::data {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool exists(const std::string& dir, const char* file) {
+    return fs::exists(fs::path(dir) / file);
+}
+
+Dataset truncate_shuffled(Dataset d, std::size_t count, Rng& rng) {
+    d.shuffle(rng);
+    if (count > 0 && count < d.size()) d = d.take(count);
+    return d;
+}
+
+}  // namespace
+
+bool mnist_files_present(const std::string& dir) {
+    if (dir.empty()) return false;
+    return exists(dir, "train-images-idx3-ubyte") && exists(dir, "train-labels-idx1-ubyte") &&
+           exists(dir, "t10k-images-idx3-ubyte") && exists(dir, "t10k-labels-idx1-ubyte");
+}
+
+bool cifar10_files_present(const std::string& dir) {
+    if (dir.empty()) return false;
+    for (const char* f : {"data_batch_1.bin", "data_batch_2.bin", "data_batch_3.bin",
+                          "data_batch_4.bin", "data_batch_5.bin", "test_batch.bin"}) {
+        if (!exists(dir, f)) return false;
+    }
+    return true;
+}
+
+DataSplit load_mnist_like(const LoadOptions& options) {
+    if (mnist_files_present(options.data_dir)) {
+        log::info("loading real MNIST from ", options.data_dir);
+        const fs::path dir(options.data_dir);
+        auto train_images = idx::read_images((dir / "train-images-idx3-ubyte").string());
+        auto train_labels = idx::read_labels((dir / "train-labels-idx1-ubyte").string());
+        auto test_images = idx::read_images((dir / "t10k-images-idx3-ubyte").string());
+        auto test_labels = idx::read_labels((dir / "t10k-labels-idx1-ubyte").string());
+        const ImageShape shape{train_images.rows, train_images.cols, 1};
+        Rng rng(options.seed);
+        DataSplit split;
+        split.train = truncate_shuffled(
+            Dataset(std::move(train_images.pixels), std::move(train_labels), 10, shape,
+                    "mnist-train"),
+            options.train_count, rng);
+        split.test = truncate_shuffled(
+            Dataset(std::move(test_images.pixels), std::move(test_labels), 10, shape, "mnist-test"),
+            options.test_count, rng);
+        return split;
+    }
+    log::info("real MNIST not found; generating calibrated synthetic stand-in (",
+              options.train_count, " train / ", options.test_count, " test, seed ", options.seed,
+              ")");
+    SyntheticMnistConfig config;
+    config.train_count = options.train_count;
+    config.test_count = options.test_count;
+    config.seed = options.seed;
+    return make_synthetic_mnist(config);
+}
+
+DataSplit load_cifar10_like(const LoadOptions& options) {
+    if (cifar10_files_present(options.data_dir)) {
+        log::info("loading real CIFAR-10 from ", options.data_dir);
+        const fs::path dir(options.data_dir);
+        std::vector<std::string> train_paths;
+        for (int b = 1; b <= 5; ++b) {
+            train_paths.push_back((dir / ("data_batch_" + std::to_string(b) + ".bin")).string());
+        }
+        Rng rng(options.seed);
+        DataSplit split;
+        split.train = truncate_shuffled(cifar::read_batches(train_paths, "cifar10-train"),
+                                        options.train_count, rng);
+        split.test = truncate_shuffled(
+            cifar::read_batch((dir / "test_batch.bin").string(), "cifar10-test"),
+            options.test_count, rng);
+        return split;
+    }
+    log::info("real CIFAR-10 not found; generating calibrated synthetic stand-in (",
+              options.train_count, " train / ", options.test_count, " test, seed ", options.seed,
+              ")");
+    SyntheticCifar10Config config;
+    config.train_count = options.train_count;
+    config.test_count = options.test_count;
+    config.seed = options.seed;
+    return make_synthetic_cifar10(config);
+}
+
+}  // namespace xbarsec::data

@@ -1,0 +1,164 @@
+#include "xbarsec/data/synthetic_cifar10.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "xbarsec/common/contracts.hpp"
+
+namespace xbarsec::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Per-class base colours (R, G, B offsets from mid-grey, unit length-ish).
+/// Spread over colour space but deliberately overlapping: class identity is
+/// a *statistical* pull, not a separable colour key.
+constexpr std::array<std::array<double, 3>, 10> kPalette = {{
+    {+0.9, -0.3, -0.3},  // 0: reddish
+    {-0.4, +0.8, -0.2},  // 1: green
+    {-0.3, -0.3, +0.9},  // 2: blue
+    {+0.7, +0.6, -0.4},  // 3: yellow
+    {+0.6, -0.4, +0.6},  // 4: magenta
+    {-0.5, +0.6, +0.6},  // 5: cyan
+    {+0.8, +0.2, +0.1},  // 6: orange
+    {-0.7, -0.2, +0.4},  // 7: slate
+    {+0.2, -0.7, +0.3},  // 8: violet-green mix
+    {-0.2, +0.3, -0.8},  // 9: olive
+}};
+
+/// Class texture parameters: orientation (radians) and spatial frequency
+/// (cycles per image). Orientation/frequency carry class info only through
+/// second-order statistics — invisible to a linear readout with random phase.
+struct Texture {
+    double orientation;
+    double frequency;
+};
+
+Texture class_texture(int cls) {
+    return {static_cast<double>(cls) * (kPi / 10.0), 2.0 + static_cast<double>(cls % 5)};
+}
+
+/// Class layout template: a fixed-phase low-frequency wave whose direction
+/// and phase are class-determined. Distinct per class, ~1 cycle per image.
+struct Layout {
+    double ax, ay, phase;
+};
+
+Layout class_layout(int cls) {
+    const double angle = static_cast<double>(cls) * (2.0 * kPi / 10.0) + 0.4;
+    const double cycles = 1.0 + static_cast<double>(cls % 3) * 0.5;
+    return {cycles * std::cos(angle), cycles * std::sin(angle),
+            static_cast<double>(cls) * 0.7};
+}
+
+}  // namespace
+
+tensor::Vector render_cifar_like(int cls, Rng& rng, const SyntheticCifar10Config& config) {
+    XS_EXPECTS(cls >= 0 && cls <= 9);
+    XS_EXPECTS(config.image_size >= 8);
+    const std::size_t n = config.image_size;
+    const std::size_t plane = n * n;
+    tensor::Vector img(3 * plane, 0.0);
+
+    const auto& base = kPalette[static_cast<std::size_t>(cls)];
+    const Texture tex = class_texture(cls);
+    const Layout layout = class_layout(cls);
+    const double layout_gain = config.layout_amp * rng.uniform(0.3, 1.0);
+    const double layout_phase =
+        layout.phase + rng.normal(0.0, config.layout_phase_jitter);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    const double brightness = rng.normal(0.0, config.brightness_std);
+    const std::array<double, 3> channel_jitter{rng.normal(0.0, config.color_jitter_std),
+                                               rng.normal(0.0, config.color_jitter_std),
+                                               rng.normal(0.0, config.color_jitter_std)};
+    // Texture projects differently onto the three channels per sample.
+    const double wr = rng.uniform(0.4, 1.0), wg = rng.uniform(0.4, 1.0), wb = rng.uniform(0.4, 1.0);
+
+    // Random soft blobs (shared across channels with a random colour tint):
+    // generic "object clutter" giving images low-frequency structure that is
+    // uncorrelated with class.
+    struct Blob {
+        double cx, cy, r2, amp;
+        std::array<double, 3> tint;
+    };
+    std::vector<Blob> blobs;
+    blobs.reserve(static_cast<std::size_t>(std::max(0, config.blob_count)));
+    for (int b = 0; b < config.blob_count; ++b) {
+        Blob blob{};
+        blob.cx = rng.uniform(0.0, static_cast<double>(n));
+        blob.cy = rng.uniform(0.0, static_cast<double>(n));
+        const double r = rng.uniform(0.12, 0.35) * static_cast<double>(n);
+        blob.r2 = r * r;
+        blob.amp = rng.uniform(-0.35, 0.35);
+        blob.tint = {rng.uniform(0.3, 1.0), rng.uniform(0.3, 1.0), rng.uniform(0.3, 1.0)};
+        blobs.push_back(blob);
+    }
+
+    const double co = std::cos(tex.orientation), so = std::sin(tex.orientation);
+    const double freq_scale = 2.0 * kPi * tex.frequency / static_cast<double>(n);
+
+    for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) {
+            const double fx = static_cast<double>(x), fy = static_cast<double>(y);
+            const double grating = std::sin(freq_scale * (fx * co + fy * so) + phase);
+            const double layout_wave =
+                layout_gain * std::cos(2.0 * kPi * (layout.ax * fx + layout.ay * fy) /
+                                           static_cast<double>(n) +
+                                       layout_phase);
+            double blob_sum = 0.0;
+            std::array<double, 3> blob_tinted{0.0, 0.0, 0.0};
+            for (const Blob& blob : blobs) {
+                const double dx = fx - blob.cx, dy = fy - blob.cy;
+                const double g = blob.amp * std::exp(-(dx * dx + dy * dy) / blob.r2);
+                blob_sum += g;
+                for (int k = 0; k < 3; ++k) blob_tinted[static_cast<std::size_t>(k)] += g * blob.tint[static_cast<std::size_t>(k)];
+            }
+            (void)blob_sum;
+            const std::size_t idx = y * n + x;
+            const std::array<double, 3> tex_w{wr, wg, wb};
+            for (std::size_t k = 0; k < 3; ++k) {
+                double v = 0.5 + config.color_signal * base[k] + channel_jitter[k] +
+                           config.texture_amp * tex_w[k] * grating + layout_wave +
+                           blob_tinted[k] + brightness + rng.normal(0.0, config.noise_std);
+                img[k * plane + idx] = std::clamp(v, 0.0, 1.0);
+            }
+        }
+    }
+    return img;
+}
+
+namespace {
+
+Dataset generate(std::size_t count, Rng& rng, const SyntheticCifar10Config& config,
+                 const std::string& name) {
+    const std::size_t dim = 3 * config.image_size * config.image_size;
+    tensor::Matrix inputs(count, dim);
+    std::vector<int> labels(count);
+    std::vector<int> order(count);
+    for (std::size_t i = 0; i < count; ++i) order[i] = static_cast<int>(i % 10);
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < count; ++i) {
+        labels[i] = order[i];
+        const tensor::Vector img = render_cifar_like(order[i], rng, config);
+        auto dst = inputs.row_span(i);
+        std::copy(img.begin(), img.end(), dst.begin());
+    }
+    const ImageShape shape{config.image_size, config.image_size, 3};
+    return Dataset(std::move(inputs), std::move(labels), 10, shape, name);
+}
+
+}  // namespace
+
+DataSplit make_synthetic_cifar10(const SyntheticCifar10Config& config) {
+    XS_EXPECTS(config.train_count > 0 && config.test_count > 0);
+    Rng train_rng(config.seed);
+    Rng test_rng(config.seed ^ 0x5A5A5A5AFEEDFACEull);
+    DataSplit split;
+    split.train = generate(config.train_count, train_rng, config, "synthetic-cifar10-train");
+    split.test = generate(config.test_count, test_rng, config, "synthetic-cifar10-test");
+    return split;
+}
+
+}  // namespace xbarsec::data

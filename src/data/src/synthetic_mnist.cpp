@@ -1,0 +1,221 @@
+#include "xbarsec/data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbarsec/common/contracts.hpp"
+
+namespace xbarsec::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Samples an elliptical arc into a polyline. Angles in degrees with the
+/// screen convention: 0° → +x (right), 90° → +y (down), 270° → up. The
+/// sweep may be decreasing for counter-clockwise strokes.
+Stroke arc(double cx, double cy, double rx, double ry, double deg0, double deg1, int segments = 14) {
+    Stroke s;
+    s.reserve(static_cast<std::size_t>(segments) + 1);
+    for (int i = 0; i <= segments; ++i) {
+        const double a = (deg0 + (deg1 - deg0) * i / segments) * kPi / 180.0;
+        s.push_back({cx + rx * std::cos(a), cy + ry * std::sin(a)});
+    }
+    return s;
+}
+
+Stroke line(Point a, Point b) { return {a, b}; }
+
+/// Builds the ten digit skeletons once. Coordinates live in [0,1]² with a
+/// hand-tuned "handwritten print" look; the exact shapes matter less than
+/// their mutual distinguishability and centre-of-canvas concentration.
+std::array<StrokeSet, 10> build_skeletons() {
+    std::array<StrokeSet, 10> d;
+
+    // 0: single ellipse outline.
+    d[0] = {arc(0.50, 0.50, 0.26, 0.37, 0, 360, 22)};
+
+    // 1: vertical stem with a small entry flag and a base serif.
+    d[1] = {line({0.52, 0.12}, {0.52, 0.88}),
+            line({0.52, 0.12}, {0.36, 0.30}),
+            line({0.38, 0.88}, {0.66, 0.88})};
+
+    // 2: top bowl, descending diagonal, flat base.
+    d[2] = {arc(0.50, 0.30, 0.25, 0.18, 180, 365, 14),
+            line({0.755, 0.32}, {0.26, 0.85}),
+            line({0.26, 0.85}, {0.78, 0.85})};
+
+    // 3: two right-facing bowls.
+    d[3] = {arc(0.46, 0.30, 0.25, 0.18, 160, 380, 14),
+            arc(0.46, 0.67, 0.27, 0.20, -20, 200, 14)};
+
+    // 4: diagonal into crossbar, separate vertical stem.
+    d[4] = {line({0.58, 0.10}, {0.20, 0.56}),
+            line({0.20, 0.56}, {0.80, 0.56}),
+            line({0.66, 0.30}, {0.66, 0.90})};
+
+    // 5: cap bar, short left wall, bottom bowl.
+    d[5] = {line({0.72, 0.12}, {0.30, 0.12}),
+            line({0.30, 0.12}, {0.28, 0.46}),
+            arc(0.46, 0.64, 0.27, 0.21, -95, 165, 14)};
+
+    // 6: sweeping C entry plus closed lower loop.
+    d[6] = {arc(0.52, 0.50, 0.28, 0.37, 290, 90, 16),
+            arc(0.52, 0.66, 0.22, 0.20, 0, 360, 18)};
+
+    // 7: top bar and a long diagonal with a mid dash.
+    d[7] = {line({0.24, 0.14}, {0.78, 0.14}),
+            line({0.78, 0.14}, {0.42, 0.88}),
+            line({0.40, 0.50}, {0.64, 0.50})};
+
+    // 8: stacked loops, lower slightly larger.
+    d[8] = {arc(0.50, 0.31, 0.20, 0.17, 0, 360, 18),
+            arc(0.50, 0.68, 0.24, 0.20, 0, 360, 18)};
+
+    // 9: upper loop with a long tail.
+    d[9] = {arc(0.50, 0.32, 0.22, 0.19, 0, 360, 18),
+            line({0.715, 0.34}, {0.60, 0.88})};
+
+    return d;
+}
+
+const std::array<StrokeSet, 10>& skeletons() {
+    static const std::array<StrokeSet, 10> s = build_skeletons();
+    return s;
+}
+
+/// Squared distance from point p to segment (a, b).
+double dist_sq_to_segment(Point p, Point a, Point b) {
+    const double abx = b.x - a.x, aby = b.y - a.y;
+    const double apx = p.x - a.x, apy = p.y - a.y;
+    const double len_sq = abx * abx + aby * aby;
+    double t = len_sq > 0.0 ? (apx * abx + apy * aby) / len_sq : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const double dx = apx - t * abx, dy = apy - t * aby;
+    return dx * dx + dy * dy;
+}
+
+struct Affine {
+    // pixel = M * (unit - 0.5) * design + center + shift
+    double m00, m01, m10, m11;
+    double cx, cy;
+
+    Point apply(Point p) const {
+        const double ux = p.x - 0.5, uy = p.y - 0.5;
+        return {m00 * ux + m01 * uy + cx, m10 * ux + m11 * uy + cy};
+    }
+};
+
+}  // namespace
+
+const StrokeSet& digit_strokes(int digit) {
+    XS_EXPECTS(digit >= 0 && digit <= 9);
+    return skeletons()[static_cast<std::size_t>(digit)];
+}
+
+tensor::Vector render_digit(int digit, Rng& rng, const SyntheticMnistConfig& config) {
+    XS_EXPECTS(digit >= 0 && digit <= 9);
+    XS_EXPECTS(config.image_size >= 8);
+    const auto n = config.image_size;
+    const double design = 0.72 * static_cast<double>(n);  // digit body size in px
+
+    // Per-sample jitter parameters.
+    const double theta = rng.uniform(-config.max_rotate_deg, config.max_rotate_deg) * kPi / 180.0;
+    const double scale = rng.uniform(config.min_scale, config.max_scale);
+    const double shear = rng.uniform(-config.max_shear, config.max_shear);
+    const double tx = rng.uniform(-config.max_shift_px, config.max_shift_px);
+    const double ty = rng.uniform(-config.max_shift_px, config.max_shift_px);
+    const double half_width_unit = rng.uniform(config.stroke_min, config.stroke_max);
+    const double ink = rng.uniform(0.85, 1.0);
+
+    // Compose rotate(theta) * shear(x by k) * scale, then map design box to
+    // pixel coordinates centred in the canvas.
+    const double c = std::cos(theta), s = std::sin(theta);
+    Affine aff{};
+    aff.m00 = (c + s * 0.0) * scale * design;
+    aff.m01 = (c * shear - s) * scale * design;
+    aff.m10 = (s + c * 0.0) * scale * design;
+    aff.m11 = (s * shear + c) * scale * design;
+    aff.cx = static_cast<double>(n) / 2.0 + tx;
+    aff.cy = static_cast<double>(n) / 2.0 + ty;
+
+    // Transform the skeleton into pixel space.
+    const StrokeSet& strokes = digit_strokes(digit);
+    std::vector<std::pair<Point, Point>> segments;
+    for (const Stroke& stroke : strokes) {
+        for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+            segments.emplace_back(aff.apply(stroke[i]), aff.apply(stroke[i + 1]));
+        }
+    }
+
+    const double half_width_px = half_width_unit * design;
+    const double falloff_px = 0.9;  // linear anti-aliased edge
+    const double reach = half_width_px + falloff_px + 1.0;
+
+    tensor::Vector img(n * n, 0.0);
+    for (const auto& [a, b] : segments) {
+        const auto x_lo = static_cast<std::size_t>(std::max(0.0, std::floor(std::min(a.x, b.x) - reach)));
+        const auto x_hi = static_cast<std::size_t>(
+            std::clamp(std::ceil(std::max(a.x, b.x) + reach), 0.0, static_cast<double>(n - 1)));
+        const auto y_lo = static_cast<std::size_t>(std::max(0.0, std::floor(std::min(a.y, b.y) - reach)));
+        const auto y_hi = static_cast<std::size_t>(
+            std::clamp(std::ceil(std::max(a.y, b.y) + reach), 0.0, static_cast<double>(n - 1)));
+        for (std::size_t y = y_lo; y <= y_hi; ++y) {
+            for (std::size_t x = x_lo; x <= x_hi; ++x) {
+                const Point p{static_cast<double>(x) + 0.5, static_cast<double>(y) + 0.5};
+                const double dist = std::sqrt(dist_sq_to_segment(p, a, b));
+                double value;
+                if (dist <= half_width_px) {
+                    value = ink;
+                } else if (dist <= half_width_px + falloff_px) {
+                    value = ink * (1.0 - (dist - half_width_px) / falloff_px);
+                } else {
+                    continue;
+                }
+                double& px = img[y * n + x];
+                px = std::max(px, value);
+            }
+        }
+    }
+
+    // Additive pixel noise, clamped back into [0, 1].
+    if (config.noise_std > 0.0) {
+        for (auto& px : img) px = std::clamp(px + rng.normal(0.0, config.noise_std), 0.0, 1.0);
+    }
+    return img;
+}
+
+namespace {
+
+Dataset generate(std::size_t count, Rng& rng, const SyntheticMnistConfig& config,
+                 const std::string& name) {
+    const std::size_t dim = config.image_size * config.image_size;
+    tensor::Matrix inputs(count, dim);
+    std::vector<int> labels(count);
+    // Balanced labels in shuffled order so truncated prefixes stay balanced.
+    std::vector<int> order(count);
+    for (std::size_t i = 0; i < count; ++i) order[i] = static_cast<int>(i % 10);
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < count; ++i) {
+        labels[i] = order[i];
+        const tensor::Vector img = render_digit(order[i], rng, config);
+        auto dst = inputs.row_span(i);
+        std::copy(img.begin(), img.end(), dst.begin());
+    }
+    const ImageShape shape{config.image_size, config.image_size, 1};
+    return Dataset(std::move(inputs), std::move(labels), 10, shape, name);
+}
+
+}  // namespace
+
+DataSplit make_synthetic_mnist(const SyntheticMnistConfig& config) {
+    XS_EXPECTS(config.train_count > 0 && config.test_count > 0);
+    Rng train_rng(config.seed);
+    Rng test_rng(config.seed ^ 0xA5A5A5A5DEADBEEFull);
+    DataSplit split;
+    split.train = generate(config.train_count, train_rng, config, "synthetic-mnist-train");
+    split.test = generate(config.test_count, test_rng, config, "synthetic-mnist-test");
+    return split;
+}
+
+}  // namespace xbarsec::data

@@ -1,0 +1,39 @@
+// Output/hidden activation functions.
+//
+// The paper uses two output configurations: Linear (with MSE loss) and
+// Softmax (with categorical crossentropy). Sigmoid/ReLU/Tanh are provided
+// for the multi-layer extension. Softmax is vector-valued; the others act
+// elementwise.
+#pragma once
+
+#include <string>
+
+#include "xbarsec/tensor/matrix.hpp"
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::nn {
+
+enum class Activation { Linear, Softmax, Sigmoid, Relu, Tanh };
+
+/// Human-readable name ("linear", "softmax", ...).
+std::string to_string(Activation a);
+
+/// Parses the names produced by to_string. Throws ConfigError on unknown.
+Activation activation_from_string(const std::string& name);
+
+/// Applies the activation to a pre-activation vector.
+tensor::Vector apply_activation(Activation a, const tensor::Vector& s);
+
+/// Row-wise application for a batch (each row is one sample's
+/// pre-activation).
+tensor::Matrix apply_activation_rows(Activation a, const tensor::Matrix& S);
+
+/// Elementwise derivative f'(s) evaluated from the pre-activation value.
+/// Not defined for Softmax (its Jacobian is not elementwise) — throws
+/// ConfigError; softmax gradients are fused with crossentropy in loss.hpp.
+tensor::Vector activation_derivative(Activation a, const tensor::Vector& s);
+
+/// Numerically stable softmax of one vector.
+tensor::Vector softmax(const tensor::Vector& s);
+
+}  // namespace xbarsec::nn

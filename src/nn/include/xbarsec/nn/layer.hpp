@@ -1,0 +1,50 @@
+// Dense (fully-connected) layer.
+//
+// Weights are stored output-major, W is (M outputs × N inputs), matching
+// the paper's ŷ = f(W·u) convention and the crossbar geometry (each
+// weight column j is the set of devices on input line j). The bias is
+// optional and off by default: a passive crossbar computes a pure
+// matrix-vector product, and the paper's single-layer networks have none.
+#pragma once
+
+#include <cstdint>
+
+#include "xbarsec/tensor/matrix.hpp"
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::nn {
+
+/// Fully-connected layer y = W·u (+ b when enabled).
+class DenseLayer {
+public:
+    DenseLayer() = default;
+
+    /// Zero-initialised layer.
+    DenseLayer(std::size_t outputs, std::size_t inputs, bool with_bias = false);
+
+    /// Glorot/Xavier-uniform initialisation: U(±sqrt(6/(in+out))).
+    static DenseLayer glorot(Rng& rng, std::size_t outputs, std::size_t inputs,
+                             bool with_bias = false);
+
+    std::size_t inputs() const { return weights_.cols(); }
+    std::size_t outputs() const { return weights_.rows(); }
+    bool has_bias() const { return has_bias_; }
+
+    const tensor::Matrix& weights() const { return weights_; }
+    tensor::Matrix& weights() { return weights_; }
+    const tensor::Vector& bias() const { return bias_; }
+    tensor::Vector& bias() { return bias_; }
+
+    /// Pre-activation for one sample: s = W·u (+ b).
+    tensor::Vector forward(const tensor::Vector& u) const;
+
+    /// Batch pre-activation: S = U·Wᵀ (+ b per row); U is (batch × inputs).
+    tensor::Matrix forward_batch(const tensor::Matrix& U) const;
+
+private:
+    tensor::Matrix weights_;
+    tensor::Vector bias_;
+    bool has_bias_ = false;
+};
+
+}  // namespace xbarsec::nn

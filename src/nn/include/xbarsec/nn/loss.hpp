@@ -1,0 +1,37 @@
+// Loss functions and their gradients.
+//
+// Supported pairings (the paper's two configurations, plus elementwise
+// activations for the MLP extension):
+//   * Mse with Linear/Sigmoid/Relu/Tanh outputs;
+//   * CategoricalCrossentropy with Softmax (fused gradient ŷ − t).
+// MSE is averaged over the output dimension (Keras convention, which the
+// paper's tooling follows), so gradients carry a 2/M factor.
+#pragma once
+
+#include <string>
+
+#include "xbarsec/nn/activation.hpp"
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::nn {
+
+enum class Loss { Mse, CategoricalCrossentropy };
+
+std::string to_string(Loss l);
+Loss loss_from_string(const std::string& name);
+
+/// Loss value for one sample given the post-activation output.
+double loss_value(Loss loss, const tensor::Vector& y_hat, const tensor::Vector& target);
+
+/// Gradient of the loss with respect to the *pre-activation* s for the
+/// given activation/loss pairing. This is the δ vector backpropagated
+/// into weight and input gradients. Throws ConfigError on an unsupported
+/// pairing (softmax with MSE).
+tensor::Vector loss_gradient_preactivation(Activation activation, Loss loss,
+                                           const tensor::Vector& s,
+                                           const tensor::Vector& target);
+
+/// True when the pairing is supported by loss_gradient_preactivation.
+bool pairing_supported(Activation activation, Loss loss);
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,66 @@
+// Multi-layer perceptron — the paper's stated future-work extension.
+//
+// The paper studies single-layer networks and names multi-layer models as
+// future work; Mlp implements that extension so the library's attacks can
+// be exercised against deeper models (see examples/multilayer_extension).
+// It is intentionally excluded from the paper-reproduction benches.
+#pragma once
+
+#include <vector>
+
+#include "xbarsec/nn/activation.hpp"
+#include "xbarsec/nn/layer.hpp"
+#include "xbarsec/nn/loss.hpp"
+
+namespace xbarsec::nn {
+
+/// Architecture description for Mlp.
+struct MlpConfig {
+    /// Sizes including input and output: {784, 128, 10} is one hidden layer.
+    std::vector<std::size_t> layer_sizes;
+    Activation hidden_activation = Activation::Relu;
+    Activation output_activation = Activation::Softmax;
+    Loss loss = Loss::CategoricalCrossentropy;
+    bool with_bias = true;
+};
+
+/// Feed-forward fully-connected network with backprop.
+class Mlp {
+public:
+    Mlp() = default;
+
+    /// Glorot-initialised network; requires >= 2 layer sizes and a
+    /// supported (output_activation, loss) pairing.
+    Mlp(Rng& rng, MlpConfig config);
+
+    std::size_t inputs() const;
+    std::size_t outputs() const;
+    std::size_t depth() const { return layers_.size(); }
+    const MlpConfig& config() const { return config_; }
+
+    const std::vector<DenseLayer>& layers() const { return layers_; }
+    std::vector<DenseLayer>& layers() { return layers_; }
+
+    tensor::Vector predict(const tensor::Vector& u) const;
+    int classify(const tensor::Vector& u) const;
+    double loss(const tensor::Vector& u, const tensor::Vector& target) const;
+
+    /// Per-layer gradients from one sample, plus the input gradient.
+    struct Gradients {
+        std::vector<tensor::Matrix> weights;
+        std::vector<tensor::Vector> biases;  ///< empty vectors when no bias
+        tensor::Vector input;                ///< ∂L/∂u
+    };
+
+    /// Full backward pass for one (input, target) pair.
+    Gradients backprop(const tensor::Vector& u, const tensor::Vector& target) const;
+
+    /// ∂L/∂u only (convenience wrapper over backprop).
+    tensor::Vector input_gradient(const tensor::Vector& u, const tensor::Vector& target) const;
+
+private:
+    std::vector<DenseLayer> layers_;
+    MlpConfig config_;
+};
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,24 @@
+// Minibatch trainer for the Mlp extension.
+//
+// Shares TrainConfig with the single-layer trainer. Gradients are
+// accumulated per minibatch from per-sample backprop (the MLPs in this
+// library are small; clarity beats a batched backward pass here).
+#pragma once
+
+#include "xbarsec/data/dataset.hpp"
+#include "xbarsec/nn/mlp.hpp"
+#include "xbarsec/nn/trainer.hpp"
+
+namespace xbarsec::nn {
+
+/// Trains the MLP on a labeled dataset against its one-hot targets.
+/// Returns the per-epoch mean training loss.
+TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig& config);
+
+/// Classification accuracy of the MLP over a dataset.
+double accuracy(const Mlp& mlp, const data::Dataset& dataset);
+
+/// Accuracy on an explicit (inputs, labels) batch (adversarial sets).
+double accuracy(const Mlp& mlp, const tensor::Matrix& X, const std::vector<int>& labels);
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,74 @@
+// Gradient-descent optimizers.
+//
+// Optimizers own per-parameter state (velocity / moment estimates) keyed
+// by a slot id handed out at registration, so the same instance can update
+// several tensors (weights + biases, or multiple layers) consistently.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace xbarsec::nn {
+
+/// Abstract optimizer over flat parameter arrays.
+class Optimizer {
+public:
+    virtual ~Optimizer() = default;
+
+    /// Allocates state for a parameter tensor of `element_count` elements;
+    /// returns the slot to pass to step().
+    virtual std::size_t register_parameter(std::size_t element_count) = 0;
+
+    /// One update: param ← param − update(grad). Sizes must match the
+    /// registered element count.
+    virtual void step(std::size_t slot, std::span<double> param,
+                      std::span<const double> grad) = 0;
+};
+
+/// Plain SGD with optional classical momentum.
+class Sgd final : public Optimizer {
+public:
+    explicit Sgd(double learning_rate, double momentum = 0.0);
+
+    std::size_t register_parameter(std::size_t element_count) override;
+    void step(std::size_t slot, std::span<double> param, std::span<const double> grad) override;
+
+    double learning_rate() const { return lr_; }
+    void set_learning_rate(double lr);
+
+private:
+    double lr_;
+    double momentum_;
+    std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias-corrected moment estimates.
+class Adam final : public Optimizer {
+public:
+    explicit Adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                  double epsilon = 1e-8);
+
+    std::size_t register_parameter(std::size_t element_count) override;
+    void step(std::size_t slot, std::span<double> param, std::span<const double> grad) override;
+
+private:
+    struct Slot {
+        std::vector<double> m;
+        std::vector<double> v;
+        long long t = 0;
+    };
+
+    double lr_, beta1_, beta2_, eps_;
+    std::vector<Slot> slots_;
+};
+
+/// Factory selector used by TrainConfig.
+enum class OptimizerKind { Sgd, Adam };
+
+/// Builds an optimizer of the given kind. `momentum` only applies to Sgd.
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, double learning_rate,
+                                          double momentum);
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,41 @@
+// Input-sensitivity analysis (Section III of the paper).
+//
+// The paper compares |∂L/∂u_j| — the magnitude of the loss gradient with
+// respect to each input, averaged over a dataset — against the column
+// 1-norms ‖W[:,j]‖₁ that the power side channel leaks. These helpers
+// compute the dataset-level sensitivity map (Figure 3), the per-sample
+// correlation statistics (Table I), and the Eq. 8 upper bound.
+#pragma once
+
+#include <functional>
+
+#include "xbarsec/data/dataset.hpp"
+#include "xbarsec/nn/network.hpp"
+
+namespace xbarsec::nn {
+
+/// Mean over the dataset of the absolute input gradient:
+/// map[j] = E[|∂L/∂u_j|]. This is Figure 3(a,c,e,g).
+tensor::Vector mean_abs_input_gradient(const SingleLayerNet& net, const data::Dataset& dataset);
+
+/// Per-sample streaming visit of |∂L/∂u| (batched internally). The
+/// callback receives each sample's absolute-gradient vector.
+void for_each_abs_input_gradient(const SingleLayerNet& net, const data::Dataset& dataset,
+                                 const std::function<void(const tensor::Vector&)>& visit);
+
+/// Table I "Mean Correlation": the average over samples of
+/// pearson(|∂L/∂u| for that sample, reference).
+double mean_per_sample_correlation(const SingleLayerNet& net, const data::Dataset& dataset,
+                                   const tensor::Vector& reference);
+
+/// Table I "Correlation of Mean": pearson(mean |∂L/∂u| map, reference).
+double correlation_of_mean(const SingleLayerNet& net, const data::Dataset& dataset,
+                           const tensor::Vector& reference);
+
+/// Eq. 8's right-hand side for one sample:
+/// bound[j] = Σ_i |∂L/∂ŷ_i · f'(s_i)| · |w_ij| (with the softmax+CE case
+/// using the fused |δ_i| form). Satisfies |∂L/∂u_j| ≤ bound[j].
+tensor::Vector sensitivity_upper_bound(const SingleLayerNet& net, const tensor::Vector& u,
+                                       const tensor::Vector& target);
+
+}  // namespace xbarsec::nn

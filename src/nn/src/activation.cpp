@@ -1,0 +1,114 @@
+#include "xbarsec/nn/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+
+std::string to_string(Activation a) {
+    switch (a) {
+        case Activation::Linear: return "linear";
+        case Activation::Softmax: return "softmax";
+        case Activation::Sigmoid: return "sigmoid";
+        case Activation::Relu: return "relu";
+        case Activation::Tanh: return "tanh";
+    }
+    return "?";
+}
+
+Activation activation_from_string(const std::string& name) {
+    if (name == "linear") return Activation::Linear;
+    if (name == "softmax") return Activation::Softmax;
+    if (name == "sigmoid") return Activation::Sigmoid;
+    if (name == "relu") return Activation::Relu;
+    if (name == "tanh") return Activation::Tanh;
+    throw ConfigError("unknown activation '" + name + "'");
+}
+
+tensor::Vector softmax(const tensor::Vector& s) {
+    XS_EXPECTS(!s.empty());
+    tensor::Vector out(s.size());
+    const double m = tensor::max(s);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        out[i] = std::exp(s[i] - m);
+        denom += out[i];
+    }
+    for (auto& x : out) x /= denom;
+    return out;
+}
+
+tensor::Vector apply_activation(Activation a, const tensor::Vector& s) {
+    switch (a) {
+        case Activation::Linear: return s;
+        case Activation::Softmax: return softmax(s);
+        case Activation::Sigmoid: {
+            tensor::Vector out(s.size());
+            for (std::size_t i = 0; i < s.size(); ++i) out[i] = 1.0 / (1.0 + std::exp(-s[i]));
+            return out;
+        }
+        case Activation::Relu: {
+            tensor::Vector out(s.size());
+            for (std::size_t i = 0; i < s.size(); ++i) out[i] = std::max(0.0, s[i]);
+            return out;
+        }
+        case Activation::Tanh: {
+            tensor::Vector out(s.size());
+            for (std::size_t i = 0; i < s.size(); ++i) out[i] = std::tanh(s[i]);
+            return out;
+        }
+    }
+    throw ConfigError("unhandled activation");
+}
+
+tensor::Matrix apply_activation_rows(Activation a, const tensor::Matrix& S) {
+    if (a == Activation::Linear) return S;
+    tensor::Matrix out(S.rows(), S.cols());
+    for (std::size_t i = 0; i < S.rows(); ++i) {
+        // Row extraction keeps softmax's per-sample normalisation correct.
+        tensor::Vector row(S.cols());
+        const auto src = S.row_span(i);
+        std::copy(src.begin(), src.end(), row.begin());
+        const tensor::Vector activated = apply_activation(a, row);
+        auto dst = out.row_span(i);
+        std::copy(activated.begin(), activated.end(), dst.begin());
+    }
+    return out;
+}
+
+tensor::Vector activation_derivative(Activation a, const tensor::Vector& s) {
+    switch (a) {
+        case Activation::Linear: return tensor::Vector(s.size(), 1.0);
+        case Activation::Softmax:
+            throw ConfigError(
+                "softmax has no elementwise derivative; use the fused softmax+crossentropy "
+                "gradient in loss.hpp");
+        case Activation::Sigmoid: {
+            tensor::Vector out(s.size());
+            for (std::size_t i = 0; i < s.size(); ++i) {
+                const double f = 1.0 / (1.0 + std::exp(-s[i]));
+                out[i] = f * (1.0 - f);
+            }
+            return out;
+        }
+        case Activation::Relu: {
+            tensor::Vector out(s.size());
+            for (std::size_t i = 0; i < s.size(); ++i) out[i] = s[i] > 0.0 ? 1.0 : 0.0;
+            return out;
+        }
+        case Activation::Tanh: {
+            tensor::Vector out(s.size());
+            for (std::size_t i = 0; i < s.size(); ++i) {
+                const double t = std::tanh(s[i]);
+                out[i] = 1.0 - t * t;
+            }
+            return out;
+        }
+    }
+    throw ConfigError("unhandled activation");
+}
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,41 @@
+#include "xbarsec/nn/layer.hpp"
+
+#include <cmath>
+
+#include "xbarsec/tensor/gemm.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+
+DenseLayer::DenseLayer(std::size_t outputs, std::size_t inputs, bool with_bias)
+    : weights_(outputs, inputs, 0.0), bias_(with_bias ? outputs : 0, 0.0), has_bias_(with_bias) {
+    XS_EXPECTS(outputs > 0 && inputs > 0);
+}
+
+DenseLayer DenseLayer::glorot(Rng& rng, std::size_t outputs, std::size_t inputs, bool with_bias) {
+    DenseLayer layer(outputs, inputs, with_bias);
+    const double limit = std::sqrt(6.0 / static_cast<double>(inputs + outputs));
+    layer.weights_ = tensor::Matrix::random_uniform(rng, outputs, inputs, -limit, limit);
+    return layer;
+}
+
+tensor::Vector DenseLayer::forward(const tensor::Vector& u) const {
+    tensor::Vector s = tensor::matvec(weights_, u);
+    if (has_bias_) s += bias_;
+    return s;
+}
+
+tensor::Matrix DenseLayer::forward_batch(const tensor::Matrix& U) const {
+    XS_EXPECTS(U.cols() == inputs());
+    tensor::Matrix S(U.rows(), outputs(), 0.0);
+    tensor::gemm(1.0, U, tensor::Op::None, weights_, tensor::Op::Transpose, 0.0, S);
+    if (has_bias_) {
+        for (std::size_t i = 0; i < S.rows(); ++i) {
+            auto row = S.row_span(i);
+            for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias_[j];
+        }
+    }
+    return S;
+}
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,86 @@
+#include "xbarsec/nn/loss.hpp"
+
+#include <cmath>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+
+namespace {
+// Clamp for log() in crossentropy; matches common framework epsilons.
+constexpr double kEps = 1e-12;
+}
+
+std::string to_string(Loss l) {
+    switch (l) {
+        case Loss::Mse: return "mse";
+        case Loss::CategoricalCrossentropy: return "categorical_crossentropy";
+    }
+    return "?";
+}
+
+Loss loss_from_string(const std::string& name) {
+    if (name == "mse") return Loss::Mse;
+    if (name == "categorical_crossentropy" || name == "crossentropy") {
+        return Loss::CategoricalCrossentropy;
+    }
+    throw ConfigError("unknown loss '" + name + "'");
+}
+
+double loss_value(Loss loss, const tensor::Vector& y_hat, const tensor::Vector& target) {
+    XS_EXPECTS(y_hat.size() == target.size());
+    XS_EXPECTS(!y_hat.empty());
+    switch (loss) {
+        case Loss::Mse: {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < y_hat.size(); ++i) {
+                const double d = y_hat[i] - target[i];
+                acc += d * d;
+            }
+            return acc / static_cast<double>(y_hat.size());
+        }
+        case Loss::CategoricalCrossentropy: {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < y_hat.size(); ++i) {
+                if (target[i] != 0.0) {
+                    acc -= target[i] * std::log(std::max(y_hat[i], kEps));
+                }
+            }
+            return acc;
+        }
+    }
+    throw ConfigError("unhandled loss");
+}
+
+bool pairing_supported(Activation activation, Loss loss) {
+    if (loss == Loss::CategoricalCrossentropy) return activation == Activation::Softmax;
+    return activation != Activation::Softmax;  // MSE with any elementwise activation
+}
+
+tensor::Vector loss_gradient_preactivation(Activation activation, Loss loss,
+                                           const tensor::Vector& s,
+                                           const tensor::Vector& target) {
+    XS_EXPECTS(s.size() == target.size());
+    if (!pairing_supported(activation, loss)) {
+        throw ConfigError("unsupported activation/loss pairing: " + to_string(activation) + "+" +
+                          to_string(loss));
+    }
+    const tensor::Vector y_hat = apply_activation(activation, s);
+    if (loss == Loss::CategoricalCrossentropy) {
+        // Fused softmax + crossentropy: δ = ŷ − t.
+        tensor::Vector delta(y_hat.size());
+        for (std::size_t i = 0; i < delta.size(); ++i) delta[i] = y_hat[i] - target[i];
+        return delta;
+    }
+    // MSE (mean over outputs): dL/dŷ = 2/M (ŷ − t); δ = dL/dŷ ⊙ f'(s).
+    const double scale = 2.0 / static_cast<double>(y_hat.size());
+    tensor::Vector delta(y_hat.size());
+    const tensor::Vector fprime = activation_derivative(activation, s);
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+        delta[i] = scale * (y_hat[i] - target[i]) * fprime[i];
+    }
+    return delta;
+}
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,92 @@
+#include "xbarsec/nn/mlp.hpp"
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+
+Mlp::Mlp(Rng& rng, MlpConfig config) : config_(std::move(config)) {
+    XS_EXPECTS_MSG(config_.layer_sizes.size() >= 2, "Mlp needs at least input and output sizes");
+    if (!pairing_supported(config_.output_activation, config_.loss)) {
+        throw ConfigError("unsupported output activation/loss pairing: " +
+                          to_string(config_.output_activation) + "+" + to_string(config_.loss));
+    }
+    if (config_.hidden_activation == Activation::Softmax) {
+        throw ConfigError("softmax is not usable as a hidden activation");
+    }
+    for (std::size_t l = 0; l + 1 < config_.layer_sizes.size(); ++l) {
+        layers_.push_back(DenseLayer::glorot(rng, config_.layer_sizes[l + 1],
+                                             config_.layer_sizes[l], config_.with_bias));
+    }
+}
+
+std::size_t Mlp::inputs() const {
+    XS_EXPECTS(!layers_.empty());
+    return layers_.front().inputs();
+}
+
+std::size_t Mlp::outputs() const {
+    XS_EXPECTS(!layers_.empty());
+    return layers_.back().outputs();
+}
+
+tensor::Vector Mlp::predict(const tensor::Vector& u) const {
+    XS_EXPECTS(!layers_.empty());
+    tensor::Vector x = u;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const tensor::Vector s = layers_[l].forward(x);
+        const Activation act =
+            l + 1 == layers_.size() ? config_.output_activation : config_.hidden_activation;
+        x = apply_activation(act, s);
+    }
+    return x;
+}
+
+int Mlp::classify(const tensor::Vector& u) const { return static_cast<int>(tensor::argmax(predict(u))); }
+
+double Mlp::loss(const tensor::Vector& u, const tensor::Vector& target) const {
+    return loss_value(config_.loss, predict(u), target);
+}
+
+Mlp::Gradients Mlp::backprop(const tensor::Vector& u, const tensor::Vector& target) const {
+    XS_EXPECTS(!layers_.empty());
+    const std::size_t L = layers_.size();
+
+    // Forward pass with caches: inputs[l] feeds layer l; pre[l] = s_l.
+    std::vector<tensor::Vector> inputs(L);
+    std::vector<tensor::Vector> pre(L);
+    tensor::Vector x = u;
+    for (std::size_t l = 0; l < L; ++l) {
+        inputs[l] = x;
+        pre[l] = layers_[l].forward(x);
+        const Activation act = l + 1 == L ? config_.output_activation : config_.hidden_activation;
+        x = apply_activation(act, pre[l]);
+    }
+
+    Gradients g;
+    g.weights.resize(L);
+    g.biases.resize(L);
+
+    // Output delta via the fused loss gradient, then walk backwards.
+    tensor::Vector delta =
+        loss_gradient_preactivation(config_.output_activation, config_.loss, pre[L - 1], target);
+    for (std::size_t lrev = 0; lrev < L; ++lrev) {
+        const std::size_t l = L - 1 - lrev;
+        g.weights[l] = tensor::outer(delta, inputs[l]);
+        if (layers_[l].has_bias()) g.biases[l] = delta;
+        tensor::Vector upstream = tensor::matvec_transposed(layers_[l].weights(), delta);
+        if (l == 0) {
+            g.input = std::move(upstream);
+        } else {
+            const tensor::Vector fprime = activation_derivative(config_.hidden_activation, pre[l - 1]);
+            delta = tensor::hadamard(upstream, fprime);
+        }
+    }
+    return g;
+}
+
+tensor::Vector Mlp::input_gradient(const tensor::Vector& u, const tensor::Vector& target) const {
+    return backprop(u, target).input;
+}
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,102 @@
+#include "xbarsec/nn/mlp_trainer.hpp"
+
+#include <algorithm>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+
+TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig& config) {
+    XS_EXPECTS(dataset.size() > 0);
+    XS_EXPECTS(dataset.input_dim() == mlp.inputs());
+    XS_EXPECTS(dataset.num_classes() == mlp.outputs());
+    XS_EXPECTS(config.epochs > 0 && config.batch_size > 0);
+
+    auto optimizer = make_optimizer(config.optimizer, config.learning_rate, config.momentum);
+    std::vector<std::size_t> w_slots(mlp.depth()), b_slots(mlp.depth());
+    for (std::size_t l = 0; l < mlp.depth(); ++l) {
+        w_slots[l] = optimizer->register_parameter(mlp.layers()[l].weights().size());
+        if (mlp.layers()[l].has_bias()) {
+            b_slots[l] = optimizer->register_parameter(mlp.layers()[l].bias().size());
+        }
+    }
+
+    double decay = 1.0;
+    if (config.final_lr_fraction > 0.0 && config.epochs > 1 &&
+        config.optimizer == OptimizerKind::Sgd) {
+        decay = std::pow(config.final_lr_fraction, 1.0 / static_cast<double>(config.epochs - 1));
+    }
+
+    Rng rng(config.shuffle_seed);
+    std::vector<std::size_t> order(dataset.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+    TrainHistory history;
+    history.epoch_loss.reserve(config.epochs);
+
+    // Gradient accumulators, one per layer.
+    std::vector<tensor::Matrix> grad_w;
+    std::vector<tensor::Vector> grad_b;
+    for (std::size_t l = 0; l < mlp.depth(); ++l) {
+        grad_w.emplace_back(mlp.layers()[l].weights().rows(), mlp.layers()[l].weights().cols(),
+                            0.0);
+        grad_b.emplace_back(mlp.layers()[l].has_bias() ? mlp.layers()[l].bias().size() : 0, 0.0);
+    }
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double loss_acc = 0.0;
+        for (std::size_t lo = 0; lo < dataset.size(); lo += config.batch_size) {
+            const std::size_t hi = std::min(lo + config.batch_size, dataset.size());
+            const double inv_b = 1.0 / static_cast<double>(hi - lo);
+            for (auto& g : grad_w) g.fill(0.0);
+            for (auto& g : grad_b) g.fill(0.0);
+
+            for (std::size_t r = lo; r < hi; ++r) {
+                const tensor::Vector u = dataset.input(order[r]);
+                const tensor::Vector t = dataset.target(order[r]);
+                loss_acc += mlp.loss(u, t);
+                const Mlp::Gradients g = mlp.backprop(u, t);
+                for (std::size_t l = 0; l < mlp.depth(); ++l) {
+                    grad_w[l] += g.weights[l];
+                    if (!grad_b[l].empty()) grad_b[l] += g.biases[l];
+                }
+            }
+
+            for (std::size_t l = 0; l < mlp.depth(); ++l) {
+                grad_w[l] *= inv_b;
+                tensor::Matrix& W = mlp.layers()[l].weights();
+                optimizer->step(w_slots[l], {W.data(), W.size()},
+                                {grad_w[l].data(), grad_w[l].size()});
+                if (!grad_b[l].empty()) {
+                    grad_b[l] *= inv_b;
+                    tensor::Vector& b = mlp.layers()[l].bias();
+                    optimizer->step(b_slots[l], {b.data(), b.size()},
+                                    {grad_b[l].data(), grad_b[l].size()});
+                }
+            }
+        }
+        history.epoch_loss.push_back(loss_acc / static_cast<double>(dataset.size()));
+        if (auto* sgd = dynamic_cast<Sgd*>(optimizer.get()); sgd != nullptr && decay != 1.0) {
+            sgd->set_learning_rate(sgd->learning_rate() * decay);
+        }
+    }
+    return history;
+}
+
+double accuracy(const Mlp& mlp, const tensor::Matrix& X, const std::vector<int>& labels) {
+    XS_EXPECTS(X.rows() == labels.size());
+    XS_EXPECTS(X.rows() > 0);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+        if (mlp.classify(X.row(i)) == labels[i]) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double accuracy(const Mlp& mlp, const data::Dataset& dataset) {
+    return accuracy(mlp, dataset.inputs(), dataset.labels());
+}
+
+}  // namespace xbarsec::nn

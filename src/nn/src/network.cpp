@@ -1,0 +1,54 @@
+#include "xbarsec/nn/network.hpp"
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+
+SingleLayerNet::SingleLayerNet(Rng& rng, std::size_t inputs, std::size_t outputs,
+                               Activation activation, Loss loss, bool with_bias)
+    : layer_(DenseLayer::glorot(rng, outputs, inputs, with_bias)),
+      activation_(activation),
+      loss_(loss) {
+    if (!pairing_supported(activation, loss)) {
+        throw ConfigError("unsupported activation/loss pairing: " + to_string(activation) + "+" +
+                          to_string(loss));
+    }
+}
+
+SingleLayerNet::SingleLayerNet(DenseLayer layer, Activation activation, Loss loss)
+    : layer_(std::move(layer)), activation_(activation), loss_(loss) {
+    if (!pairing_supported(activation, loss)) {
+        throw ConfigError("unsupported activation/loss pairing: " + to_string(activation) + "+" +
+                          to_string(loss));
+    }
+}
+
+tensor::Vector SingleLayerNet::predict(const tensor::Vector& u) const {
+    return apply_activation(activation_, layer_.forward(u));
+}
+
+tensor::Matrix SingleLayerNet::predict_batch(const tensor::Matrix& U) const {
+    return apply_activation_rows(activation_, layer_.forward_batch(U));
+}
+
+int SingleLayerNet::classify(const tensor::Vector& u) const {
+    return static_cast<int>(tensor::argmax(predict(u)));
+}
+
+double SingleLayerNet::loss(const tensor::Vector& u, const tensor::Vector& target) const {
+    return loss_value(loss_, predict(u), target);
+}
+
+tensor::Vector SingleLayerNet::preactivation_delta(const tensor::Vector& u,
+                                                   const tensor::Vector& target) const {
+    return loss_gradient_preactivation(activation_, loss_, layer_.forward(u), target);
+}
+
+tensor::Vector SingleLayerNet::input_gradient(const tensor::Vector& u,
+                                              const tensor::Vector& target) const {
+    // Eq. 7: ∂L/∂u_j = Σ_i δ_i · w_ij, i.e. Wᵀ·δ. (The bias does not enter.)
+    return tensor::matvec_transposed(layer_.weights(), preactivation_delta(u, target));
+}
+
+}  // namespace xbarsec::nn

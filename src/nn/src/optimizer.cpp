@@ -1,0 +1,81 @@
+#include "xbarsec/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "xbarsec/common/contracts.hpp"
+
+namespace xbarsec::nn {
+
+Sgd::Sgd(double learning_rate, double momentum) : lr_(learning_rate), momentum_(momentum) {
+    XS_EXPECTS(learning_rate > 0.0);
+    XS_EXPECTS(momentum >= 0.0 && momentum < 1.0);
+}
+
+void Sgd::set_learning_rate(double lr) {
+    XS_EXPECTS(lr > 0.0);
+    lr_ = lr;
+}
+
+std::size_t Sgd::register_parameter(std::size_t element_count) {
+    velocity_.emplace_back(momentum_ > 0.0 ? element_count : 0, 0.0);
+    return velocity_.size() - 1;
+}
+
+void Sgd::step(std::size_t slot, std::span<double> param, std::span<const double> grad) {
+    XS_EXPECTS(slot < velocity_.size());
+    XS_EXPECTS(param.size() == grad.size());
+    if (momentum_ == 0.0) {
+        for (std::size_t i = 0; i < param.size(); ++i) param[i] -= lr_ * grad[i];
+        return;
+    }
+    auto& v = velocity_[slot];
+    XS_EXPECTS(v.size() == param.size());
+    for (std::size_t i = 0; i < param.size(); ++i) {
+        v[i] = momentum_ * v[i] - lr_ * grad[i];
+        param[i] += v[i];
+    }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {
+    XS_EXPECTS(learning_rate > 0.0);
+    XS_EXPECTS(beta1 >= 0.0 && beta1 < 1.0);
+    XS_EXPECTS(beta2 >= 0.0 && beta2 < 1.0);
+    XS_EXPECTS(epsilon > 0.0);
+}
+
+std::size_t Adam::register_parameter(std::size_t element_count) {
+    Slot s;
+    s.m.assign(element_count, 0.0);
+    s.v.assign(element_count, 0.0);
+    slots_.push_back(std::move(s));
+    return slots_.size() - 1;
+}
+
+void Adam::step(std::size_t slot, std::span<double> param, std::span<const double> grad) {
+    XS_EXPECTS(slot < slots_.size());
+    Slot& s = slots_[slot];
+    XS_EXPECTS(param.size() == grad.size() && param.size() == s.m.size());
+    ++s.t;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(s.t));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(s.t));
+    for (std::size_t i = 0; i < param.size(); ++i) {
+        s.m[i] = beta1_ * s.m[i] + (1.0 - beta1_) * grad[i];
+        s.v[i] = beta2_ * s.v[i] + (1.0 - beta2_) * grad[i] * grad[i];
+        const double m_hat = s.m[i] / bc1;
+        const double v_hat = s.v[i] / bc2;
+        param[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, double learning_rate,
+                                          double momentum) {
+    switch (kind) {
+        case OptimizerKind::Sgd: return std::make_unique<Sgd>(learning_rate, momentum);
+        case OptimizerKind::Adam: return std::make_unique<Adam>(learning_rate);
+    }
+    XS_EXPECTS_MSG(false, "unhandled optimizer kind");
+    return nullptr;
+}
+
+}  // namespace xbarsec::nn

@@ -1,0 +1,96 @@
+#include "xbarsec/nn/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbarsec/nn/trainer.hpp"
+#include "xbarsec/stats/correlation.hpp"
+#include "xbarsec/tensor/gemm.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+
+namespace {
+
+constexpr std::size_t kChunk = 512;  // bounds the (chunk × inputs) gradient buffer
+
+/// Computes the dense input-gradient block for samples [lo, hi):
+/// G = Δ · W where Δ row r is ∂L/∂s for sample lo+r.
+tensor::Matrix input_gradient_block(const SingleLayerNet& net, const data::Dataset& dataset,
+                                    std::size_t lo, std::size_t hi) {
+    tensor::Matrix X(hi - lo, dataset.input_dim());
+    tensor::Matrix T(hi - lo, dataset.num_classes());
+    for (std::size_t r = lo; r < hi; ++r) {
+        const auto src = dataset.inputs().row_span(r);
+        auto dst = X.row_span(r - lo);
+        std::copy(src.begin(), src.end(), dst.begin());
+        T(r - lo, static_cast<std::size_t>(dataset.label(r))) = 1.0;
+    }
+    const tensor::Matrix S = net.layer().forward_batch(X);
+    const tensor::Matrix delta = batch_preactivation_delta(net.activation(), net.loss_kind(), S, T);
+    tensor::Matrix G(hi - lo, net.inputs(), 0.0);
+    tensor::gemm(1.0, delta, tensor::Op::None, net.weights(), tensor::Op::None, 0.0, G);
+    return G;
+}
+
+}  // namespace
+
+void for_each_abs_input_gradient(const SingleLayerNet& net, const data::Dataset& dataset,
+                                 const std::function<void(const tensor::Vector&)>& visit) {
+    XS_EXPECTS(dataset.size() > 0);
+    XS_EXPECTS(dataset.input_dim() == net.inputs());
+    tensor::Vector g(net.inputs());
+    for (std::size_t lo = 0; lo < dataset.size(); lo += kChunk) {
+        const std::size_t hi = std::min(lo + kChunk, dataset.size());
+        const tensor::Matrix G = input_gradient_block(net, dataset, lo, hi);
+        for (std::size_t r = 0; r < G.rows(); ++r) {
+            const auto row = G.row_span(r);
+            for (std::size_t j = 0; j < row.size(); ++j) g[j] = std::abs(row[j]);
+            visit(g);
+        }
+    }
+}
+
+tensor::Vector mean_abs_input_gradient(const SingleLayerNet& net, const data::Dataset& dataset) {
+    tensor::Vector acc(net.inputs(), 0.0);
+    for_each_abs_input_gradient(net, dataset, [&](const tensor::Vector& g) { acc += g; });
+    acc /= static_cast<double>(dataset.size());
+    return acc;
+}
+
+double mean_per_sample_correlation(const SingleLayerNet& net, const data::Dataset& dataset,
+                                   const tensor::Vector& reference) {
+    XS_EXPECTS(reference.size() == net.inputs());
+    double acc = 0.0;
+    std::size_t count = 0;
+    for_each_abs_input_gradient(net, dataset, [&](const tensor::Vector& g) {
+        acc += stats::pearson(g, reference);
+        ++count;
+    });
+    return acc / static_cast<double>(count);
+}
+
+double correlation_of_mean(const SingleLayerNet& net, const data::Dataset& dataset,
+                           const tensor::Vector& reference) {
+    XS_EXPECTS(reference.size() == net.inputs());
+    return stats::pearson(mean_abs_input_gradient(net, dataset), reference);
+}
+
+tensor::Vector sensitivity_upper_bound(const SingleLayerNet& net, const tensor::Vector& u,
+                                       const tensor::Vector& target) {
+    // |∂L/∂u_j| = |Σ_i δ_i w_ij| ≤ Σ_i |δ_i| |w_ij| — Eq. 8 with the fused
+    // δ notation (identical to the paper's form for elementwise
+    // activations, and the natural generalisation for softmax+CE).
+    const tensor::Vector delta = net.preactivation_delta(u, target);
+    tensor::Vector bound(net.inputs(), 0.0);
+    const tensor::Matrix& W = net.weights();
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        const double ad = std::abs(delta[i]);
+        if (ad == 0.0) continue;
+        const auto row = W.row_span(i);
+        for (std::size_t j = 0; j < row.size(); ++j) bound[j] += ad * std::abs(row[j]);
+    }
+    return bound;
+}
+
+}  // namespace xbarsec::nn

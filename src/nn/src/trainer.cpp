@@ -1,0 +1,156 @@
+#include "xbarsec/nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbarsec/common/log.hpp"
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/tensor/gemm.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+
+tensor::Matrix batch_preactivation_delta(Activation activation, Loss loss,
+                                         const tensor::Matrix& S, const tensor::Matrix& T) {
+    XS_EXPECTS(S.rows() == T.rows() && S.cols() == T.cols());
+    tensor::Matrix delta(S.rows(), S.cols());
+    tensor::Vector s(S.cols()), t(S.cols());
+    for (std::size_t r = 0; r < S.rows(); ++r) {
+        const auto srow = S.row_span(r);
+        const auto trow = T.row_span(r);
+        std::copy(srow.begin(), srow.end(), s.begin());
+        std::copy(trow.begin(), trow.end(), t.begin());
+        const tensor::Vector d = loss_gradient_preactivation(activation, loss, s, t);
+        auto drow = delta.row_span(r);
+        std::copy(d.begin(), d.end(), drow.begin());
+    }
+    return delta;
+}
+
+double mean_loss_regression(const SingleLayerNet& net, const tensor::Matrix& X,
+                            const tensor::Matrix& Y) {
+    XS_EXPECTS(X.rows() == Y.rows());
+    XS_EXPECTS(X.rows() > 0);
+    const tensor::Matrix out = net.predict_batch(X);
+    double acc = 0.0;
+    tensor::Vector y(out.cols()), t(out.cols());
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        const auto orow = out.row_span(r);
+        const auto trow = Y.row_span(r);
+        std::copy(orow.begin(), orow.end(), y.begin());
+        std::copy(trow.begin(), trow.end(), t.begin());
+        acc += loss_value(net.loss_kind(), y, t);
+    }
+    return acc / static_cast<double>(out.rows());
+}
+
+namespace {
+
+/// Extracts the rows of `src` at `idx[lo, hi)` into a dense batch.
+tensor::Matrix gather_rows(const tensor::Matrix& src, const std::vector<std::size_t>& idx,
+                           std::size_t lo, std::size_t hi) {
+    tensor::Matrix out(hi - lo, src.cols());
+    for (std::size_t r = lo; r < hi; ++r) {
+        const auto s = src.row_span(idx[r]);
+        auto d = out.row_span(r - lo);
+        std::copy(s.begin(), s.end(), d.begin());
+    }
+    return out;
+}
+
+TrainHistory train_impl(SingleLayerNet& net, const tensor::Matrix& X, const tensor::Matrix& Y,
+                        const TrainConfig& config) {
+    XS_EXPECTS(X.rows() == Y.rows());
+    XS_EXPECTS(X.rows() > 0);
+    XS_EXPECTS(X.cols() == net.inputs() && Y.cols() == net.outputs());
+    XS_EXPECTS(config.epochs > 0 && config.batch_size > 0);
+
+    const std::size_t n = X.rows();
+    auto optimizer = make_optimizer(config.optimizer, config.learning_rate, config.momentum);
+    const std::size_t w_slot = optimizer->register_parameter(net.weights().size());
+    std::size_t b_slot = 0;
+    if (net.layer().has_bias()) {
+        b_slot = optimizer->register_parameter(net.layer().bias().size());
+    }
+
+    // Geometric LR decay (Sgd only; Adam adapts on its own).
+    double decay = 1.0;
+    if (config.final_lr_fraction > 0.0 && config.epochs > 1 &&
+        config.optimizer == OptimizerKind::Sgd) {
+        decay = std::pow(config.final_lr_fraction, 1.0 / static_cast<double>(config.epochs - 1));
+    }
+
+    Rng rng(config.shuffle_seed);
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+    TrainHistory history;
+    history.epoch_loss.reserve(config.epochs);
+    tensor::Matrix grad_w(net.outputs(), net.inputs(), 0.0);
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double loss_acc = 0.0;
+        std::size_t loss_count = 0;
+        for (std::size_t lo = 0; lo < n; lo += config.batch_size) {
+            const std::size_t hi = std::min(lo + config.batch_size, n);
+            const tensor::Matrix xb = gather_rows(X, order, lo, hi);
+            const tensor::Matrix tb = gather_rows(Y, order, lo, hi);
+            const tensor::Matrix sb = net.layer().forward_batch(xb);
+            const tensor::Matrix delta =
+                batch_preactivation_delta(net.activation(), net.loss_kind(), sb, tb);
+
+            // Accumulate the epoch's training loss from the same forward pass.
+            {
+                const tensor::Matrix yb = apply_activation_rows(net.activation(), sb);
+                tensor::Vector y(yb.cols()), t(yb.cols());
+                for (std::size_t r = 0; r < yb.rows(); ++r) {
+                    const auto yrow = yb.row_span(r);
+                    const auto trow = tb.row_span(r);
+                    std::copy(yrow.begin(), yrow.end(), y.begin());
+                    std::copy(trow.begin(), trow.end(), t.begin());
+                    loss_acc += loss_value(net.loss_kind(), y, t);
+                    ++loss_count;
+                }
+            }
+
+            // grad_W = deltaᵀ · X_batch / batch.
+            const double inv_b = 1.0 / static_cast<double>(hi - lo);
+            tensor::gemm(inv_b, delta, tensor::Op::Transpose, xb, tensor::Op::None, 0.0, grad_w);
+            optimizer->step(w_slot, {net.weights().data(), net.weights().size()},
+                            {grad_w.data(), grad_w.size()});
+
+            if (net.layer().has_bias()) {
+                tensor::Vector grad_b(net.outputs(), 0.0);
+                for (std::size_t r = 0; r < delta.rows(); ++r) {
+                    const auto drow = delta.row_span(r);
+                    for (std::size_t j = 0; j < drow.size(); ++j) grad_b[j] += inv_b * drow[j];
+                }
+                optimizer->step(b_slot, {net.layer().bias().data(), net.layer().bias().size()},
+                                {grad_b.data(), grad_b.size()});
+            }
+        }
+        history.epoch_loss.push_back(loss_acc / static_cast<double>(loss_count));
+        if (auto* sgd = dynamic_cast<Sgd*>(optimizer.get()); sgd != nullptr && decay != 1.0) {
+            sgd->set_learning_rate(sgd->learning_rate() * decay);
+        }
+        if (config.verbose) {
+            log::info("epoch ", epoch + 1, "/", config.epochs, " loss=",
+                      history.epoch_loss.back());
+        }
+    }
+    return history;
+}
+
+}  // namespace
+
+TrainHistory train(SingleLayerNet& net, const data::Dataset& dataset, const TrainConfig& config) {
+    return train_impl(net, dataset.inputs(), dataset.targets(), config);
+}
+
+TrainHistory train_regression(SingleLayerNet& net, const tensor::Matrix& X,
+                              const tensor::Matrix& Y, const TrainConfig& config) {
+    return train_impl(net, X, Y, config);
+}
+
+}  // namespace xbarsec::nn

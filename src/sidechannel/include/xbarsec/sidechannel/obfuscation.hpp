@@ -1,0 +1,43 @@
+// Power-side-channel counter-measures (defensive extension).
+//
+// The paper's threat model immediately suggests cheap hardware defenses;
+// all are implemented as wrappers around a TotalCurrentFn so their effect
+// on probe quality is directly measurable (bench_nonideal):
+//   * current dithering — a noise source on the supply rail adds
+//     zero-mean randomness to every measurement, forcing the attacker to
+//     average many repeats;
+//   * uniform dummy load — identical always-on dummy devices on every
+//     input line shift each column estimate by the same constant. This
+//     biases magnitudes but provably preserves the 1-norm *ranking* the
+//     Figure-4 attacks consume (property-tested) — i.e. it is NOT an
+//     effective defense, a useful negative result;
+//   * random dummy load — per-line dummy devices with randomised
+//     conductances corrupt each column estimate by a different unknown
+//     offset, degrading rank recovery in proportion to the dummy spread.
+#pragma once
+
+#include <cstdint>
+
+#include "xbarsec/sidechannel/probe.hpp"
+
+namespace xbarsec::sidechannel {
+
+/// Wraps `measure` with additive Gaussian dither of absolute std-dev
+/// `sigma_amps`. Each call draws fresh noise (deterministic stream).
+TotalCurrentFn make_dithered_measure(TotalCurrentFn measure, double sigma_amps,
+                                     std::uint64_t seed);
+
+/// Wraps `measure` with an identical dummy conductance `g_dummy` on each
+/// of the n input lines: adds g_dummy·Σ_j v_j. Rank-preserving.
+TotalCurrentFn make_uniform_dummy_measure(TotalCurrentFn measure, double g_dummy);
+
+/// Wraps `measure` with per-line dummy conductances: adds Σ_j g_line[j]·v_j.
+TotalCurrentFn make_dummy_load_measure(TotalCurrentFn measure, tensor::Vector g_line);
+
+/// Convenience: random per-line dummies drawn uniformly from
+/// [0, g_dummy_max], seeded. Returns the wrapper; the drawn loads are an
+/// implementation detail the defender would not publish.
+TotalCurrentFn make_random_dummy_measure(TotalCurrentFn measure, std::size_t n,
+                                         double g_dummy_max, std::uint64_t seed);
+
+}  // namespace xbarsec::sidechannel

@@ -1,0 +1,57 @@
+// Query-efficient search for the largest column 1-norm.
+//
+// Section III of the paper notes that a full probe costs one measurement
+// per input and suggests that, when the 1-norm field is smooth over image
+// locations (MNIST), standard search strategies could find the maximum
+// with fewer queries — while CIFAR-10's rapidly varying field should
+// defeat them. These strategies make that remark concrete and are
+// compared by bench_search.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "xbarsec/data/dataset.hpp"
+
+namespace xbarsec::sidechannel {
+
+/// Pointwise field access: the value at index j (one probe measurement).
+using FieldFn = std::function<double(std::size_t)>;
+
+enum class SearchStrategy {
+    FullScan,      ///< probe every index (baseline; always exact)
+    RandomSubset,  ///< probe `budget` random indices, keep the best
+    HillClimb,     ///< random restarts + greedy 2-D neighbourhood ascent
+    CoarseToFine,  ///< coarse stride grid, then local refinement
+};
+
+std::string to_string(SearchStrategy s);
+
+struct SearchOptions {
+    /// Query budget (FullScan ignores it). Must be >= 1.
+    std::size_t budget = 64;
+
+    /// Restarts for HillClimb.
+    std::size_t restarts = 4;
+
+    /// Initial grid stride for CoarseToFine.
+    std::size_t stride = 4;
+
+    std::uint64_t seed = 99;
+};
+
+struct SearchResult {
+    std::size_t best_index = 0;
+    double best_value = 0.0;
+    std::uint64_t queries = 0;  ///< distinct probes performed (cached repeats are free)
+};
+
+/// Runs the chosen strategy over an image-shaped field. `shape` supplies
+/// the 2-D neighbourhood structure (for multi-channel images the search
+/// runs over the full flattened index space; neighbours are within the
+/// same channel plane).
+SearchResult find_argmax(const FieldFn& field, const data::ImageShape& shape,
+                         SearchStrategy strategy, const SearchOptions& options = {});
+
+}  // namespace xbarsec::sidechannel

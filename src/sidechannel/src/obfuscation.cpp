@@ -1,0 +1,44 @@
+#include "xbarsec/sidechannel/obfuscation.hpp"
+
+#include <memory>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::sidechannel {
+
+TotalCurrentFn make_dithered_measure(TotalCurrentFn measure, double sigma_amps,
+                                     std::uint64_t seed) {
+    XS_EXPECTS(measure != nullptr);
+    XS_EXPECTS(sigma_amps >= 0.0);
+    // Shared mutable RNG: the lambda must be copyable (std::function).
+    auto rng = std::make_shared<Rng>(seed);
+    return [measure = std::move(measure), sigma_amps, rng](const tensor::Vector& v) {
+        return measure(v) + rng->normal(0.0, sigma_amps);
+    };
+}
+
+TotalCurrentFn make_uniform_dummy_measure(TotalCurrentFn measure, double g_dummy) {
+    XS_EXPECTS(measure != nullptr);
+    XS_EXPECTS(g_dummy >= 0.0);
+    return [measure = std::move(measure), g_dummy](const tensor::Vector& v) {
+        return measure(v) + g_dummy * tensor::sum(v);
+    };
+}
+
+TotalCurrentFn make_dummy_load_measure(TotalCurrentFn measure, tensor::Vector g_line) {
+    XS_EXPECTS(measure != nullptr);
+    return [measure = std::move(measure), g_line = std::move(g_line)](const tensor::Vector& v) {
+        return measure(v) + tensor::dot(g_line, v);
+    };
+}
+
+TotalCurrentFn make_random_dummy_measure(TotalCurrentFn measure, std::size_t n,
+                                         double g_dummy_max, std::uint64_t seed) {
+    XS_EXPECTS(g_dummy_max >= 0.0);
+    Rng rng(seed);
+    return make_dummy_load_measure(std::move(measure),
+                                   tensor::Vector::random_uniform(rng, n, 0.0, g_dummy_max));
+}
+
+}  // namespace xbarsec::sidechannel

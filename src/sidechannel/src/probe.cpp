@@ -1,0 +1,80 @@
+#include "xbarsec/sidechannel/probe.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::sidechannel {
+
+ProbeResult probe_columns(const TotalCurrentFn& measure, std::size_t n,
+                          const ProbeOptions& options) {
+    XS_EXPECTS(measure != nullptr);
+    XS_EXPECTS(n > 0);
+    XS_EXPECTS(options.probe_voltage > 0.0);
+    XS_EXPECTS(options.repeats >= 1);
+
+    ProbeResult result;
+    result.conductance_sums = tensor::Vector(n, 0.0);
+    tensor::Vector probe(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+        probe[j] = options.probe_voltage;
+        double acc = 0.0;
+        for (std::size_t r = 0; r < options.repeats; ++r) {
+            acc += measure(probe);
+            ++result.queries;
+        }
+        result.conductance_sums[j] = acc / (static_cast<double>(options.repeats) * options.probe_voltage);
+        probe[j] = 0.0;
+    }
+    return result;
+}
+
+ProbeResult probe_columns(const xbar::Crossbar& crossbar, const ProbeOptions& options) {
+    return probe_columns(
+        [&crossbar](const tensor::Vector& v) { return crossbar.total_current(v); },
+        crossbar.cols(), options);
+}
+
+tensor::Vector conductance_to_l1(const tensor::Vector& conductance_sums, std::size_t rows,
+                                 double g_off, double weight_scale) {
+    XS_EXPECTS(weight_scale > 0.0);
+    XS_EXPECTS(g_off >= 0.0);
+    tensor::Vector l1(conductance_sums.size());
+    const double offset = 2.0 * static_cast<double>(rows) * g_off;
+    for (std::size_t j = 0; j < l1.size(); ++j) {
+        l1[j] = std::max(0.0, (conductance_sums[j] - offset) / weight_scale);
+    }
+    return l1;
+}
+
+double relative_error(const tensor::Vector& estimate, const tensor::Vector& truth) {
+    XS_EXPECTS(estimate.size() == truth.size());
+    const double denom = tensor::norm2(truth);
+    XS_EXPECTS_MSG(denom > 0.0, "relative_error needs a non-zero ground truth");
+    tensor::Vector diff = estimate;
+    diff -= truth;
+    return tensor::norm2(diff) / denom;
+}
+
+double topk_agreement(const tensor::Vector& estimate, const tensor::Vector& truth,
+                      std::size_t k) {
+    XS_EXPECTS(estimate.size() == truth.size());
+    XS_EXPECTS(k >= 1 && k <= truth.size());
+    auto top_indices = [k](const tensor::Vector& v) {
+        std::vector<std::size_t> idx(v.size());
+        std::iota(idx.begin(), idx.end(), std::size_t{0});
+        std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                          [&v](std::size_t a, std::size_t b) { return v[a] > v[b]; });
+        idx.resize(k);
+        std::sort(idx.begin(), idx.end());
+        return idx;
+    };
+    const auto te = top_indices(estimate);
+    const auto tt = top_indices(truth);
+    std::vector<std::size_t> common;
+    std::set_intersection(te.begin(), te.end(), tt.begin(), tt.end(), std::back_inserter(common));
+    return static_cast<double>(common.size()) / static_cast<double>(k);
+}
+
+}  // namespace xbarsec::sidechannel

@@ -1,0 +1,217 @@
+#include "xbarsec/sidechannel/search.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "xbarsec/common/contracts.hpp"
+#include "xbarsec/common/rng.hpp"
+
+namespace xbarsec::sidechannel {
+
+std::string to_string(SearchStrategy s) {
+    switch (s) {
+        case SearchStrategy::FullScan: return "full-scan";
+        case SearchStrategy::RandomSubset: return "random-subset";
+        case SearchStrategy::HillClimb: return "hill-climb";
+        case SearchStrategy::CoarseToFine: return "coarse-to-fine";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Caches field probes so revisited indices cost no extra queries (the
+/// attacker would memoise measurements the same way).
+class CachedField {
+public:
+    CachedField(const FieldFn& field, std::uint64_t& queries) : field_(field), queries_(queries) {}
+
+    double at(std::size_t j) {
+        const auto it = cache_.find(j);
+        if (it != cache_.end()) return it->second;
+        const double v = field_(j);
+        ++queries_;
+        cache_.emplace(j, v);
+        return v;
+    }
+
+private:
+    const FieldFn& field_;
+    std::uint64_t& queries_;
+    std::unordered_map<std::size_t, double> cache_;
+};
+
+/// 4/8-neighbourhood within one channel plane of an image-shaped index
+/// space.
+std::vector<std::size_t> neighbours(std::size_t j, const data::ImageShape& shape) {
+    const std::size_t plane = shape.height * shape.width;
+    const std::size_t channel = j / plane;
+    const std::size_t in_plane = j % plane;
+    const std::size_t y = in_plane / shape.width;
+    const std::size_t x = in_plane % shape.width;
+    std::vector<std::size_t> out;
+    out.reserve(8);
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const auto ny = static_cast<long long>(y) + dy;
+            const auto nx = static_cast<long long>(x) + dx;
+            if (ny < 0 || nx < 0 || ny >= static_cast<long long>(shape.height) ||
+                nx >= static_cast<long long>(shape.width)) {
+                continue;
+            }
+            out.push_back(channel * plane + static_cast<std::size_t>(ny) * shape.width +
+                          static_cast<std::size_t>(nx));
+        }
+    }
+    return out;
+}
+
+SearchResult full_scan(CachedField& field, std::size_t n) {
+    SearchResult r;
+    r.best_value = field.at(0);
+    for (std::size_t j = 1; j < n; ++j) {
+        const double v = field.at(j);
+        if (v > r.best_value) {
+            r.best_value = v;
+            r.best_index = j;
+        }
+    }
+    return r;
+}
+
+SearchResult random_subset(CachedField& field, std::size_t n, const SearchOptions& options) {
+    Rng rng(options.seed);
+    const std::size_t budget = std::min(options.budget, n);
+    const auto picks = sample_without_replacement(rng, n, budget);
+    SearchResult r;
+    r.best_index = picks[0];
+    r.best_value = field.at(picks[0]);
+    for (std::size_t k = 1; k < picks.size(); ++k) {
+        const double v = field.at(picks[k]);
+        if (v > r.best_value) {
+            r.best_value = v;
+            r.best_index = picks[k];
+        }
+    }
+    return r;
+}
+
+SearchResult hill_climb(CachedField& field, std::size_t n, const data::ImageShape& shape,
+                        const SearchOptions& options) {
+    Rng rng(options.seed);
+    SearchResult r;
+    bool first = true;
+    std::uint64_t spent = 0;  // approximate local budget split across restarts
+    const std::uint64_t per_restart =
+        std::max<std::uint64_t>(1, options.budget / std::max<std::size_t>(1, options.restarts));
+    for (std::size_t restart = 0; restart < std::max<std::size_t>(1, options.restarts); ++restart) {
+        std::size_t cur = static_cast<std::size_t>(rng.below(n));
+        double cur_v = field.at(cur);
+        std::uint64_t local = 1;
+        for (;;) {
+            std::size_t best_n = cur;
+            double best_nv = cur_v;
+            for (const std::size_t nb : neighbours(cur, shape)) {
+                if (local >= per_restart) break;
+                const double v = field.at(nb);
+                ++local;
+                if (v > best_nv) {
+                    best_nv = v;
+                    best_n = nb;
+                }
+            }
+            if (best_n == cur) break;  // local maximum
+            cur = best_n;
+            cur_v = best_nv;
+            if (local >= per_restart) break;
+        }
+        spent += local;
+        if (first || cur_v > r.best_value) {
+            first = false;
+            r.best_index = cur;
+            r.best_value = cur_v;
+        }
+        if (spent >= options.budget) break;
+    }
+    return r;
+}
+
+SearchResult coarse_to_fine(CachedField& field, std::size_t n, const data::ImageShape& shape,
+                            const SearchOptions& options) {
+    const std::size_t plane = shape.height * shape.width;
+    const std::size_t channels = std::max<std::size_t>(1, n / std::max<std::size_t>(1, plane));
+    SearchResult r;
+    bool first = true;
+    // Coarse pass: stride grid over each channel plane.
+    const std::size_t stride = std::max<std::size_t>(1, options.stride);
+    for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t y = 0; y < shape.height; y += stride) {
+            for (std::size_t x = 0; x < shape.width; x += stride) {
+                const std::size_t j = c * plane + y * shape.width + x;
+                if (j >= n) continue;
+                const double v = field.at(j);
+                if (first || v > r.best_value) {
+                    first = false;
+                    r.best_value = v;
+                    r.best_index = j;
+                }
+            }
+        }
+    }
+    // Refinement passes: shrink the stride around the incumbent.
+    std::size_t s = stride;
+    while (s > 1) {
+        s /= 2;
+        const std::size_t plane_idx = r.best_index % plane;
+        const std::size_t c = r.best_index / plane;
+        const std::size_t cy = plane_idx / shape.width;
+        const std::size_t cx = plane_idx % shape.width;
+        for (long long dy = -static_cast<long long>(s); dy <= static_cast<long long>(s);
+             dy += static_cast<long long>(std::max<std::size_t>(1, s))) {
+            for (long long dx = -static_cast<long long>(s); dx <= static_cast<long long>(s);
+                 dx += static_cast<long long>(std::max<std::size_t>(1, s))) {
+                const long long ny = static_cast<long long>(cy) + dy;
+                const long long nx = static_cast<long long>(cx) + dx;
+                if (ny < 0 || nx < 0 || ny >= static_cast<long long>(shape.height) ||
+                    nx >= static_cast<long long>(shape.width)) {
+                    continue;
+                }
+                const std::size_t j =
+                    c * plane + static_cast<std::size_t>(ny) * shape.width + static_cast<std::size_t>(nx);
+                if (j >= n) continue;
+                const double v = field.at(j);
+                if (v > r.best_value) {
+                    r.best_value = v;
+                    r.best_index = j;
+                }
+            }
+        }
+    }
+    return r;
+}
+
+}  // namespace
+
+SearchResult find_argmax(const FieldFn& field, const data::ImageShape& shape,
+                         SearchStrategy strategy, const SearchOptions& options) {
+    XS_EXPECTS(field != nullptr);
+    const std::size_t n = shape.pixels();
+    XS_EXPECTS(n > 0);
+    XS_EXPECTS(options.budget >= 1);
+
+    std::uint64_t queries = 0;
+    CachedField cached(field, queries);
+    SearchResult r;
+    switch (strategy) {
+        case SearchStrategy::FullScan: r = full_scan(cached, n); break;
+        case SearchStrategy::RandomSubset: r = random_subset(cached, n, options); break;
+        case SearchStrategy::HillClimb: r = hill_climb(cached, n, shape, options); break;
+        case SearchStrategy::CoarseToFine: r = coarse_to_fine(cached, n, shape, options); break;
+    }
+    r.queries = queries;
+    return r;
+}
+
+}  // namespace xbarsec::sidechannel

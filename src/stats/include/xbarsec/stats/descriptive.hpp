@@ -1,0 +1,59 @@
+// Descriptive statistics over spans of doubles.
+//
+// Variances use Welford's online algorithm (numerically stable for the
+// long accumulations in the benches). "Sample" variants divide by n-1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xbarsec::stats {
+
+/// Aggregate moments of a sample, computed in one pass.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0;  ///< sample variance (n-1 denominator); 0 when count < 2
+    double stddev = 0.0;    ///< sqrt(variance)
+    double sem = 0.0;       ///< standard error of the mean; 0 when count < 2
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/// One-pass Welford summary. Requires a non-empty sample.
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; requires non-empty.
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1); requires size >= 2.
+double sample_variance(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); requires size >= 2.
+double sample_stddev(std::span<const double> xs);
+
+/// Median (interpolated for even sizes); requires non-empty. Copies.
+double median(std::span<const double> xs);
+
+/// p-th quantile, p in [0,1], linear interpolation; requires non-empty.
+double quantile(std::span<const double> xs, double p);
+
+/// Incremental Welford accumulator for streaming use.
+class RunningStats {
+public:
+    void push(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+    /// Sample variance; 0 when count < 2.
+    double variance() const;
+    double stddev() const;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+}  // namespace xbarsec::stats

@@ -1,0 +1,75 @@
+#include "xbarsec/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbarsec/common/contracts.hpp"
+
+namespace xbarsec::stats {
+
+Summary summarize(std::span<const double> xs) {
+    XS_EXPECTS(!xs.empty());
+    Summary s;
+    s.min = xs[0];
+    s.max = xs[0];
+    double mean = 0.0, m2 = 0.0;
+    std::size_t n = 0;
+    for (double x : xs) {
+        ++n;
+        const double delta = x - mean;
+        mean += delta / static_cast<double>(n);
+        m2 += delta * (x - mean);
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+    }
+    s.count = n;
+    s.mean = mean;
+    s.variance = n >= 2 ? m2 / static_cast<double>(n - 1) : 0.0;
+    s.stddev = std::sqrt(s.variance);
+    s.sem = n >= 2 ? s.stddev / std::sqrt(static_cast<double>(n)) : 0.0;
+    return s;
+}
+
+double mean(std::span<const double> xs) {
+    XS_EXPECTS(!xs.empty());
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+    XS_EXPECTS(xs.size() >= 2);
+    return summarize(xs).variance;
+}
+
+double sample_stddev(std::span<const double> xs) { return std::sqrt(sample_variance(xs)); }
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double p) {
+    XS_EXPECTS(!xs.empty());
+    XS_EXPECTS(p >= 0.0 && p <= 1.0);
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted[0];
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void RunningStats::push(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace xbarsec::stats

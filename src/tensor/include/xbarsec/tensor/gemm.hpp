@@ -1,0 +1,29 @@
+// General matrix-matrix multiply with transpose options.
+//
+// Minibatch training is expressed as GEMMs (X·Wᵀ forward, Gᵀ·X for weight
+// gradients), so this is the throughput core of the surrogate-training
+// benches (Figure 5). The implementation is a cache-blocked triple loop —
+// no external BLAS dependency — which reaches a few GFLOP/s on the target
+// container; microbenchmarked by bench_micro.
+#pragma once
+
+#include "xbarsec/tensor/matrix.hpp"
+
+namespace xbarsec::tensor {
+
+/// Whether an operand participates as itself or its transpose.
+enum class Op { None, Transpose };
+
+/// C = alpha * op(A) · op(B) + beta * C.
+///
+/// Shapes (after applying ops): op(A) is (m×k), op(B) is (k×n), C must be
+/// (m×n). Aliasing C with A or B is not allowed.
+void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C);
+
+/// Convenience: returns A·B.
+Matrix matmul(const Matrix& A, const Matrix& B);
+
+/// Convenience: returns op(A)·op(B).
+Matrix matmul(const Matrix& A, Op opA, const Matrix& B, Op opB);
+
+}  // namespace xbarsec::tensor

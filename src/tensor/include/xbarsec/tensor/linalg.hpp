@@ -1,0 +1,65 @@
+// Dense linear-algebra kernels: Householder QR, least squares,
+// pseudoinverse, Cholesky / ridge solves.
+//
+// Section IV of the paper observes that once the attacker has Q ≥ N
+// independent (input, output) query pairs, the oracle weight matrix is
+// exactly recoverable as W = U†·Ŷ and the power side channel becomes
+// redundant. lstsq()/pinv() implement that boundary analysis (tested and
+// benchmarked by bench_pinv_boundary).
+#pragma once
+
+#include "xbarsec/tensor/matrix.hpp"
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::tensor {
+
+/// Compact Householder QR of an m×n matrix with m ≥ n.
+/// `qr` stores R in its upper triangle and the Householder vectors below
+/// the diagonal (LAPACK geqrf layout); `tau` holds the reflector scales.
+struct QrFactorization {
+    Matrix qr;
+    Vector tau;
+
+    std::size_t rows() const { return qr.rows(); }
+    std::size_t cols() const { return qr.cols(); }
+};
+
+/// Computes the Householder QR factorization. Requires rows ≥ cols.
+QrFactorization qr_decompose(Matrix A);
+
+/// Applies Qᵀ (from the factorization) to B in place. B must have
+/// f.rows() rows.
+void apply_q_transpose(const QrFactorization& f, Matrix& B);
+
+/// Back-substitution with the upper-triangular R factor:
+/// solves R·X = B[0:n, :] and returns the n×k solution.
+/// Throws Error if R is numerically singular.
+Matrix solve_upper(const QrFactorization& f, const Matrix& B);
+
+/// Least squares: returns argmin_X ‖A·X − B‖_F for A (m×n, m ≥ n, full
+/// column rank) and B (m×k). Throws Error when A is rank-deficient to
+/// working precision.
+Matrix lstsq(const Matrix& A, const Matrix& B);
+
+/// Vector right-hand-side overload.
+Vector lstsq(const Matrix& A, const Vector& b);
+
+/// Moore-Penrose pseudoinverse via QR (full-rank case). For m ≥ n this is
+/// (AᵀA)⁻¹Aᵀ computed stably from the QR factors; for m < n the transpose
+/// identity A† = (Aᵀ)†ᵀ is used.
+Matrix pinv(const Matrix& A);
+
+/// Cholesky factorization of a symmetric positive-definite matrix;
+/// returns lower-triangular L with A = L·Lᵀ. Throws Error if A is not
+/// positive definite.
+Matrix cholesky(const Matrix& A);
+
+/// Solves A·X = B for SPD A using its Cholesky factorization.
+Matrix solve_spd(const Matrix& A, const Matrix& B);
+
+/// Ridge regression solve: returns argmin_X ‖A·X − B‖² + λ‖X‖², i.e.
+/// X = (AᵀA + λI)⁻¹ AᵀB. λ must be ≥ 0; with λ = 0 A must have full
+/// column rank.
+Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda);
+
+}  // namespace xbarsec::tensor

@@ -1,0 +1,109 @@
+// Elementwise and BLAS-1/2-level operations on Vector / Matrix.
+//
+// The crossbar algebra of the paper lives here in named form:
+//   * matvec(W, u)          — Eq. 4's s = W·u
+//   * column_abs_sums(W)    — Eq. 5-6's column 1-norms ‖W[:,j]‖₁,
+//                             i.e. exactly what the power side channel leaks.
+#pragma once
+
+#include <cstddef>
+
+#include "xbarsec/tensor/matrix.hpp"
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::tensor {
+
+// ---- BLAS-1 ----------------------------------------------------------------
+
+/// Inner product <a, b>.
+double dot(const Vector& a, const Vector& b);
+
+/// y += alpha * x.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Sum of elements.
+double sum(const Vector& v);
+
+/// Mean of elements; requires non-empty.
+double mean(const Vector& v);
+
+/// ℓ1 norm Σ|vᵢ|.
+double norm1(const Vector& v);
+
+/// ℓ2 norm sqrt(Σvᵢ²).
+double norm2(const Vector& v);
+
+/// ℓ∞ norm max|vᵢ|.
+double norm_inf(const Vector& v);
+
+/// Index of the largest element (first on ties); requires non-empty.
+std::size_t argmax(const Vector& v);
+
+/// Index of the smallest element (first on ties); requires non-empty.
+std::size_t argmin(const Vector& v);
+
+/// Largest element value; requires non-empty.
+double max(const Vector& v);
+
+/// Smallest element value; requires non-empty.
+double min(const Vector& v);
+
+/// Elementwise product a ⊙ b.
+Vector hadamard(const Vector& a, const Vector& b);
+
+/// Elementwise absolute value.
+Vector abs(const Vector& v);
+
+/// Elementwise sign (+1 / 0 / -1).
+Vector sign(const Vector& v);
+
+/// Elementwise clamp into [lo, hi].
+Vector clamp(const Vector& v, double lo, double hi);
+
+/// True when every element is finite.
+bool all_finite(const Vector& v);
+
+// ---- BLAS-2 ----------------------------------------------------------------
+
+/// Returns W·u. W is (M×N), u is (N); result is (M). This is Eq. 4's
+/// pre-activation vector s.
+Vector matvec(const Matrix& W, const Vector& u);
+
+/// Returns Wᵀ·v without forming the transpose. W is (M×N), v is (M);
+/// result is (N).
+Vector matvec_transposed(const Matrix& W, const Vector& v);
+
+/// Rank-1 update A += alpha * u·vᵀ. u is (rows), v is (cols).
+void ger(double alpha, const Vector& u, const Vector& v, Matrix& A);
+
+/// Outer product u·vᵀ as a new matrix.
+Matrix outer(const Vector& u, const Vector& v);
+
+// ---- matrix reductions -------------------------------------------------------
+
+/// Column-wise 1-norms: out[j] = Σᵢ |W(i,j)|. Under the paper's one-sided
+/// conductance mapping this is (up to the mapping scale) the quantity the
+/// total crossbar current reveals for basis-vector inputs (Eq. 5-6).
+Vector column_abs_sums(const Matrix& W);
+
+/// Row-wise 1-norms: out[i] = Σⱼ |W(i,j)|.
+Vector row_abs_sums(const Matrix& W);
+
+/// Column-wise sums (signed).
+Vector column_sums(const Matrix& W);
+
+/// Mean squared row norm E[‖row‖²] over (at most max_rows of) W's rows.
+/// Used to scale learning rates to the data: the GD stability bound for
+/// a dense layer scales with 1/E[‖u‖²].
+double mean_squared_row_norm(const Matrix& W, std::size_t max_rows = 0);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& W);
+
+/// Largest absolute element.
+double max_abs(const Matrix& W);
+
+/// True when every element is finite.
+bool all_finite(const Matrix& W);
+
+}  // namespace xbarsec::tensor

@@ -1,0 +1,77 @@
+#include "xbarsec/tensor/gemm.hpp"
+
+#include <algorithm>
+
+namespace xbarsec::tensor {
+
+namespace {
+
+// Cache-block sizes chosen for ~32 KiB L1 / 512 KiB L2; not tuned per-CPU,
+// just enough to keep the working set resident.
+constexpr std::size_t kBlockI = 64;
+constexpr std::size_t kBlockK = 256;
+
+// Core kernel: C[m×n] (+)= alpha * A'[m×k] · B'[k×n], where A' and B' are
+// materialized row-major operands (transposes are packed up front; the
+// matrices in this library are small enough that packing costs are noise).
+void gemm_nn(double alpha, const Matrix& A, const Matrix& B, Matrix& C) {
+    const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+        const std::size_t i1 = std::min(i0 + kBlockI, m);
+        for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const std::size_t k1 = std::min(k0 + kBlockK, k);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const double* arow = A.data() + i * k;
+                double* crow = C.data() + i * n;
+                for (std::size_t p = k0; p < k1; ++p) {
+                    const double aip = alpha * arow[p];
+                    if (aip == 0.0) continue;
+                    const double* brow = B.data() + p * n;
+                    for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C) {
+    const std::size_t m = opA == Op::None ? A.rows() : A.cols();
+    const std::size_t kA = opA == Op::None ? A.cols() : A.rows();
+    const std::size_t kB = opB == Op::None ? B.rows() : B.cols();
+    const std::size_t n = opB == Op::None ? B.cols() : B.rows();
+    XS_EXPECTS_MSG(kA == kB, "gemm inner dimensions disagree");
+    XS_EXPECTS_MSG(C.rows() == m && C.cols() == n, "gemm output shape mismatch");
+    XS_EXPECTS_MSG(C.data() != A.data() && C.data() != B.data(), "gemm output aliases an input");
+
+    if (beta == 0.0) {
+        C.fill(0.0);
+    } else if (beta != 1.0) {
+        C *= beta;
+    }
+    if (alpha == 0.0 || m == 0 || n == 0 || kA == 0) return;
+
+    // Pack transposed operands once; all inner loops then run row-major.
+    if (opA == Op::None && opB == Op::None) {
+        gemm_nn(alpha, A, B, C);
+    } else if (opA == Op::Transpose && opB == Op::None) {
+        gemm_nn(alpha, A.transposed(), B, C);
+    } else if (opA == Op::None && opB == Op::Transpose) {
+        gemm_nn(alpha, A, B.transposed(), C);
+    } else {
+        gemm_nn(alpha, A.transposed(), B.transposed(), C);
+    }
+}
+
+Matrix matmul(const Matrix& A, const Matrix& B) { return matmul(A, Op::None, B, Op::None); }
+
+Matrix matmul(const Matrix& A, Op opA, const Matrix& B, Op opB) {
+    const std::size_t m = opA == Op::None ? A.rows() : A.cols();
+    const std::size_t n = opB == Op::None ? B.cols() : B.rows();
+    Matrix C(m, n, 0.0);
+    gemm(1.0, A, opA, B, opB, 0.0, C);
+    return C;
+}
+
+}  // namespace xbarsec::tensor

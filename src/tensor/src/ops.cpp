@@ -1,0 +1,213 @@
+#include "xbarsec/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xbarsec::tensor {
+
+double dot(const Vector& a, const Vector& b) {
+    XS_EXPECTS(a.size() == b.size());
+    double acc = 0.0;
+    const double* pa = a.data();
+    const double* pb = b.data();
+    for (std::size_t i = 0; i < a.size(); ++i) acc += pa[i] * pb[i];
+    return acc;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+    XS_EXPECTS(x.size() == y.size());
+    const double* px = x.data();
+    double* py = y.data();
+    for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+}
+
+double sum(const Vector& v) {
+    double acc = 0.0;
+    for (double x : v) acc += x;
+    return acc;
+}
+
+double mean(const Vector& v) {
+    XS_EXPECTS(!v.empty());
+    return sum(v) / static_cast<double>(v.size());
+}
+
+double norm1(const Vector& v) {
+    double acc = 0.0;
+    for (double x : v) acc += std::abs(x);
+    return acc;
+}
+
+double norm2(const Vector& v) {
+    double acc = 0.0;
+    for (double x : v) acc += x * x;
+    return std::sqrt(acc);
+}
+
+double norm_inf(const Vector& v) {
+    double acc = 0.0;
+    for (double x : v) acc = std::max(acc, std::abs(x));
+    return acc;
+}
+
+std::size_t argmax(const Vector& v) {
+    XS_EXPECTS(!v.empty());
+    return static_cast<std::size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::size_t argmin(const Vector& v) {
+    XS_EXPECTS(!v.empty());
+    return static_cast<std::size_t>(std::min_element(v.begin(), v.end()) - v.begin());
+}
+
+double max(const Vector& v) {
+    XS_EXPECTS(!v.empty());
+    return *std::max_element(v.begin(), v.end());
+}
+
+double min(const Vector& v) {
+    XS_EXPECTS(!v.empty());
+    return *std::min_element(v.begin(), v.end());
+}
+
+Vector hadamard(const Vector& a, const Vector& b) {
+    XS_EXPECTS(a.size() == b.size());
+    Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+    return out;
+}
+
+Vector abs(const Vector& v) {
+    Vector out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::abs(v[i]);
+    return out;
+}
+
+Vector sign(const Vector& v) {
+    Vector out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        out[i] = v[i] > 0.0 ? 1.0 : (v[i] < 0.0 ? -1.0 : 0.0);
+    }
+    return out;
+}
+
+Vector clamp(const Vector& v, double lo, double hi) {
+    XS_EXPECTS(lo <= hi);
+    Vector out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::clamp(v[i], lo, hi);
+    return out;
+}
+
+bool all_finite(const Vector& v) {
+    for (double x : v)
+        if (!std::isfinite(x)) return false;
+    return true;
+}
+
+Vector matvec(const Matrix& W, const Vector& u) {
+    XS_EXPECTS(W.cols() == u.size());
+    Vector out(W.rows());
+    const double* pu = u.data();
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        const auto row = W.row_span(i);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * pu[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+Vector matvec_transposed(const Matrix& W, const Vector& v) {
+    XS_EXPECTS(W.rows() == v.size());
+    Vector out(W.cols(), 0.0);
+    double* po = out.data();
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        const auto row = W.row_span(i);
+        const double vi = v[i];
+        if (vi == 0.0) continue;
+        for (std::size_t j = 0; j < row.size(); ++j) po[j] += vi * row[j];
+    }
+    return out;
+}
+
+void ger(double alpha, const Vector& u, const Vector& v, Matrix& A) {
+    XS_EXPECTS(A.rows() == u.size() && A.cols() == v.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+        const double aui = alpha * u[i];
+        if (aui == 0.0) continue;
+        auto row = A.row_span(i);
+        const double* pv = v.data();
+        for (std::size_t j = 0; j < row.size(); ++j) row[j] += aui * pv[j];
+    }
+}
+
+Matrix outer(const Vector& u, const Vector& v) {
+    Matrix A(u.size(), v.size(), 0.0);
+    ger(1.0, u, v, A);
+    return A;
+}
+
+Vector column_abs_sums(const Matrix& W) {
+    Vector out(W.cols(), 0.0);
+    double* po = out.data();
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        const auto row = W.row_span(i);
+        for (std::size_t j = 0; j < row.size(); ++j) po[j] += std::abs(row[j]);
+    }
+    return out;
+}
+
+Vector row_abs_sums(const Matrix& W) {
+    Vector out(W.rows(), 0.0);
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        const auto row = W.row_span(i);
+        double acc = 0.0;
+        for (double x : row) acc += std::abs(x);
+        out[i] = acc;
+    }
+    return out;
+}
+
+Vector column_sums(const Matrix& W) {
+    Vector out(W.cols(), 0.0);
+    double* po = out.data();
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        const auto row = W.row_span(i);
+        for (std::size_t j = 0; j < row.size(); ++j) po[j] += row[j];
+    }
+    return out;
+}
+
+double mean_squared_row_norm(const Matrix& W, std::size_t max_rows) {
+    XS_EXPECTS(W.rows() > 0);
+    const std::size_t rows = max_rows == 0 ? W.rows() : std::min(max_rows, W.rows());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+        const auto row = W.row_span(i);
+        for (const double x : row) acc += x * x;
+    }
+    return acc / static_cast<double>(rows);
+}
+
+double frobenius_norm(const Matrix& W) {
+    double acc = 0.0;
+    const double* p = W.data();
+    for (std::size_t i = 0; i < W.size(); ++i) acc += p[i] * p[i];
+    return std::sqrt(acc);
+}
+
+double max_abs(const Matrix& W) {
+    double acc = 0.0;
+    const double* p = W.data();
+    for (std::size_t i = 0; i < W.size(); ++i) acc = std::max(acc, std::abs(p[i]));
+    return acc;
+}
+
+bool all_finite(const Matrix& W) {
+    const double* p = W.data();
+    for (std::size_t i = 0; i < W.size(); ++i)
+        if (!std::isfinite(p[i])) return false;
+    return true;
+}
+
+}  // namespace xbarsec::tensor

@@ -1,0 +1,113 @@
+// Crossbar array simulator (Section II-B, Eq. 3 and Eq. 5).
+//
+// Given a programmed CrossbarProgram, the simulator produces:
+//   * the output current vector  i_s = (G⁺ − G⁻)·v        (Eq. 3)
+//   * the total supply current   i_total = Σ_j v_j·G_j    (Eq. 5)
+//   * the static dissipated power Σ_j v_j²·G_j (outputs at virtual ground)
+// with optional measurement-time non-idealities: relative read noise,
+// stuck-at device faults (applied to the program at construction), and a
+// first-order interconnect IR-drop attenuation.
+#pragma once
+
+#include <cstdint>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/tensor/vector.hpp"
+#include "xbarsec/xbar/mapping.hpp"
+
+namespace xbarsec::xbar {
+
+/// Measurement-time and fabric non-idealities. All default to the paper's
+/// ideal assumptions.
+struct NonIdealityConfig {
+    /// Relative std-dev of Gaussian noise applied to every measured
+    /// current (output currents and the total current independently).
+    double read_noise_std = 0.0;
+
+    /// Fractions of devices stuck at g_on_max / g_off (applied once to
+    /// the programmed arrays, chosen by `seed`).
+    double stuck_on_fraction = 0.0;
+    double stuck_off_fraction = 0.0;
+
+    /// Interconnect resistance per cell segment (ohms). 0 disables the
+    /// IR-drop model. The first-order model attenuates each cell's
+    /// current by 1/(1 + r_line·(i + j + 2)·g_cell): cells electrically
+    /// farther from the drivers/sense amps lose more drive.
+    double line_resistance = 0.0;
+
+    /// Seed for fault placement and the read-noise stream.
+    std::uint64_t seed = 0xBADC0FFEE0DDF00Dull;
+
+    void validate() const;
+
+    bool ideal() const {
+        return read_noise_std == 0.0 && stuck_on_fraction == 0.0 && stuck_off_fraction == 0.0 &&
+               line_resistance == 0.0;
+    }
+};
+
+/// Joint current/power reading of one inference.
+struct PowerReading {
+    double total_current = 0.0;  ///< amperes (Eq. 5)
+    double power = 0.0;          ///< watts (Σ v²G, outputs at virtual ground)
+};
+
+/// Simulated M×N crossbar. Measurement methods are const but advance an
+/// internal noise stream (mutable Rng) when read noise is enabled —
+/// repeated measurements of the same input differ, as on real hardware.
+class Crossbar {
+public:
+    /// Takes ownership of the program; applies stuck faults immediately.
+    Crossbar(CrossbarProgram program, NonIdealityConfig nonideal = {});
+
+    std::size_t rows() const { return program_.rows(); }
+    std::size_t cols() const { return program_.cols(); }
+    const CrossbarProgram& program() const { return program_; }
+    const NonIdealityConfig& nonideality() const { return nonideal_; }
+
+    /// Output currents i_s for input voltages v (Eq. 3), amperes.
+    tensor::Vector output_currents(const tensor::Vector& v) const;
+
+    /// Normalised matrix-vector product: output_currents / weight_scale,
+    /// i.e. Ŵ·v in weight units (Eq. 4's s vector).
+    tensor::Vector mvm(const tensor::Vector& v) const;
+
+    /// Total steady-state supply current (Eq. 5), amperes.
+    double total_current(const tensor::Vector& v) const;
+
+    /// Per-input-line supply currents: out[j] = v_j·G_j (amperes), the
+    /// current each input driver sources. Tile-level current sensing (the
+    /// DetectX instrumentation model) observes exactly these; they sum to
+    /// total_current(v).
+    tensor::Vector input_line_currents(const tensor::Vector& v) const;
+
+    /// Static power with outputs at virtual ground: Σ_j v_j²·G_j, watts.
+    double static_power(const tensor::Vector& v) const;
+
+    /// total_current + static_power in one measurement (shares the noise
+    /// draw pattern of separate calls).
+    PowerReading read_power(const tensor::Vector& v) const;
+
+    /// Ground-truth per-column conductance sums G_j (no noise) — for
+    /// tests and for computing probe estimation error.
+    tensor::Vector column_conductances() const { return column_conductance_sums(program_); }
+
+    /// Ground-truth effective weight matrix (no read noise).
+    tensor::Matrix effective_weights() const { return xbar::effective_weights(program_); }
+
+    /// Number of current measurements taken so far (each output-current
+    /// vector read or total-current read counts as one).
+    std::uint64_t measurement_count() const { return measurements_; }
+
+private:
+    void apply_stuck_faults(Rng& rng);
+    double cell_current(std::size_t i, std::size_t j, double g, double v) const;
+    double noisy(double value) const;
+
+    CrossbarProgram program_;
+    NonIdealityConfig nonideal_;
+    mutable Rng read_rng_;
+    mutable std::uint64_t measurements_ = 0;
+};
+
+}  // namespace xbarsec::xbar

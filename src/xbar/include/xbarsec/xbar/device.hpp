@@ -1,0 +1,44 @@
+// NVM device model.
+//
+// A crossbar cell is a two-terminal non-volatile resistive device (ReRAM,
+// PCM, ferroelectric, ... — the paper is technology-agnostic) whose
+// conductance is programmed between an off/leak state g_off and a maximum
+// on-state g_on_max. DeviceSpec captures the programming-relevant device
+// parameters; per-measurement effects live in NonIdealityConfig
+// (crossbar.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace xbarsec::xbar {
+
+/// Programming-time characteristics of one NVM device.
+struct DeviceSpec {
+    /// Maximum programmable conductance (siemens). Defaults are in the
+    /// range typical of ReRAM (tens of µS).
+    double g_on_max = 100e-6;
+
+    /// Conductance of an unselected/"off" device (siemens). The paper's
+    /// ideal analysis assumes 0 (G⁻ ≈ 0 for positive weights); real
+    /// devices have a finite on/off ratio, which turns the 1-norm leak
+    /// into an affine function of the 1-norm — rank-preserving, see
+    /// sidechannel::PowerProbe.
+    double g_off = 0.0;
+
+    /// Relative std-dev of multiplicative programming (write) noise:
+    /// g ← g·(1 + ε), ε ~ N(0, σ²), clamped to [g_off, g_on_max].
+    double write_noise_std = 0.0;
+
+    /// Number of discrete programmable levels between g_off and g_on_max
+    /// (inclusive). 0 or 1 means continuous (ideal analog programming).
+    int conductance_levels = 0;
+
+    /// Throws ConfigError when parameters are inconsistent.
+    void validate() const;
+};
+
+/// Quantises g onto the device's discrete level grid (identity when the
+/// spec is continuous). g must lie in [g_off, g_on_max].
+double quantize_conductance(const DeviceSpec& spec, double g);
+
+}  // namespace xbarsec::xbar

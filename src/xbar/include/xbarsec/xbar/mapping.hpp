@@ -1,0 +1,59 @@
+// Weight → conductance mapping (Section II-B, Eq. 6).
+//
+// Each weight w_ij is realised by a differential pair (G⁺_ij, G⁻_ij) with
+// the paper's one-sided convention: positive weights programme G⁺ and
+// leave G⁻ in the off state, negative weights mirror. This minimises
+// static power (the paper's stated rationale) and makes the mapping
+// bijective, which in turn makes the total-current side channel carry the
+// column 1-norms:  G⁺_ij + G⁻_ij = 2·g_off + |w_ij|·scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/tensor/matrix.hpp"
+#include "xbarsec/xbar/device.hpp"
+
+namespace xbarsec::xbar {
+
+/// Options controlling map_weights().
+struct MappingOptions {
+    /// Weight magnitude that maps to g_on_max. Defaults to max|W| of the
+    /// matrix being mapped (0 ⇒ auto). Fixing it explicitly keeps scales
+    /// comparable across networks.
+    double weight_max = 0.0;
+
+    /// Seed for programming (write) noise; only used when the device spec
+    /// has write_noise_std > 0.
+    std::uint64_t noise_seed = 0x7700AA55EE11BB22ull;
+};
+
+/// A crossbar's programmed state: the two conductance matrices plus the
+/// metadata needed to interpret currents as weights.
+struct CrossbarProgram {
+    tensor::Matrix g_plus;   ///< M×N, siemens
+    tensor::Matrix g_minus;  ///< M×N, siemens
+    DeviceSpec spec;
+    double weight_scale = 0.0;  ///< siemens per unit weight: g = g_off + |w|·weight_scale
+
+    std::size_t rows() const { return g_plus.rows(); }
+    std::size_t cols() const { return g_plus.cols(); }
+};
+
+/// Programs a weight matrix onto differential conductance pairs using the
+/// one-sided mapping. Applies write noise and level quantisation from the
+/// spec. Throws ConfigError on invalid spec or all-zero W with
+/// weight_max == 0.
+CrossbarProgram map_weights(const tensor::Matrix& W, const DeviceSpec& spec,
+                            const MappingOptions& options = {});
+
+/// Decodes the effective weight matrix the crossbar actually implements:
+/// Ŵ = (G⁺ − G⁻) / weight_scale. Equals W exactly for an ideal spec.
+tensor::Matrix effective_weights(const CrossbarProgram& program);
+
+/// Per-column total conductance G_j = Σ_i (G⁺_ij + G⁻_ij) — the quantity
+/// Eq. 5 exposes through the total current.
+tensor::Vector column_conductance_sums(const CrossbarProgram& program);
+
+}  // namespace xbarsec::xbar

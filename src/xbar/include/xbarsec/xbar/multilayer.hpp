@@ -1,0 +1,56 @@
+// Multi-layer crossbar deployment — the paper's stated future work.
+//
+// Each dense layer of an Mlp gets its own crossbar array; inference
+// cascades analog MVM → activation per layer (biases are not supported —
+// passive arrays compute pure products). Every layer exposes its own
+// power side channel, so the library's probes and attacks can study what
+// the per-layer 1-norm leaks reveal about a deep model (see
+// examples/multilayer_extension and the conclusions of the paper).
+#pragma once
+
+#include <vector>
+
+#include "xbarsec/data/dataset.hpp"
+#include "xbarsec/nn/mlp.hpp"
+#include "xbarsec/xbar/crossbar.hpp"
+
+namespace xbarsec::xbar {
+
+/// An Mlp deployed across one crossbar per layer.
+class MultiLayerCrossbarNetwork {
+public:
+    /// Programs each layer's weights onto its own array. The Mlp must be
+    /// bias-free (construct it with MlpConfig::with_bias = false).
+    MultiLayerCrossbarNetwork(const nn::Mlp& mlp, const DeviceSpec& spec,
+                              const NonIdealityConfig& nonideal = {});
+
+    std::size_t depth() const { return layers_.size(); }
+    std::size_t inputs() const { return layers_.front().cols(); }
+    std::size_t outputs() const { return layers_.back().rows(); }
+
+    const Crossbar& layer(std::size_t l) const;
+
+    /// Cascaded analog inference: ŷ through every array + activation.
+    tensor::Vector predict(const tensor::Vector& u) const;
+
+    /// Argmax class of predict(u).
+    int classify(const tensor::Vector& u) const;
+
+    /// The power side channel of layer l for the layer-l input it sees
+    /// when the network input is u. Layer 0's channel is what an external
+    /// attacker measures directly; deeper channels assume knowledge of the
+    /// hidden activations and are exposed for white-box analysis.
+    double layer_total_current(std::size_t l, const tensor::Vector& u) const;
+
+    /// Classification accuracy through the analog path.
+    double accuracy(const data::Dataset& dataset) const;
+
+private:
+    /// Activations entering layer l for network input u.
+    tensor::Vector input_to_layer(std::size_t l, const tensor::Vector& u) const;
+
+    std::vector<Crossbar> layers_;
+    nn::MlpConfig config_;
+};
+
+}  // namespace xbarsec::xbar

@@ -1,0 +1,141 @@
+#include "xbarsec/xbar/crossbar.hpp"
+
+#include <cmath>
+
+#include "xbarsec/common/error.hpp"
+
+namespace xbarsec::xbar {
+
+void NonIdealityConfig::validate() const {
+    if (read_noise_std < 0.0) throw ConfigError("NonIdealityConfig: read_noise_std must be >= 0");
+    if (stuck_on_fraction < 0.0 || stuck_on_fraction > 1.0 || stuck_off_fraction < 0.0 ||
+        stuck_off_fraction > 1.0 || stuck_on_fraction + stuck_off_fraction > 1.0) {
+        throw ConfigError("NonIdealityConfig: stuck fractions must be in [0,1] and sum to <= 1");
+    }
+    if (line_resistance < 0.0) throw ConfigError("NonIdealityConfig: line_resistance must be >= 0");
+}
+
+Crossbar::Crossbar(CrossbarProgram program, NonIdealityConfig nonideal)
+    : program_(std::move(program)), nonideal_(nonideal), read_rng_(nonideal.seed ^ 0x11C0FFEEull) {
+    nonideal_.validate();
+    XS_EXPECTS(program_.rows() > 0 && program_.cols() > 0);
+    if (nonideal_.stuck_on_fraction > 0.0 || nonideal_.stuck_off_fraction > 0.0) {
+        Rng fault_rng(nonideal_.seed);
+        apply_stuck_faults(fault_rng);
+    }
+}
+
+void Crossbar::apply_stuck_faults(Rng& rng) {
+    // Each physical device (2 per weight) independently draws its fate.
+    auto afflict = [&](tensor::Matrix& g) {
+        for (std::size_t i = 0; i < g.rows(); ++i) {
+            for (std::size_t j = 0; j < g.cols(); ++j) {
+                const double u = rng.uniform();
+                if (u < nonideal_.stuck_on_fraction) {
+                    g(i, j) = program_.spec.g_on_max;
+                } else if (u < nonideal_.stuck_on_fraction + nonideal_.stuck_off_fraction) {
+                    g(i, j) = program_.spec.g_off;
+                }
+            }
+        }
+    };
+    afflict(program_.g_plus);
+    afflict(program_.g_minus);
+}
+
+double Crossbar::cell_current(std::size_t i, std::size_t j, double g, double v) const {
+    if (g == 0.0 || v == 0.0) return 0.0;
+    if (nonideal_.line_resistance == 0.0) return g * v;
+    // First-order IR drop: the series wire resistance seen by cell (i, j)
+    // grows with its distance from the input driver (j segments) and the
+    // sense amplifier (i segments); the cell and the wire form a divider.
+    const double r_wire =
+        nonideal_.line_resistance * static_cast<double>(i + j + 2);
+    return g * v / (1.0 + r_wire * g);
+}
+
+double Crossbar::noisy(double value) const {
+    if (nonideal_.read_noise_std == 0.0) return value;
+    return value * (1.0 + read_rng_.normal(0.0, nonideal_.read_noise_std));
+}
+
+tensor::Vector Crossbar::output_currents(const tensor::Vector& v) const {
+    XS_EXPECTS(v.size() == cols());
+    tensor::Vector out(rows(), 0.0);
+    for (std::size_t i = 0; i < rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols(); ++j) {
+            const double vj = v[j];
+            if (vj == 0.0) continue;
+            acc += cell_current(i, j, program_.g_plus(i, j), vj);
+            acc -= cell_current(i, j, program_.g_minus(i, j), vj);
+        }
+        out[i] = noisy(acc);
+    }
+    ++measurements_;
+    return out;
+}
+
+tensor::Vector Crossbar::mvm(const tensor::Vector& v) const {
+    tensor::Vector i_s = output_currents(v);
+    i_s /= program_.weight_scale;
+    return i_s;
+}
+
+double Crossbar::total_current(const tensor::Vector& v) const {
+    XS_EXPECTS(v.size() == cols());
+    // Eq. 5: both G⁺ and G⁻ draw supply current regardless of weight sign.
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols(); ++j) {
+        const double vj = v[j];
+        if (vj == 0.0) continue;
+        for (std::size_t i = 0; i < rows(); ++i) {
+            acc += cell_current(i, j, program_.g_plus(i, j), vj);
+            acc += cell_current(i, j, program_.g_minus(i, j), vj);
+        }
+    }
+    ++measurements_;
+    return noisy(acc);
+}
+
+tensor::Vector Crossbar::input_line_currents(const tensor::Vector& v) const {
+    XS_EXPECTS(v.size() == cols());
+    tensor::Vector out(cols(), 0.0);
+    for (std::size_t j = 0; j < cols(); ++j) {
+        const double vj = v[j];
+        if (vj == 0.0) continue;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < rows(); ++i) {
+            acc += cell_current(i, j, program_.g_plus(i, j), vj);
+            acc += cell_current(i, j, program_.g_minus(i, j), vj);
+        }
+        out[j] = noisy(acc);
+    }
+    ++measurements_;
+    return out;
+}
+
+double Crossbar::static_power(const tensor::Vector& v) const {
+    XS_EXPECTS(v.size() == cols());
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols(); ++j) {
+        const double vj = v[j];
+        if (vj == 0.0) continue;
+        for (std::size_t i = 0; i < rows(); ++i) {
+            // P = V·I per cell with the output rail at virtual ground.
+            acc += vj * cell_current(i, j, program_.g_plus(i, j), vj);
+            acc += vj * cell_current(i, j, program_.g_minus(i, j), vj);
+        }
+    }
+    ++measurements_;
+    return noisy(acc);
+}
+
+PowerReading Crossbar::read_power(const tensor::Vector& v) const {
+    PowerReading r;
+    r.total_current = total_current(v);
+    r.power = static_power(v);
+    return r;
+}
+
+}  // namespace xbarsec::xbar

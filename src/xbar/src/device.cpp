@@ -1,0 +1,34 @@
+#include "xbarsec/xbar/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbarsec/common/contracts.hpp"
+#include "xbarsec/common/error.hpp"
+
+namespace xbarsec::xbar {
+
+void DeviceSpec::validate() const {
+    if (!(g_on_max > 0.0)) throw ConfigError("DeviceSpec: g_on_max must be positive");
+    if (g_off < 0.0) throw ConfigError("DeviceSpec: g_off must be non-negative");
+    if (g_off >= g_on_max) throw ConfigError("DeviceSpec: g_off must be below g_on_max");
+    if (write_noise_std < 0.0) throw ConfigError("DeviceSpec: write_noise_std must be >= 0");
+    if (conductance_levels < 0) throw ConfigError("DeviceSpec: conductance_levels must be >= 0");
+    if (conductance_levels == 2) {
+        // Two levels means binary devices; allowed, but worth a contract
+        // that it is intentional: a single intermediate level cannot
+        // represent analog weights at all. (No throw; mapping handles it.)
+    }
+}
+
+double quantize_conductance(const DeviceSpec& spec, double g) {
+    XS_EXPECTS(g >= spec.g_off - 1e-18 && g <= spec.g_on_max + 1e-18);
+    if (spec.conductance_levels <= 1) return g;
+    const double span = spec.g_on_max - spec.g_off;
+    const double steps = static_cast<double>(spec.conductance_levels - 1);
+    const double t = (g - spec.g_off) / span;                  // [0, 1]
+    const double level = std::round(t * steps) / steps;        // snapped
+    return spec.g_off + std::clamp(level, 0.0, 1.0) * span;
+}
+
+}  // namespace xbarsec::xbar

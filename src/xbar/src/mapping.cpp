@@ -1,0 +1,72 @@
+#include "xbarsec/xbar/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::xbar {
+
+CrossbarProgram map_weights(const tensor::Matrix& W, const DeviceSpec& spec,
+                            const MappingOptions& options) {
+    spec.validate();
+    XS_EXPECTS(!W.empty());
+    double w_max = options.weight_max;
+    if (w_max == 0.0) w_max = tensor::max_abs(W);
+    if (w_max <= 0.0) {
+        throw ConfigError("map_weights: weight_max is zero (all-zero weight matrix?)");
+    }
+
+    CrossbarProgram program;
+    program.spec = spec;
+    program.weight_scale = (spec.g_on_max - spec.g_off) / w_max;
+    program.g_plus = tensor::Matrix(W.rows(), W.cols(), spec.g_off);
+    program.g_minus = tensor::Matrix(W.rows(), W.cols(), spec.g_off);
+
+    Rng noise_rng(options.noise_seed);
+    const bool noisy = spec.write_noise_std > 0.0;
+
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        for (std::size_t j = 0; j < W.cols(); ++j) {
+            const double w = W(i, j);
+            if (w == 0.0) continue;  // both devices stay at g_off
+            const double magnitude = std::min(std::abs(w), w_max);
+            double g = spec.g_off + magnitude * program.weight_scale;
+            if (noisy) {
+                g *= 1.0 + noise_rng.normal(0.0, spec.write_noise_std);
+                g = std::clamp(g, spec.g_off, spec.g_on_max);
+            }
+            g = quantize_conductance(spec, g);
+            if (w > 0.0) {
+                program.g_plus(i, j) = g;
+            } else {
+                program.g_minus(i, j) = g;
+            }
+        }
+    }
+    return program;
+}
+
+tensor::Matrix effective_weights(const CrossbarProgram& program) {
+    XS_EXPECTS(program.weight_scale > 0.0);
+    tensor::Matrix W(program.rows(), program.cols());
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        for (std::size_t j = 0; j < W.cols(); ++j) {
+            W(i, j) = (program.g_plus(i, j) - program.g_minus(i, j)) / program.weight_scale;
+        }
+    }
+    return W;
+}
+
+tensor::Vector column_conductance_sums(const CrossbarProgram& program) {
+    tensor::Vector g(program.cols(), 0.0);
+    for (std::size_t i = 0; i < program.rows(); ++i) {
+        for (std::size_t j = 0; j < program.cols(); ++j) {
+            g[j] += program.g_plus(i, j) + program.g_minus(i, j);
+        }
+    }
+    return g;
+}
+
+}  // namespace xbarsec::xbar

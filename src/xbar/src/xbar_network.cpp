@@ -1,0 +1,49 @@
+#include "xbarsec/xbar/xbar_network.hpp"
+
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::xbar {
+
+namespace {
+
+Crossbar build_crossbar(const nn::SingleLayerNet& net, const DeviceSpec& spec,
+                        const NonIdealityConfig& nonideal, const MappingOptions& mapping) {
+    XS_EXPECTS_MSG(!net.layer().has_bias(),
+                   "a passive crossbar computes a pure matrix-vector product; "
+                   "train the network without a bias to deploy it");
+    return Crossbar(map_weights(net.weights(), spec, mapping), nonideal);
+}
+
+}  // namespace
+
+CrossbarNetwork::CrossbarNetwork(const nn::SingleLayerNet& net, const DeviceSpec& spec,
+                                 const NonIdealityConfig& nonideal, const MappingOptions& mapping)
+    : crossbar_(build_crossbar(net, spec, nonideal, mapping)),
+      activation_(net.activation()),
+      loss_(net.loss_kind()) {}
+
+tensor::Vector CrossbarNetwork::predict(const tensor::Vector& u) const {
+    return nn::apply_activation(activation_, crossbar_.mvm(u));
+}
+
+int CrossbarNetwork::classify(const tensor::Vector& u) const {
+    return static_cast<int>(tensor::argmax(predict(u)));
+}
+
+nn::SingleLayerNet CrossbarNetwork::effective_network() const {
+    nn::DenseLayer layer(outputs(), inputs(), /*with_bias=*/false);
+    layer.weights() = crossbar_.effective_weights();
+    return nn::SingleLayerNet(std::move(layer), activation_, loss_);
+}
+
+double CrossbarNetwork::accuracy(const data::Dataset& dataset) const {
+    XS_EXPECTS(dataset.size() > 0);
+    XS_EXPECTS(dataset.input_dim() == inputs());
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+        if (classify(dataset.input(i)) == dataset.label(i)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(dataset.size());
+}
+
+}  // namespace xbarsec::xbar

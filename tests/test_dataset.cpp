@@ -1,0 +1,112 @@
+// Dataset container tests.
+#include <gtest/gtest.h>
+
+#include "xbarsec/common/contracts.hpp"
+#include "xbarsec/data/dataset.hpp"
+
+namespace xbarsec::data {
+namespace {
+
+Dataset tiny_dataset() {
+    tensor::Matrix inputs{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}, {0.7, 0.8}};
+    return Dataset(std::move(inputs), {0, 1, 0, 1}, 2, ImageShape{1, 2, 1}, "tiny");
+}
+
+TEST(Dataset, BasicAccessors) {
+    const Dataset d = tiny_dataset();
+    EXPECT_EQ(d.size(), 4u);
+    EXPECT_EQ(d.input_dim(), 2u);
+    EXPECT_EQ(d.num_classes(), 2u);
+    EXPECT_EQ(d.label(3), 1);
+    EXPECT_EQ(d.name(), "tiny");
+    const tensor::Vector u = d.input(1);
+    EXPECT_DOUBLE_EQ(u[0], 0.3);
+    EXPECT_DOUBLE_EQ(u[1], 0.4);
+}
+
+TEST(Dataset, OneHotTargets) {
+    const Dataset d = tiny_dataset();
+    const tensor::Matrix& t = d.targets();
+    EXPECT_EQ(t.rows(), 4u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(t(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(t(1, 1), 1.0);
+    const tensor::Vector tv = d.target(2);
+    EXPECT_DOUBLE_EQ(tv[0], 1.0);
+}
+
+TEST(Dataset, ShapeMismatchThrows) {
+    tensor::Matrix inputs(2, 3);
+    EXPECT_THROW(Dataset(std::move(inputs), {0, 1}, 2, ImageShape{1, 2, 1}),
+                 xbarsec::ContractViolation);
+}
+
+TEST(Dataset, LabelRangeValidated) {
+    tensor::Matrix inputs(2, 2);
+    EXPECT_THROW(Dataset(std::move(inputs), {0, 5}, 2, ImageShape{1, 2, 1}),
+                 xbarsec::ContractViolation);
+    tensor::Matrix inputs2(2, 2);
+    EXPECT_THROW(Dataset(std::move(inputs2), {0, -1}, 2, ImageShape{1, 2, 1}),
+                 xbarsec::ContractViolation);
+}
+
+TEST(Dataset, RowCountMismatchThrows) {
+    tensor::Matrix inputs(3, 2);
+    EXPECT_THROW(Dataset(std::move(inputs), {0, 1}, 2, ImageShape{1, 2, 1}),
+                 xbarsec::ContractViolation);
+}
+
+TEST(Dataset, SubsetPreservesRowsAndLabels) {
+    const Dataset d = tiny_dataset();
+    const Dataset s = d.subset({2, 0});
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.label(0), 0);
+    EXPECT_DOUBLE_EQ(s.input(0)[0], 0.5);
+    EXPECT_DOUBLE_EQ(s.input(1)[0], 0.1);
+    EXPECT_THROW(d.subset({7}), xbarsec::ContractViolation);
+}
+
+TEST(Dataset, TakeClampsToSize) {
+    const Dataset d = tiny_dataset();
+    EXPECT_EQ(d.take(2).size(), 2u);
+    EXPECT_EQ(d.take(99).size(), 4u);
+}
+
+TEST(Dataset, ShuffleIsAPermutation) {
+    Dataset d = tiny_dataset();
+    Rng rng(3);
+    d.shuffle(rng);
+    EXPECT_EQ(d.size(), 4u);
+    auto counts = d.class_counts();
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 2u);
+    // Every original row is still present somewhere.
+    double total = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) total += d.input(i)[0];
+    EXPECT_NEAR(total, 0.1 + 0.3 + 0.5 + 0.7, 1e-12);
+}
+
+TEST(Dataset, ClassCounts) {
+    const Dataset d = tiny_dataset();
+    const auto counts = d.class_counts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(OneHot, BuildsAndValidates) {
+    const tensor::Matrix t = one_hot({1, 0, 2}, 3);
+    EXPECT_DOUBLE_EQ(t(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(t(2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(t(1, 1), 0.0);
+    EXPECT_THROW(one_hot({3}, 3), xbarsec::ContractViolation);
+}
+
+TEST(ImageShape, PixelsProduct) {
+    const ImageShape s{32, 32, 3};
+    EXPECT_EQ(s.pixels(), 3072u);
+}
+
+}  // namespace
+}  // namespace xbarsec::data

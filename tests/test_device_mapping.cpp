@@ -1,0 +1,175 @@
+// Device model and weight→conductance mapping tests (Eq. 6 invariants).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/ops.hpp"
+#include "xbarsec/xbar/mapping.hpp"
+
+namespace xbarsec::xbar {
+namespace {
+
+DeviceSpec ideal_spec() {
+    DeviceSpec s;
+    s.g_on_max = 100e-6;
+    s.g_off = 0.0;
+    return s;
+}
+
+TEST(DeviceSpec, Validation) {
+    DeviceSpec s = ideal_spec();
+    EXPECT_NO_THROW(s.validate());
+    s.g_on_max = 0.0;
+    EXPECT_THROW(s.validate(), ConfigError);
+    s = ideal_spec();
+    s.g_off = -1e-6;
+    EXPECT_THROW(s.validate(), ConfigError);
+    s = ideal_spec();
+    s.g_off = 200e-6;  // above g_on_max
+    EXPECT_THROW(s.validate(), ConfigError);
+    s = ideal_spec();
+    s.write_noise_std = -0.1;
+    EXPECT_THROW(s.validate(), ConfigError);
+    s = ideal_spec();
+    s.conductance_levels = -2;
+    EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(DeviceSpec, QuantizeSnapsToGrid) {
+    DeviceSpec s = ideal_spec();
+    s.conductance_levels = 5;  // levels at 0, 25, 50, 75, 100 µS
+    EXPECT_NEAR(quantize_conductance(s, 30e-6), 25e-6, 1e-12);
+    EXPECT_NEAR(quantize_conductance(s, 40e-6), 50e-6, 1e-12);
+    EXPECT_NEAR(quantize_conductance(s, 100e-6), 100e-6, 1e-18);
+    EXPECT_NEAR(quantize_conductance(s, 0.0), 0.0, 1e-18);
+}
+
+TEST(DeviceSpec, ContinuousSpecIsIdentity) {
+    const DeviceSpec s = ideal_spec();
+    EXPECT_DOUBLE_EQ(quantize_conductance(s, 42e-6), 42e-6);
+}
+
+TEST(Mapping, OneSidedConvention) {
+    // Positive weights live in G⁺ with G⁻ at g_off and vice-versa (the
+    // paper's minimal-power assumption that creates the 1-norm leak).
+    const tensor::Matrix W{{0.5, -0.25}, {0.0, 1.0}};
+    const CrossbarProgram p = map_weights(W, ideal_spec());
+    EXPECT_GT(p.g_plus(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(p.g_minus(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(p.g_plus(0, 1), 0.0);
+    EXPECT_GT(p.g_minus(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(p.g_plus(1, 0), 0.0);  // zero weight: both off
+    EXPECT_DOUBLE_EQ(p.g_minus(1, 0), 0.0);
+}
+
+TEST(Mapping, EffectiveWeightsRoundTripExactly) {
+    Rng rng(1);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 6, 11);
+    const CrossbarProgram p = map_weights(W, ideal_spec());
+    const tensor::Matrix W_hat = effective_weights(p);
+    for (std::size_t i = 0; i < W.rows(); ++i)
+        for (std::size_t j = 0; j < W.cols(); ++j) EXPECT_NEAR(W_hat(i, j), W(i, j), 1e-12);
+}
+
+TEST(Mapping, ColumnConductanceSumsEncodeL1) {
+    // Eq. 5-6: G_j = 2·M·g_off + scale·‖W[:,j]‖₁.
+    Rng rng(2);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 7, 5);
+    DeviceSpec spec = ideal_spec();
+    spec.g_off = 2e-6;
+    const CrossbarProgram p = map_weights(W, spec);
+    const tensor::Vector g = column_conductance_sums(p);
+    const tensor::Vector l1 = tensor::column_abs_sums(W);
+    for (std::size_t j = 0; j < 5; ++j) {
+        const double expected = 2.0 * 7.0 * spec.g_off + p.weight_scale * l1[j];
+        EXPECT_NEAR(g[j], expected, 1e-15) << "column " << j;
+    }
+}
+
+TEST(Mapping, WeightMaxOverrideFixesScale) {
+    const tensor::Matrix W{{0.5}};
+    MappingOptions options;
+    options.weight_max = 2.0;
+    const DeviceSpec spec = ideal_spec();
+    const CrossbarProgram p = map_weights(W, spec, options);
+    EXPECT_DOUBLE_EQ(p.weight_scale, spec.g_on_max / 2.0);
+    EXPECT_DOUBLE_EQ(p.g_plus(0, 0), 0.5 * p.weight_scale);
+}
+
+TEST(Mapping, OversizedWeightsSaturate) {
+    const tensor::Matrix W{{4.0}};
+    MappingOptions options;
+    options.weight_max = 2.0;  // |w| > weight_max clips to g_on_max
+    const CrossbarProgram p = map_weights(W, ideal_spec(), options);
+    EXPECT_DOUBLE_EQ(p.g_plus(0, 0), ideal_spec().g_on_max);
+}
+
+TEST(Mapping, AllZeroMatrixThrows) {
+    const tensor::Matrix W(3, 3, 0.0);
+    EXPECT_THROW(map_weights(W, ideal_spec()), ConfigError);
+}
+
+TEST(Mapping, WriteNoisePerturbsButPreservesSigns) {
+    Rng rng(3);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 5, 9);
+    DeviceSpec spec = ideal_spec();
+    spec.write_noise_std = 0.05;
+    const CrossbarProgram noisy = map_weights(W, spec);
+    const CrossbarProgram clean = map_weights(W, ideal_spec());
+    const tensor::Matrix W_noisy = effective_weights(noisy);
+    double total_dev = 0.0;
+    for (std::size_t i = 0; i < W.rows(); ++i) {
+        for (std::size_t j = 0; j < W.cols(); ++j) {
+            if (W(i, j) != 0.0) {
+                // One-sidedness survives noise: sign is never flipped.
+                EXPECT_EQ(W_noisy(i, j) > 0.0, W(i, j) > 0.0);
+            }
+            total_dev += std::abs(W_noisy(i, j) - W(i, j));
+        }
+    }
+    EXPECT_GT(total_dev, 0.0);
+    (void)clean;
+}
+
+TEST(Mapping, WriteNoiseIsDeterministicPerSeed) {
+    Rng rng(4);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 4, 4);
+    DeviceSpec spec = ideal_spec();
+    spec.write_noise_std = 0.1;
+    MappingOptions o1, o2;
+    o1.noise_seed = o2.noise_seed = 123;
+    EXPECT_EQ(map_weights(W, spec, o1).g_plus, map_weights(W, spec, o2).g_plus);
+    o2.noise_seed = 124;
+    EXPECT_NE(map_weights(W, spec, o1).g_plus, map_weights(W, spec, o2).g_plus);
+}
+
+TEST(Mapping, QuantisationLimitsDistinctLevels) {
+    Rng rng(5);
+    const tensor::Matrix W = tensor::Matrix::random_uniform(rng, 10, 10, -1.0, 1.0);
+    DeviceSpec spec = ideal_spec();
+    spec.conductance_levels = 4;
+    const CrossbarProgram p = map_weights(W, spec);
+    std::set<double> levels;
+    for (std::size_t i = 0; i < 10; ++i)
+        for (std::size_t j = 0; j < 10; ++j) {
+            levels.insert(p.g_plus(i, j));
+            levels.insert(p.g_minus(i, j));
+        }
+    EXPECT_LE(levels.size(), 4u);
+}
+
+TEST(Mapping, GoffFloorsProgrammedDevices) {
+    const tensor::Matrix W{{1.0, -1.0}};
+    DeviceSpec spec = ideal_spec();
+    spec.g_off = 5e-6;
+    const CrossbarProgram p = map_weights(W, spec);
+    // Off devices rest at g_off, programmed devices start from g_off.
+    EXPECT_DOUBLE_EQ(p.g_minus(0, 0), 5e-6);
+    EXPECT_DOUBLE_EQ(p.g_plus(0, 1), 5e-6);
+    EXPECT_DOUBLE_EQ(p.g_plus(0, 0), spec.g_on_max);  // |w| = w_max
+}
+
+}  // namespace
+}  // namespace xbarsec::xbar

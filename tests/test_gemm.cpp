@@ -1,0 +1,106 @@
+// GEMM correctness against a reference triple loop, across shapes and
+// transpose combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <tuple>
+
+#include "xbarsec/common/contracts.hpp"
+#include "xbarsec/tensor/gemm.hpp"
+
+namespace xbarsec::tensor {
+namespace {
+
+Matrix reference_matmul(const Matrix& A, const Matrix& B) {
+    Matrix C(A.rows(), B.cols(), 0.0);
+    for (std::size_t i = 0; i < A.rows(); ++i)
+        for (std::size_t k = 0; k < A.cols(); ++k)
+            for (std::size_t j = 0; j < B.cols(); ++j) C(i, j) += A(i, k) * B(k, j);
+    return C;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, double tol = 1e-10) {
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j) EXPECT_NEAR(a(i, j), b(i, j), tol);
+}
+
+TEST(Gemm, SmallKnownProduct) {
+    const Matrix A{{1, 2}, {3, 4}};
+    const Matrix B{{5, 6}, {7, 8}};
+    const Matrix C = matmul(A, B);
+    EXPECT_DOUBLE_EQ(C(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(C(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(C(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(C(1, 1), 50.0);
+}
+
+TEST(Gemm, AlphaBetaSemantics) {
+    const Matrix A{{1, 0}, {0, 1}};
+    const Matrix B{{2, 0}, {0, 2}};
+    Matrix C(2, 2, 1.0);
+    gemm(3.0, A, Op::None, B, Op::None, 0.5, C);
+    // C = 3·(A·B) + 0.5·ones = 6·I + 0.5.
+    EXPECT_DOUBLE_EQ(C(0, 0), 6.5);
+    EXPECT_DOUBLE_EQ(C(0, 1), 0.5);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+    const Matrix A{{1}}, B{{1}};
+    Matrix C(1, 1, std::nan(""));
+    gemm(1.0, A, Op::None, B, Op::None, 0.0, C);
+    EXPECT_DOUBLE_EQ(C(0, 0), 1.0);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+    const Matrix A(2, 3), B(2, 2);
+    Matrix C(2, 2);
+    EXPECT_THROW(gemm(1.0, A, Op::None, B, Op::None, 0.0, C), ContractViolation);
+    Matrix D(3, 3);
+    const Matrix B2(3, 2);
+    EXPECT_THROW(gemm(1.0, A, Op::None, B2, Op::None, 0.0, D), ContractViolation);
+}
+
+using GemmCase = std::tuple<std::size_t, std::size_t, std::size_t, Op, Op>;
+
+class GemmProperty : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmProperty, MatchesReferenceForAllTransposeCombos) {
+    const auto [m, k, n, opA, opB] = GetParam();
+    Rng rng(m * 7919 + k * 131 + n + static_cast<std::size_t>(opA) * 17 +
+            static_cast<std::size_t>(opB));
+    // Build operands so op(A) is m×k, op(B) is k×n.
+    const Matrix A = opA == Op::None ? Matrix::random_normal(rng, m, k)
+                                     : Matrix::random_normal(rng, k, m);
+    const Matrix B = opB == Op::None ? Matrix::random_normal(rng, k, n)
+                                     : Matrix::random_normal(rng, n, k);
+    const Matrix got = matmul(A, opA, B, opB);
+    const Matrix Aeff = opA == Op::None ? A : A.transposed();
+    const Matrix Beff = opB == Op::None ? B : B.transposed();
+    expect_near(got, reference_matmul(Aeff, Beff));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndOps, GemmProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 5, 32, 65),
+                       ::testing::Values<std::size_t>(1, 7, 64, 300),
+                       ::testing::Values<std::size_t>(1, 10, 33),
+                       ::testing::Values(Op::None, Op::Transpose),
+                       ::testing::Values(Op::None, Op::Transpose)));
+
+TEST(Gemm, AccumulatesWithBetaOne) {
+    Rng rng(3);
+    const Matrix A = Matrix::random_normal(rng, 4, 6);
+    const Matrix B = Matrix::random_normal(rng, 6, 5);
+    Matrix C(4, 5, 0.0);
+    gemm(1.0, A, Op::None, B, Op::None, 0.0, C);
+    gemm(1.0, A, Op::None, B, Op::None, 1.0, C);  // C = 2·A·B
+    Matrix expected = reference_matmul(A, B);
+    expected *= 2.0;
+    expect_near(C, expected);
+}
+
+}  // namespace
+}  // namespace xbarsec::tensor

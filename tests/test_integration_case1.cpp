@@ -1,0 +1,120 @@
+// End-to-end Case-1 integration: train → deploy → probe → single-pixel
+// attack, asserting the orderings the paper's Figure 4 shows.
+#include <gtest/gtest.h>
+
+#include "xbarsec/attack/single_pixel.hpp"
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/synthetic_mnist.hpp"
+#include "xbarsec/nn/metrics.hpp"
+#include "xbarsec/nn/sensitivity.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec {
+namespace {
+
+class Case1Pipeline : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        data::SyntheticMnistConfig dc;
+        dc.train_count = 1200;
+        dc.test_count = 300;
+        split_ = new data::DataSplit(data::make_synthetic_mnist(dc));
+
+        core::VictimConfig config =
+            core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
+        config.train.epochs = 12;
+        victim_ = new core::TrainedVictim(core::train_victim(*split_, config));
+        oracle_ = new core::CrossbarOracle(core::deploy_victim(victim_->net, config));
+        l1_ = new tensor::Vector(
+            sidechannel::probe_columns(oracle_->power_measure_fn(), oracle_->inputs())
+                .conductance_sums);
+    }
+
+    static void TearDownTestSuite() {
+        delete l1_;
+        delete oracle_;
+        delete victim_;
+        delete split_;
+        l1_ = nullptr;
+        oracle_ = nullptr;
+        victim_ = nullptr;
+        split_ = nullptr;
+    }
+
+    static data::DataSplit* split_;
+    static core::TrainedVictim* victim_;
+    static core::CrossbarOracle* oracle_;
+    static tensor::Vector* l1_;
+};
+
+data::DataSplit* Case1Pipeline::split_ = nullptr;
+core::TrainedVictim* Case1Pipeline::victim_ = nullptr;
+core::CrossbarOracle* Case1Pipeline::oracle_ = nullptr;
+tensor::Vector* Case1Pipeline::l1_ = nullptr;
+
+TEST_F(Case1Pipeline, VictimReachesAccuracyBand) {
+    EXPECT_GT(victim_->test_accuracy, 0.75);
+    EXPECT_GE(victim_->train_accuracy, victim_->test_accuracy - 0.05);
+}
+
+TEST_F(Case1Pipeline, ProbedL1MatchesWeights) {
+    const tensor::Vector truth = tensor::column_abs_sums(victim_->net.weights());
+    ASSERT_EQ(l1_->size(), truth.size());
+    for (std::size_t j = 0; j < truth.size(); ++j) EXPECT_NEAR((*l1_)[j], truth[j], 1e-8);
+}
+
+TEST_F(Case1Pipeline, PowerGuidedAttackBeatsRandomPixel) {
+    // The Figure-4 ordering at a strong attack point: power-guided "+"
+    // must degrade accuracy more than the blind random-pixel baseline,
+    // and the white-box worst case must be the strongest of all.
+    const double strength = 6.0;
+    Rng rng(1);
+    const nn::SingleLayerNet& net = victim_->net;
+    const double rp = attack::evaluate_single_pixel_attack(
+        net, split_->test, attack::SinglePixelMethod::RandomPixel, strength, l1_, rng);
+    const double add = attack::evaluate_single_pixel_attack(
+        net, split_->test, attack::SinglePixelMethod::PowerAdd, strength, l1_, rng);
+    const double worst = attack::evaluate_single_pixel_attack(
+        net, split_->test, attack::SinglePixelMethod::WorstCase, strength, l1_, rng);
+    EXPECT_LT(add, rp - 0.02) << "power info must help (Fig. 4)";
+    EXPECT_LE(worst, add + 0.02) << "white-box bound must be strongest";
+}
+
+TEST_F(Case1Pipeline, AttackDegradationGrowsWithStrength) {
+    Rng rng(2);
+    const nn::SingleLayerNet& net = victim_->net;
+    double prev = 1.0;
+    for (const double strength : {0.0, 4.0, 10.0}) {
+        const double acc = attack::evaluate_single_pixel_attack(
+            net, split_->test, attack::SinglePixelMethod::WorstCase, strength, l1_, rng);
+        EXPECT_LE(acc, prev + 0.02) << "strength " << strength;
+        prev = acc;
+    }
+}
+
+TEST_F(Case1Pipeline, RandomDirectionSitsBetweenAddAndSub) {
+    // "RD" averages the "+" and "−" outcomes, so it must land between
+    // them (with slack for sampling noise).
+    const double strength = 8.0;
+    Rng rng(3);
+    const nn::SingleLayerNet& net = victim_->net;
+    const double add = attack::evaluate_single_pixel_attack(
+        net, split_->test, attack::SinglePixelMethod::PowerAdd, strength, l1_, rng);
+    const double sub = attack::evaluate_single_pixel_attack(
+        net, split_->test, attack::SinglePixelMethod::PowerSub, strength, l1_, rng);
+    const double rd = attack::evaluate_single_pixel_attack(
+        net, split_->test, attack::SinglePixelMethod::PowerRandomDir, strength, l1_, rng);
+    const double lo = std::min(add, sub), hi = std::max(add, sub);
+    EXPECT_GE(rd, lo - 0.05);
+    EXPECT_LE(rd, hi + 0.05);
+}
+
+TEST_F(Case1Pipeline, MeanSensitivityCorrelatesWithProbedL1) {
+    // Mini Table-I on the deployed pipeline (probed 1-norms, not weights).
+    const double corr = nn::correlation_of_mean(victim_->net, split_->test, *l1_);
+    EXPECT_GT(corr, 0.5);
+}
+
+}  // namespace
+}  // namespace xbarsec

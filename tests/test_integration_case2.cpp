@@ -1,0 +1,130 @@
+// End-to-end Case-2 integration: oracle queries → surrogate (Eq. 9) →
+// FGSM transfer, asserting the Figure-5 trends at miniature scale.
+#include <gtest/gtest.h>
+
+#include "xbarsec/attack/fgsm.hpp"
+#include "xbarsec/attack/surrogate.hpp"
+#include "xbarsec/core/queries.hpp"
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/synthetic_mnist.hpp"
+#include "xbarsec/nn/metrics.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec {
+namespace {
+
+class Case2Pipeline : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        data::SyntheticMnistConfig dc;
+        dc.train_count = 1500;
+        dc.test_count = 300;
+        split_ = new data::DataSplit(data::make_synthetic_mnist(dc));
+
+        core::VictimConfig config =
+            core::VictimConfig::defaults(core::OutputConfig::linear_mse());
+        config.train.epochs = 12;
+        victim_ = new core::TrainedVictim(core::train_victim(*split_, config));
+        oracle_ = new core::CrossbarOracle(core::deploy_victim(victim_->net, config));
+    }
+
+    static void TearDownTestSuite() {
+        delete oracle_;
+        delete victim_;
+        delete split_;
+        oracle_ = nullptr;
+        victim_ = nullptr;
+        split_ = nullptr;
+    }
+
+    static attack::QueryDataset draw_queries(std::size_t count, bool raw, std::uint64_t seed) {
+        core::QueryPlan plan;
+        plan.count = count;
+        plan.raw_outputs = raw;
+        plan.seed = seed;
+        return core::collect_queries(*oracle_, split_->train, plan);
+    }
+
+    static attack::SurrogateTrainResult fit(const attack::QueryDataset& q, double lambda) {
+        attack::SurrogateConfig sc;
+        sc.power_loss_weight = lambda;
+        sc.train.epochs = 120;
+        sc.train.batch_size = 32;
+        sc.train.learning_rate = 0.05;
+        sc.train.momentum = 0.9;
+        sc.train.final_lr_fraction = 0.1;
+        return attack::train_surrogate(q, sc);
+    }
+
+    static data::DataSplit* split_;
+    static core::TrainedVictim* victim_;
+    static core::CrossbarOracle* oracle_;
+};
+
+data::DataSplit* Case2Pipeline::split_ = nullptr;
+core::TrainedVictim* Case2Pipeline::victim_ = nullptr;
+core::CrossbarOracle* Case2Pipeline::oracle_ = nullptr;
+
+TEST_F(Case2Pipeline, SurrogateAccuracyGrowsWithQueries) {
+    const attack::QueryDataset small = draw_queries(20, /*raw=*/true, 1);
+    const attack::QueryDataset large = draw_queries(600, /*raw=*/true, 2);
+    const double acc_small = nn::accuracy(fit(small, 0.0).surrogate, split_->test);
+    const double acc_large = nn::accuracy(fit(large, 0.0).surrogate, split_->test);
+    EXPECT_GT(acc_large, acc_small + 0.1);
+    EXPECT_GT(acc_large, 0.6);
+}
+
+TEST_F(Case2Pipeline, FgsmOnSurrogateTransfersToOracle) {
+    const attack::QueryDataset q = draw_queries(600, /*raw=*/true, 3);
+    const nn::SingleLayerNet surrogate = fit(q, 0.0).surrogate;
+    const data::Dataset eval = split_->test.take(150);
+    const double clean = nn::accuracy(victim_->net, eval);
+    const tensor::Matrix adv = attack::fgsm_attack_batch(
+        surrogate, eval.inputs(), eval.labels(), eval.num_classes(), 0.1);
+    const double attacked = nn::accuracy(victim_->net, adv, eval.labels());
+    EXPECT_LT(attacked, clean - 0.1) << "transfer attack must bite";
+}
+
+TEST_F(Case2Pipeline, PowerInformationHelpsAtModerateQueryCounts) {
+    // The paper's central Figure-5 claim, in miniature: with Q ≪ N and
+    // raw outputs, λ > 0 yields a stronger transfer attack than λ = 0.
+    // Averaged over a few query draws to suppress seed noise.
+    const data::Dataset eval = split_->test.take(150);
+    double adv_base = 0.0, adv_power = 0.0;
+    constexpr int kDraws = 3;
+    for (int draw = 0; draw < kDraws; ++draw) {
+        const attack::QueryDataset q = draw_queries(60, /*raw=*/true, 10 + draw);
+        const nn::SingleLayerNet base = fit(q, 0.0).surrogate;
+        const nn::SingleLayerNet power = fit(q, 0.004).surrogate;
+        const tensor::Matrix adv_b = attack::fgsm_attack_batch(
+            base, eval.inputs(), eval.labels(), eval.num_classes(), 0.1);
+        const tensor::Matrix adv_p = attack::fgsm_attack_batch(
+            power, eval.inputs(), eval.labels(), eval.num_classes(), 0.1);
+        adv_base += nn::accuracy(victim_->net, adv_b, eval.labels());
+        adv_power += nn::accuracy(victim_->net, adv_p, eval.labels());
+    }
+    adv_base /= kDraws;
+    adv_power /= kDraws;
+    EXPECT_LT(adv_power, adv_base + 0.01)
+        << "power-aided surrogate should not be weaker at moderate Q";
+}
+
+TEST_F(Case2Pipeline, LabelOnlyQueriesAreNoisierThanRaw) {
+    // Label-only supervision amounts to noisy targets (paper, Section IV):
+    // the raw-output surrogate must fit the oracle at least as well.
+    const attack::QueryDataset raw = draw_queries(300, /*raw=*/true, 20);
+    const attack::QueryDataset labels = draw_queries(300, /*raw=*/false, 20);
+    const double acc_raw = nn::accuracy(fit(raw, 0.0).surrogate, split_->test);
+    const double acc_label = nn::accuracy(fit(labels, 0.0).surrogate, split_->test);
+    EXPECT_GE(acc_raw, acc_label - 0.03);
+}
+
+TEST_F(Case2Pipeline, QueryBudgetIsAccounted) {
+    oracle_->reset_counters();
+    draw_queries(25, /*raw=*/true, 30);
+    EXPECT_EQ(oracle_->counters().inference, 25u);
+    EXPECT_EQ(oracle_->counters().power, 25u);
+}
+
+}  // namespace
+}  // namespace xbarsec

@@ -1,0 +1,153 @@
+// Multi-layer perceptron (future-work extension) tests: backprop
+// gradient checks and basic learning.
+#include <gtest/gtest.h>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/nn/mlp.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+namespace {
+
+MlpConfig small_config() {
+    MlpConfig c;
+    c.layer_sizes = {6, 8, 4};
+    c.hidden_activation = Activation::Tanh;  // smooth ⇒ clean finite differences
+    c.output_activation = Activation::Softmax;
+    c.loss = Loss::CategoricalCrossentropy;
+    c.with_bias = true;
+    return c;
+}
+
+TEST(Mlp, ConfigValidation) {
+    Rng rng(1);
+    MlpConfig bad = small_config();
+    bad.layer_sizes = {4};
+    EXPECT_THROW(Mlp(rng, bad), ContractViolation);
+    MlpConfig bad2 = small_config();
+    bad2.output_activation = Activation::Softmax;
+    bad2.loss = Loss::Mse;
+    EXPECT_THROW(Mlp(rng, bad2), ConfigError);
+    MlpConfig bad3 = small_config();
+    bad3.hidden_activation = Activation::Softmax;
+    EXPECT_THROW(Mlp(rng, bad3), ConfigError);
+}
+
+TEST(Mlp, ShapesAndDepth) {
+    Rng rng(2);
+    const Mlp mlp(rng, small_config());
+    EXPECT_EQ(mlp.inputs(), 6u);
+    EXPECT_EQ(mlp.outputs(), 4u);
+    EXPECT_EQ(mlp.depth(), 2u);
+}
+
+TEST(Mlp, PredictIsADistributionWithSoftmaxHead) {
+    Rng rng(3);
+    const Mlp mlp(rng, small_config());
+    const tensor::Vector y = mlp.predict(tensor::Vector{0.1, 0.2, 0.3, 0.4, 0.5, 0.6});
+    EXPECT_NEAR(tensor::sum(y), 1.0, 1e-12);
+    EXPECT_GE(mlp.classify(tensor::Vector(6, 0.3)), 0);
+}
+
+TEST(Mlp, WeightGradientsMatchFiniteDifferences) {
+    Rng rng(4);
+    Mlp mlp(rng, small_config());
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 6);
+    tensor::Vector t(4, 0.0);
+    t[2] = 1.0;
+    const Mlp::Gradients g = mlp.backprop(u, t);
+    const double h = 1e-6;
+    for (std::size_t l = 0; l < mlp.depth(); ++l) {
+        tensor::Matrix& W = mlp.layers()[l].weights();
+        // Spot-check a grid of entries (full check is O(params²) slow).
+        for (std::size_t i = 0; i < W.rows(); i += 2) {
+            for (std::size_t j = 0; j < W.cols(); j += 3) {
+                const double save = W(i, j);
+                W(i, j) = save + h;
+                const double lp = mlp.loss(u, t);
+                W(i, j) = save - h;
+                const double lm = mlp.loss(u, t);
+                W(i, j) = save;
+                EXPECT_NEAR(g.weights[l](i, j), (lp - lm) / (2 * h), 1e-5)
+                    << "layer " << l << " (" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+TEST(Mlp, BiasGradientsMatchFiniteDifferences) {
+    Rng rng(5);
+    Mlp mlp(rng, small_config());
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 6);
+    tensor::Vector t(4, 0.0);
+    t[0] = 1.0;
+    const Mlp::Gradients g = mlp.backprop(u, t);
+    const double h = 1e-6;
+    for (std::size_t l = 0; l < mlp.depth(); ++l) {
+        tensor::Vector& b = mlp.layers()[l].bias();
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            const double save = b[i];
+            b[i] = save + h;
+            const double lp = mlp.loss(u, t);
+            b[i] = save - h;
+            const double lm = mlp.loss(u, t);
+            b[i] = save;
+            EXPECT_NEAR(g.biases[l][i], (lp - lm) / (2 * h), 1e-5) << "layer " << l << " i=" << i;
+        }
+    }
+}
+
+TEST(Mlp, InputGradientMatchesFiniteDifferences) {
+    Rng rng(6);
+    const Mlp mlp(rng, small_config());
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 6);
+    tensor::Vector t(4, 0.0);
+    t[3] = 1.0;
+    const tensor::Vector g = mlp.input_gradient(u, t);
+    const double h = 1e-6;
+    for (std::size_t j = 0; j < u.size(); ++j) {
+        tensor::Vector up = u, um = u;
+        up[j] += h;
+        um[j] -= h;
+        EXPECT_NEAR(g[j], (mlp.loss(up, t) - mlp.loss(um, t)) / (2 * h), 1e-5);
+    }
+}
+
+TEST(Mlp, ManualSgdStepsReduceLossOnTinyProblem) {
+    // Two well-separated classes in 2-D; a 2-4-2 MLP should fit quickly
+    // with plain per-sample gradient steps.
+    Rng rng(7);
+    MlpConfig c;
+    c.layer_sizes = {2, 4, 2};
+    c.hidden_activation = Activation::Tanh;
+    c.output_activation = Activation::Softmax;
+    c.loss = Loss::CategoricalCrossentropy;
+    Mlp mlp(rng, c);
+
+    const std::vector<tensor::Vector> xs{{0.0, 0.0}, {1.0, 1.0}, {0.1, 0.1}, {0.9, 0.9}};
+    const std::vector<tensor::Vector> ts{{1, 0}, {0, 1}, {1, 0}, {0, 1}};
+
+    auto total_loss = [&] {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < xs.size(); ++i) acc += mlp.loss(xs[i], ts[i]);
+        return acc;
+    };
+    const double before = total_loss();
+    for (int epoch = 0; epoch < 200; ++epoch) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const Mlp::Gradients g = mlp.backprop(xs[i], ts[i]);
+            for (std::size_t l = 0; l < mlp.depth(); ++l) {
+                tensor::Matrix& W = mlp.layers()[l].weights();
+                for (std::size_t e = 0; e < W.size(); ++e) W.data()[e] -= 0.2 * g.weights[l].data()[e];
+                tensor::Vector& b = mlp.layers()[l].bias();
+                for (std::size_t e = 0; e < b.size(); ++e) b[e] -= 0.2 * g.biases[l][e];
+            }
+        }
+    }
+    EXPECT_LT(total_loss(), 0.25 * before);
+    EXPECT_EQ(mlp.classify(tensor::Vector{0.05, 0.05}), 0);
+    EXPECT_EQ(mlp.classify(tensor::Vector{0.95, 0.95}), 1);
+}
+
+}  // namespace
+}  // namespace xbarsec::nn

@@ -1,0 +1,134 @@
+// MLP trainer and multi-layer crossbar deployment tests (the paper's
+// future-work direction, implemented as a library extension).
+#include <gtest/gtest.h>
+
+#include "xbarsec/data/synthetic_mnist.hpp"
+#include "xbarsec/nn/mlp_trainer.hpp"
+#include "xbarsec/sidechannel/probe.hpp"
+#include "xbarsec/tensor/ops.hpp"
+#include "xbarsec/xbar/multilayer.hpp"
+
+namespace xbarsec {
+namespace {
+
+nn::MlpConfig small_config(bool bias = false) {
+    nn::MlpConfig c;
+    c.layer_sizes = {784, 32, 10};
+    c.hidden_activation = nn::Activation::Relu;
+    c.output_activation = nn::Activation::Softmax;
+    c.loss = nn::Loss::CategoricalCrossentropy;
+    c.with_bias = bias;
+    return c;
+}
+
+class MultiLayerFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        data::SyntheticMnistConfig dc;
+        dc.train_count = 900;
+        dc.test_count = 250;
+        split_ = new data::DataSplit(data::make_synthetic_mnist(dc));
+
+        Rng rng(21);
+        mlp_ = new nn::Mlp(rng, small_config());
+        nn::TrainConfig tc;
+        tc.epochs = 6;
+        tc.batch_size = 32;
+        tc.learning_rate = 0.05;
+        tc.momentum = 0.9;
+        history_ = new nn::TrainHistory(nn::train_mlp(*mlp_, split_->train, tc));
+    }
+
+    static void TearDownTestSuite() {
+        delete history_;
+        delete mlp_;
+        delete split_;
+        history_ = nullptr;
+        mlp_ = nullptr;
+        split_ = nullptr;
+    }
+
+    static data::DataSplit* split_;
+    static nn::Mlp* mlp_;
+    static nn::TrainHistory* history_;
+};
+
+data::DataSplit* MultiLayerFixture::split_ = nullptr;
+nn::Mlp* MultiLayerFixture::mlp_ = nullptr;
+nn::TrainHistory* MultiLayerFixture::history_ = nullptr;
+
+TEST_F(MultiLayerFixture, TrainerReducesLossAndLearns) {
+    ASSERT_EQ(history_->epoch_loss.size(), 6u);
+    EXPECT_LT(history_->epoch_loss.back(), 0.7 * history_->epoch_loss.front());
+    EXPECT_GT(nn::accuracy(*mlp_, split_->test), 0.6);
+}
+
+TEST_F(MultiLayerFixture, AnalogDeploymentMatchesSoftwareOnIdealDevices) {
+    xbar::DeviceSpec spec;
+    const xbar::MultiLayerCrossbarNetwork hw(*mlp_, spec);
+    EXPECT_EQ(hw.depth(), 2u);
+    EXPECT_EQ(hw.inputs(), 784u);
+    EXPECT_EQ(hw.outputs(), 10u);
+    for (std::size_t i = 0; i < 30; ++i) {
+        const tensor::Vector u = split_->test.input(i);
+        const tensor::Vector sw = mlp_->predict(u);
+        const tensor::Vector analog = hw.predict(u);
+        for (std::size_t c = 0; c < sw.size(); ++c) EXPECT_NEAR(analog[c], sw[c], 1e-8);
+        EXPECT_EQ(hw.classify(u), mlp_->classify(u));
+    }
+    EXPECT_NEAR(hw.accuracy(split_->test.take(100)),
+                nn::accuracy(*mlp_, split_->test.take(100)), 1e-12);
+}
+
+TEST_F(MultiLayerFixture, FirstLayerPowerChannelLeaksItsColumnL1) {
+    // The external side channel (layer 0) obeys the same Eq. 5-6 identity
+    // as the single-layer case.
+    xbar::DeviceSpec spec;
+    const xbar::MultiLayerCrossbarNetwork hw(*mlp_, spec);
+    const tensor::Vector truth = tensor::column_abs_sums(mlp_->layers()[0].weights());
+    const double scale = hw.layer(0).program().weight_scale;
+    for (std::size_t j = 0; j < 784; j += 97) {
+        const double current = hw.layer_total_current(0, tensor::Vector::basis(784, j));
+        EXPECT_NEAR(current / scale, truth[j], 1e-9);
+    }
+}
+
+TEST_F(MultiLayerFixture, DeeperLayerChannelsAreReachable) {
+    xbar::DeviceSpec spec;
+    const xbar::MultiLayerCrossbarNetwork hw(*mlp_, spec);
+    const tensor::Vector u = split_->test.input(0);
+    EXPECT_GE(hw.layer_total_current(1, u), 0.0);
+    EXPECT_THROW(hw.layer_total_current(2, u), ContractViolation);
+}
+
+TEST_F(MultiLayerFixture, BiasedMlpIsRejected) {
+    Rng rng(22);
+    const nn::Mlp biased(rng, small_config(/*bias=*/true));
+    xbar::DeviceSpec spec;
+    EXPECT_THROW(xbar::MultiLayerCrossbarNetwork(biased, spec), ContractViolation);
+}
+
+TEST_F(MultiLayerFixture, NonIdealDeploymentDegradesGracefully) {
+    xbar::DeviceSpec coarse;
+    coarse.conductance_levels = 16;
+    xbar::NonIdealityConfig nonideal;
+    nonideal.stuck_off_fraction = 0.01;
+    const xbar::MultiLayerCrossbarNetwork hw(*mlp_, coarse, nonideal);
+    const double sw_acc = nn::accuracy(*mlp_, split_->test.take(100));
+    const double hw_acc = hw.accuracy(split_->test.take(100));
+    EXPECT_GT(hw_acc, sw_acc - 0.25);
+}
+
+TEST(MlpTrainerStandalone, ValidatesShapes) {
+    Rng rng(23);
+    nn::MlpConfig c;
+    c.layer_sizes = {4, 3, 2};
+    nn::Mlp mlp(rng, c);
+    tensor::Matrix inputs(6, 5);  // wrong input dim
+    const data::Dataset bad(std::move(inputs), {0, 1, 0, 1, 0, 1}, 2, data::ImageShape{1, 5, 1});
+    nn::TrainConfig tc;
+    EXPECT_THROW(nn::train_mlp(mlp, bad, tc), ContractViolation);
+}
+
+}  // namespace
+}  // namespace xbarsec

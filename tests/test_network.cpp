@@ -1,0 +1,129 @@
+// DenseLayer and SingleLayerNet tests, including the Eq. 7 input-gradient
+// check against finite differences.
+#include <gtest/gtest.h>
+
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/nn/layer.hpp"
+#include "xbarsec/nn/network.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+namespace {
+
+TEST(DenseLayer, ForwardIsMatVec) {
+    DenseLayer layer(2, 3);
+    layer.weights() = tensor::Matrix{{1, 2, 3}, {4, 5, 6}};
+    const tensor::Vector s = layer.forward(tensor::Vector{1, 0, -1});
+    EXPECT_DOUBLE_EQ(s[0], -2.0);
+    EXPECT_DOUBLE_EQ(s[1], -2.0);
+}
+
+TEST(DenseLayer, BiasIsApplied) {
+    DenseLayer layer(2, 2, /*with_bias=*/true);
+    layer.weights() = tensor::Matrix{{1, 0}, {0, 1}};
+    layer.bias() = tensor::Vector{10, 20};
+    const tensor::Vector s = layer.forward(tensor::Vector{1, 2});
+    EXPECT_DOUBLE_EQ(s[0], 11.0);
+    EXPECT_DOUBLE_EQ(s[1], 22.0);
+}
+
+TEST(DenseLayer, BatchMatchesPerSampleForward) {
+    Rng rng(1);
+    const DenseLayer layer = DenseLayer::glorot(rng, 4, 7, /*with_bias=*/true);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 9, 7);
+    const tensor::Matrix S = layer.forward_batch(U);
+    for (std::size_t r = 0; r < U.rows(); ++r) {
+        const tensor::Vector s = layer.forward(U.row(r));
+        for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(S(r, c), s[c], 1e-12);
+    }
+}
+
+TEST(DenseLayer, GlorotBounds) {
+    Rng rng(2);
+    const DenseLayer layer = DenseLayer::glorot(rng, 10, 90);
+    const double limit = std::sqrt(6.0 / 100.0);
+    EXPECT_LE(tensor::max_abs(layer.weights()), limit);
+    // Not degenerate.
+    EXPECT_GT(tensor::frobenius_norm(layer.weights()), 0.1);
+}
+
+TEST(SingleLayerNet, RejectsUnsupportedPairing) {
+    Rng rng(3);
+    EXPECT_THROW(SingleLayerNet(rng, 4, 2, Activation::Softmax, Loss::Mse), ConfigError);
+    EXPECT_THROW(SingleLayerNet(rng, 4, 2, Activation::Linear, Loss::CategoricalCrossentropy),
+                 ConfigError);
+}
+
+TEST(SingleLayerNet, PredictAppliesActivation) {
+    Rng rng(4);
+    SingleLayerNet net(rng, 3, 2, Activation::Softmax, Loss::CategoricalCrossentropy);
+    const tensor::Vector y = net.predict(tensor::Vector{0.1, 0.2, 0.3});
+    EXPECT_NEAR(tensor::sum(y), 1.0, 1e-12);
+}
+
+TEST(SingleLayerNet, ClassifyIsArgmax) {
+    SingleLayerNet net(DenseLayer(2, 2), Activation::Linear, Loss::Mse);
+    net.weights() = tensor::Matrix{{1, 0}, {0, 1}};
+    EXPECT_EQ(net.classify(tensor::Vector{3.0, 1.0}), 0);
+    EXPECT_EQ(net.classify(tensor::Vector{1.0, 3.0}), 1);
+}
+
+TEST(SingleLayerNet, PredictBatchMatchesPredict) {
+    Rng rng(5);
+    SingleLayerNet net(rng, 6, 4, Activation::Softmax, Loss::CategoricalCrossentropy);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 5, 6);
+    const tensor::Matrix Y = net.predict_batch(U);
+    for (std::size_t r = 0; r < U.rows(); ++r) {
+        const tensor::Vector y = net.predict(U.row(r));
+        for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(Y(r, c), y[c], 1e-12);
+    }
+}
+
+// Eq. 7 check: ∂L/∂u from the analytic path must match central finite
+// differences through the full forward computation, for both of the
+// paper's configurations.
+struct NetGradCase {
+    Activation activation;
+    Loss loss;
+};
+
+class InputGradient : public ::testing::TestWithParam<NetGradCase> {};
+
+TEST_P(InputGradient, MatchesFiniteDifferences) {
+    const auto [activation, loss] = GetParam();
+    Rng rng(6);
+    SingleLayerNet net(rng, 8, 5, activation, loss);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 8);
+    tensor::Vector t(5, 0.0);
+    t[1] = 1.0;
+    const tensor::Vector grad = net.input_gradient(u, t);
+    const double h = 1e-6;
+    for (std::size_t j = 0; j < u.size(); ++j) {
+        tensor::Vector up = u, um = u;
+        up[j] += h;
+        um[j] -= h;
+        const double fd = (net.loss(up, t) - net.loss(um, t)) / (2 * h);
+        EXPECT_NEAR(grad[j], fd, 1e-5) << "input " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperConfigs, InputGradient,
+                         ::testing::Values(NetGradCase{Activation::Linear, Loss::Mse},
+                                           NetGradCase{Activation::Softmax,
+                                                       Loss::CategoricalCrossentropy}));
+
+TEST(SingleLayerNet, InputGradientIsWTransposeDelta) {
+    // Structural identity from Eq. 7: ∂L/∂u = Wᵀ·δ.
+    Rng rng(7);
+    SingleLayerNet net(rng, 5, 3, Activation::Linear, Loss::Mse);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 5);
+    tensor::Vector t(3, 0.0);
+    t[0] = 1.0;
+    const tensor::Vector delta = net.preactivation_delta(u, t);
+    const tensor::Vector expected = tensor::matvec_transposed(net.weights(), delta);
+    const tensor::Vector got = net.input_gradient(u, t);
+    for (std::size_t j = 0; j < got.size(); ++j) EXPECT_NEAR(got[j], expected[j], 1e-12);
+}
+
+}  // namespace
+}  // namespace xbarsec::nn

@@ -1,0 +1,144 @@
+// PGD attack tests (extension beyond the paper's one-step FGSM).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xbarsec/attack/fgsm.hpp"
+#include "xbarsec/attack/pgd.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::attack {
+namespace {
+
+nn::SingleLayerNet make_net(Rng& rng, std::size_t in = 12, std::size_t out = 4) {
+    return nn::SingleLayerNet(rng, in, out, nn::Activation::Softmax,
+                              nn::Loss::CategoricalCrossentropy);
+}
+
+TEST(Pgd, StaysInsideTheEpsilonBall) {
+    Rng rng(1);
+    const nn::SingleLayerNet net = make_net(rng);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 12);
+    tensor::Vector t(4, 0.0);
+    t[1] = 1.0;
+    PgdConfig config;
+    config.epsilon = 0.08;
+    config.step_size = 0.03;
+    config.steps = 20;
+    config.random_start = true;
+    const tensor::Vector adv = pgd_attack(net, u, t, config);
+    for (std::size_t j = 0; j < u.size(); ++j) {
+        EXPECT_LE(std::abs(adv[j] - u[j]), config.epsilon + 1e-12);
+    }
+}
+
+TEST(Pgd, RespectsBoxConstraint) {
+    Rng rng(2);
+    const nn::SingleLayerNet net = make_net(rng);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 12);
+    tensor::Vector t(4, 0.0);
+    t[0] = 1.0;
+    PgdConfig config;
+    config.epsilon = 0.5;
+    config.step_size = 0.2;
+    config.steps = 10;
+    config.clip_to_box = true;
+    const tensor::Vector adv = pgd_attack(net, u, t, config);
+    for (const double x : adv) {
+        EXPECT_GE(x, 0.0);
+        EXPECT_LE(x, 1.0);
+    }
+}
+
+TEST(Pgd, IncreasesLossAtLeastAsMuchAsFgsmOnAverage) {
+    // Multi-step projected ascent within the same ball dominates the
+    // single step in aggregate (the reason PGD is the standard bound).
+    Rng rng(3);
+    const nn::SingleLayerNet net = make_net(rng, 20, 5);
+    double pgd_loss = 0.0, fgsm_loss = 0.0;
+    for (int trial = 0; trial < 25; ++trial) {
+        const tensor::Vector u = tensor::Vector::random_uniform(rng, 20);
+        tensor::Vector t(5, 0.0);
+        t[static_cast<std::size_t>(rng.below(5))] = 1.0;
+        PgdConfig config;
+        config.epsilon = 0.1;
+        config.step_size = 0.025;
+        config.steps = 12;
+        pgd_loss += net.loss(pgd_attack(net, u, t, config), t);
+        tensor::Vector fgsm = u;
+        fgsm += fgsm_perturbation(net, u, t, 0.1);
+        fgsm_loss += net.loss(fgsm, t);
+    }
+    EXPECT_GE(pgd_loss, fgsm_loss - 1e-9);
+}
+
+TEST(Pgd, SingleStepAtFullEpsilonEqualsFgsmWithoutRandomStart) {
+    Rng rng(4);
+    const nn::SingleLayerNet net = make_net(rng);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 12);
+    tensor::Vector t(4, 0.0);
+    t[2] = 1.0;
+    PgdConfig config;
+    config.epsilon = 0.07;
+    config.step_size = 0.07;  // one full-radius step
+    config.steps = 1;
+    config.random_start = false;
+    const tensor::Vector pgd = pgd_attack(net, u, t, config);
+    tensor::Vector fgsm = u;
+    fgsm += fgsm_perturbation(net, u, t, 0.07);
+    for (std::size_t j = 0; j < u.size(); ++j) EXPECT_NEAR(pgd[j], fgsm[j], 1e-12);
+}
+
+TEST(Pgd, RandomStartIsSeedDeterministic) {
+    Rng rng(5);
+    const nn::SingleLayerNet net = make_net(rng);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 12);
+    tensor::Vector t(4, 0.0);
+    t[3] = 1.0;
+    PgdConfig config;
+    config.random_start = true;
+    config.seed = 99;
+    EXPECT_EQ(pgd_attack(net, u, t, config), pgd_attack(net, u, t, config));
+    config.seed = 100;
+    const tensor::Vector other = pgd_attack(net, u, t, config);
+    EXPECT_NE(pgd_attack(net, u, t, {}), other);
+}
+
+TEST(Pgd, BatchMatchesPerSample) {
+    Rng rng(6);
+    const nn::SingleLayerNet net = make_net(rng, 8, 3);
+    const tensor::Matrix X = tensor::Matrix::random_uniform(rng, 5, 8);
+    const std::vector<int> labels{0, 1, 2, 1, 0};
+    PgdConfig config;
+    config.epsilon = 0.1;
+    config.step_size = 0.05;
+    config.steps = 4;
+    const tensor::Matrix adv = pgd_attack_batch(net, X, labels, 3, config);
+    for (std::size_t i = 0; i < X.rows(); ++i) {
+        tensor::Vector t(3, 0.0);
+        t[static_cast<std::size_t>(labels[i])] = 1.0;
+        PgdConfig per_sample = config;
+        per_sample.seed = config.seed + i;
+        const tensor::Vector expected = pgd_attack(net, X.row(i), t, per_sample);
+        for (std::size_t j = 0; j < 8; ++j) EXPECT_NEAR(adv(i, j), expected[j], 1e-12);
+    }
+}
+
+TEST(Pgd, ValidatesConfig) {
+    Rng rng(7);
+    const nn::SingleLayerNet net = make_net(rng);
+    const tensor::Vector u(12, 0.5);
+    const tensor::Vector t(4, 0.25);
+    PgdConfig bad;
+    bad.steps = 0;
+    EXPECT_THROW(pgd_attack(net, u, t, bad), ContractViolation);
+    bad = {};
+    bad.step_size = 0.0;
+    EXPECT_THROW(pgd_attack(net, u, t, bad), ContractViolation);
+    bad = {};
+    bad.epsilon = -0.1;
+    EXPECT_THROW(pgd_attack(net, u, t, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace xbarsec::attack

@@ -1,0 +1,143 @@
+// Power-probe tests: exact recovery, noisy averaging, unit conversion,
+// and the ranking metrics the attacks consume.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xbarsec/sidechannel/probe.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::sidechannel {
+namespace {
+
+xbar::DeviceSpec ideal_spec() {
+    xbar::DeviceSpec s;
+    s.g_on_max = 100e-6;
+    return s;
+}
+
+TEST(Probe, ExactRecoveryOnIdealCrossbar) {
+    Rng rng(1);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 10, 23);
+    const xbar::Crossbar xbar(map_weights(W, ideal_spec()));
+    const ProbeResult r = probe_columns(xbar);
+    ASSERT_EQ(r.conductance_sums.size(), 23u);
+    EXPECT_EQ(r.queries, 23u);
+    const tensor::Vector truth = xbar.column_conductances();
+    for (std::size_t j = 0; j < 23; ++j) EXPECT_NEAR(r.conductance_sums[j], truth[j], 1e-15);
+}
+
+TEST(Probe, ProbeVoltageCancels) {
+    Rng rng(2);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 4, 7);
+    const xbar::Crossbar xbar(map_weights(W, ideal_spec()));
+    ProbeOptions lo, hi;
+    lo.probe_voltage = 0.1;
+    hi.probe_voltage = 1.0;
+    const ProbeResult a = probe_columns(xbar, lo);
+    const ProbeResult b = probe_columns(xbar, hi);
+    for (std::size_t j = 0; j < 7; ++j)
+        EXPECT_NEAR(a.conductance_sums[j], b.conductance_sums[j], 1e-12);
+}
+
+TEST(Probe, RepeatsAverageDownNoise) {
+    Rng rng(3);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 8, 5);
+    xbar::NonIdealityConfig nonideal;
+    nonideal.read_noise_std = 0.1;
+    const xbar::Crossbar xbar(map_weights(W, ideal_spec()), nonideal);
+    const tensor::Vector truth = xbar.column_conductances();
+
+    ProbeOptions one, many;
+    one.repeats = 1;
+    many.repeats = 64;
+    const double err_one = relative_error(probe_columns(xbar, one).conductance_sums, truth);
+    const double err_many = relative_error(probe_columns(xbar, many).conductance_sums, truth);
+    EXPECT_LT(err_many, err_one);
+    EXPECT_LT(err_many, 0.05);  // 64 repeats: σ/8 ≈ 1.2% per column
+}
+
+TEST(Probe, QueryAccountingIncludesRepeats) {
+    Rng rng(4);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 3, 6);
+    const xbar::Crossbar xbar(map_weights(W, ideal_spec()));
+    ProbeOptions o;
+    o.repeats = 5;
+    const ProbeResult r = probe_columns(xbar, o);
+    EXPECT_EQ(r.queries, 30u);
+    EXPECT_EQ(xbar.measurement_count(), 30u);
+}
+
+TEST(Probe, CallbackFormMatchesDirectForm) {
+    Rng rng(5);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 6, 4);
+    const xbar::Crossbar xbar(map_weights(W, ideal_spec()));
+    const ProbeResult direct = probe_columns(xbar);
+    const ProbeResult indirect = probe_columns(
+        [&xbar](const tensor::Vector& v) { return xbar.total_current(v); }, 4);
+    for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_NEAR(direct.conductance_sums[j], indirect.conductance_sums[j], 1e-15);
+    }
+}
+
+TEST(Probe, ConductanceToL1UndoesTheMapping) {
+    Rng rng(6);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 9, 12);
+    xbar::DeviceSpec spec = ideal_spec();
+    spec.g_off = 3e-6;  // non-trivial affine offset
+    const xbar::CrossbarProgram program = map_weights(W, spec);
+    const xbar::Crossbar xbar(program);
+    const ProbeResult r = probe_columns(xbar);
+    const tensor::Vector l1 =
+        conductance_to_l1(r.conductance_sums, 9, spec.g_off, program.weight_scale);
+    const tensor::Vector truth = tensor::column_abs_sums(W);
+    for (std::size_t j = 0; j < 12; ++j) EXPECT_NEAR(l1[j], truth[j], 1e-9);
+}
+
+TEST(Probe, GoffOffsetPreservesRanking) {
+    // Even without knowing g_off, the raw conductance sums rank columns
+    // identically to the true 1-norms (the offset is j-independent) —
+    // which is all the Figure-4 attacks need.
+    Rng rng(7);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 6, 15);
+    xbar::DeviceSpec spec = ideal_spec();
+    spec.g_off = 8e-6;
+    const xbar::Crossbar xbar(map_weights(W, spec));
+    const ProbeResult r = probe_columns(xbar);
+    const tensor::Vector truth = tensor::column_abs_sums(W);
+    EXPECT_EQ(tensor::argmax(r.conductance_sums), tensor::argmax(truth));
+    EXPECT_DOUBLE_EQ(topk_agreement(r.conductance_sums, truth, 5), 1.0);
+}
+
+TEST(Probe, RelativeErrorBasics) {
+    const tensor::Vector truth{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(relative_error(truth, truth), 0.0);
+    EXPECT_NEAR(relative_error(tensor::Vector{3.0, 4.0 + 5.0}, truth), 1.0, 1e-12);
+    EXPECT_THROW(relative_error(truth, tensor::Vector{0.0, 0.0}), ContractViolation);
+}
+
+TEST(Probe, TopkAgreementCountsOverlap) {
+    const tensor::Vector est{1.0, 9.0, 2.0, 8.0};
+    const tensor::Vector truth{9.0, 8.0, 1.0, 2.0};
+    // top-2(est) = {1, 3}; top-2(truth) = {0, 1} → overlap {1} → 0.5.
+    EXPECT_DOUBLE_EQ(topk_agreement(est, truth, 2), 0.5);
+    EXPECT_DOUBLE_EQ(topk_agreement(truth, truth, 4), 1.0);
+    EXPECT_THROW(topk_agreement(est, truth, 0), ContractViolation);
+    EXPECT_THROW(topk_agreement(est, truth, 5), ContractViolation);
+}
+
+TEST(Probe, OptionValidation) {
+    Rng rng(8);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 2, 2);
+    const xbar::Crossbar xbar(map_weights(W, ideal_spec()));
+    ProbeOptions bad;
+    bad.repeats = 0;
+    EXPECT_THROW(probe_columns(xbar, bad), ContractViolation);
+    bad = {};
+    bad.probe_voltage = 0.0;
+    EXPECT_THROW(probe_columns(xbar, bad), ContractViolation);
+    EXPECT_THROW(probe_columns(TotalCurrentFn{}, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace xbarsec::sidechannel

@@ -1,0 +1,150 @@
+// Parameterized property suites for the crossbar algebra: the Eq. 3-6
+// identities must hold across array shapes, device configurations, and
+// seeds — not just the handful of cases the unit tests pin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "xbarsec/sidechannel/probe.hpp"
+#include "xbarsec/tensor/ops.hpp"
+#include "xbarsec/xbar/crossbar.hpp"
+
+namespace xbarsec::xbar {
+namespace {
+
+// (rows, cols, g_off, conductance_levels, seed)
+using CrossbarCase = std::tuple<std::size_t, std::size_t, double, int, std::uint64_t>;
+
+class CrossbarAlgebra : public ::testing::TestWithParam<CrossbarCase> {
+protected:
+    DeviceSpec spec() const {
+        DeviceSpec s;
+        s.g_on_max = 100e-6;
+        s.g_off = std::get<2>(GetParam());
+        s.conductance_levels = std::get<3>(GetParam());
+        return s;
+    }
+
+    tensor::Matrix weights() const {
+        Rng rng(std::get<4>(GetParam()));
+        return tensor::Matrix::random_normal(rng, std::get<0>(GetParam()),
+                                             std::get<1>(GetParam()));
+    }
+};
+
+TEST_P(CrossbarAlgebra, Eq5TotalCurrentIsInnerProductWithColumnSums) {
+    const tensor::Matrix W = weights();
+    const Crossbar xbar(map_weights(W, spec()));
+    Rng rng(std::get<4>(GetParam()) + 1);
+    for (int trial = 0; trial < 5; ++trial) {
+        const tensor::Vector u = tensor::Vector::random_uniform(rng, W.cols());
+        const double expected = tensor::dot(u, xbar.column_conductances());
+        EXPECT_NEAR(xbar.total_current(u), expected, 1e-12 * std::abs(expected) + 1e-20);
+    }
+}
+
+TEST_P(CrossbarAlgebra, InputLineCurrentsSumToTotal) {
+    const tensor::Matrix W = weights();
+    const Crossbar xbar(map_weights(W, spec()));
+    Rng rng(std::get<4>(GetParam()) + 2);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, W.cols());
+    const double total = xbar.total_current(u);
+    EXPECT_NEAR(tensor::sum(xbar.input_line_currents(u)), total,
+                1e-12 * std::abs(total) + 1e-20);
+}
+
+TEST_P(CrossbarAlgebra, MvmIsLinear) {
+    // Superposition: the ideal crossbar is a linear operator, whatever the
+    // programmed state (quantisation changes W-hat, not linearity).
+    const tensor::Matrix W = weights();
+    const Crossbar xbar(map_weights(W, spec()));
+    Rng rng(std::get<4>(GetParam()) + 3);
+    const tensor::Vector a = tensor::Vector::random_uniform(rng, W.cols());
+    const tensor::Vector b = tensor::Vector::random_uniform(rng, W.cols());
+    tensor::Vector sum_input = a;
+    sum_input += b;
+    const tensor::Vector lhs = xbar.mvm(sum_input);
+    tensor::Vector rhs = xbar.mvm(a);
+    rhs += xbar.mvm(b);
+    const double scale = tensor::norm_inf(rhs) + 1e-20;
+    for (std::size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-9 * scale);
+}
+
+TEST_P(CrossbarAlgebra, MvmMatchesEffectiveWeights) {
+    // Whatever quantisation/g_off did to the programmed state, the analog
+    // MVM must agree with the decoded effective weight matrix.
+    const tensor::Matrix W = weights();
+    const Crossbar xbar(map_weights(W, spec()));
+    const tensor::Matrix W_eff = xbar.effective_weights();
+    Rng rng(std::get<4>(GetParam()) + 4);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, W.cols());
+    const tensor::Vector analog = xbar.mvm(u);
+    const tensor::Vector digital = tensor::matvec(W_eff, u);
+    const double scale = tensor::norm_inf(digital) + 1e-20;
+    for (std::size_t i = 0; i < analog.size(); ++i) {
+        EXPECT_NEAR(analog[i], digital[i], 1e-9 * scale);
+    }
+}
+
+TEST_P(CrossbarAlgebra, ProbeRecoversColumnConductances) {
+    const tensor::Matrix W = weights();
+    const Crossbar xbar(map_weights(W, spec()));
+    const sidechannel::ProbeResult probe = sidechannel::probe_columns(xbar);
+    const tensor::Vector truth = xbar.column_conductances();
+    for (std::size_t j = 0; j < truth.size(); ++j) {
+        EXPECT_NEAR(probe.conductance_sums[j], truth[j], 1e-12 * truth[j] + 1e-20);
+    }
+}
+
+TEST_P(CrossbarAlgebra, ContinuousIdealMappingRoundTripsWeights) {
+    // Only meaningful for the continuous, zero-leak configuration.
+    if (std::get<2>(GetParam()) != 0.0 || std::get<3>(GetParam()) != 0) GTEST_SKIP();
+    const tensor::Matrix W = weights();
+    const Crossbar xbar(map_weights(W, spec()));
+    const tensor::Matrix W_eff = xbar.effective_weights();
+    for (std::size_t i = 0; i < W.rows(); ++i)
+        for (std::size_t j = 0; j < W.cols(); ++j)
+            EXPECT_NEAR(W_eff(i, j), W(i, j), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndDevices, CrossbarAlgebra,
+    ::testing::Values(CrossbarCase{1, 1, 0.0, 0, 1},
+                      CrossbarCase{10, 784, 0.0, 0, 2},
+                      CrossbarCase{10, 784, 2e-6, 0, 3},
+                      CrossbarCase{7, 33, 0.0, 16, 4},
+                      CrossbarCase{7, 33, 1e-6, 4, 5},
+                      CrossbarCase{64, 8, 0.0, 0, 6},
+                      CrossbarCase{3, 3, 5e-6, 256, 7}));
+
+// Read-noise statistics should scale correctly across noise levels.
+class ReadNoiseProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReadNoiseProperty, RelativeSpreadMatchesConfiguration) {
+    const double noise = GetParam();
+    Rng rng(11);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 8, 8);
+    DeviceSpec spec;
+    spec.g_on_max = 100e-6;
+    NonIdealityConfig nonideal;
+    nonideal.read_noise_std = noise;
+    nonideal.seed = 13;
+    const Crossbar xbar(map_weights(W, spec), nonideal);
+    const tensor::Vector u(8, 1.0);
+    std::vector<double> readings(600);
+    for (auto& r : readings) r = xbar.total_current(u);
+    double mean = 0.0;
+    for (const double r : readings) mean += r;
+    mean /= static_cast<double>(readings.size());
+    double var = 0.0;
+    for (const double r : readings) var += (r - mean) * (r - mean);
+    var /= static_cast<double>(readings.size() - 1);
+    EXPECT_NEAR(std::sqrt(var) / std::abs(mean), noise, 0.25 * noise + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, ReadNoiseProperty,
+                         ::testing::Values(0.01, 0.05, 0.2));
+
+}  // namespace
+}  // namespace xbarsec::xbar

@@ -1,0 +1,83 @@
+// Reporting helper tests: heat-map rendering, grid CSV output, and
+// label sanitisation (the benches' output plumbing).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "xbarsec/common/contracts.hpp"
+#include "xbarsec/core/report.hpp"
+
+namespace xbarsec::core {
+namespace {
+
+TEST(AsciiHeatmap, DimensionsAndExtremes) {
+    // 2×3 map: min at (0,0), max at (1,2).
+    tensor::Vector map{0.0, 0.5, 0.5, 0.5, 0.5, 1.0};
+    const data::ImageShape shape{2, 3, 1};
+    const std::string art = render_ascii_heatmap(map, shape);
+    std::istringstream is(art);
+    std::string line1, line2;
+    ASSERT_TRUE(std::getline(is, line1));
+    ASSERT_TRUE(std::getline(is, line2));
+    EXPECT_EQ(line1.size(), 3u);
+    EXPECT_EQ(line2.size(), 3u);
+    EXPECT_EQ(line1[0], ' ');  // minimum renders blank
+    EXPECT_EQ(line2[2], '@');  // maximum renders densest glyph
+}
+
+TEST(AsciiHeatmap, ConstantMapDoesNotDivideByZero) {
+    tensor::Vector map(9, 0.7);
+    const std::string art = render_ascii_heatmap(map, data::ImageShape{3, 3, 1});
+    EXPECT_EQ(art.size(), 3u * 4u);  // 3 rows of 3 chars + newlines
+}
+
+TEST(AsciiHeatmap, ChannelSelection) {
+    // Channel 1 of a 2-channel 1×2 image.
+    tensor::Vector map{0.0, 0.0, 1.0, 0.0};
+    const data::ImageShape shape{1, 2, 2};
+    const std::string ch1 = render_ascii_heatmap(map, shape, 1);
+    EXPECT_EQ(ch1[0], '@');
+    EXPECT_EQ(ch1[1], ' ');
+    EXPECT_THROW(render_ascii_heatmap(map, shape, 2), ContractViolation);
+}
+
+TEST(AsciiHeatmap, SizeMismatchThrows) {
+    tensor::Vector map(5, 0.0);
+    EXPECT_THROW(render_ascii_heatmap(map, data::ImageShape{2, 3, 1}), ContractViolation);
+}
+
+TEST(GridCsv, WritesRowMajorGrid) {
+    const auto path = std::filesystem::temp_directory_path() / "xbarsec_grid_test.csv";
+    tensor::Vector map{1.0, 2.0, 3.0, 4.0};
+    write_grid_csv(path.string(), map, data::ImageShape{2, 2, 1});
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "1,2");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "3,4");
+    std::filesystem::remove(path);
+}
+
+TEST(GridCsv, SecondChannelOfPlanarImage) {
+    const auto path = std::filesystem::temp_directory_path() / "xbarsec_grid_ch.csv";
+    tensor::Vector map{0.0, 0.0, 0.0, 0.0, 5.0, 6.0, 7.0, 8.0};  // ch0 plane, ch1 plane
+    write_grid_csv(path.string(), map, data::ImageShape{2, 2, 2}, 1);
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "5,6");
+    std::filesystem::remove(path);
+}
+
+TEST(SanitizeLabel, ReplacesSeparatorsAndSpaces) {
+    EXPECT_EQ(sanitize_label("MNIST-like/linear"), "MNIST-like_linear");
+    EXPECT_EQ(sanitize_label("a b\\c/d"), "a_b_c_d");
+    EXPECT_EQ(sanitize_label("clean"), "clean");
+    EXPECT_EQ(sanitize_label(""), "");
+}
+
+}  // namespace
+}  // namespace xbarsec::core

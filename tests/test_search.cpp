@@ -1,0 +1,131 @@
+// Argmax search strategy tests: exactness of the full scan, budget
+// behaviour of the cheap strategies, and the smooth-vs-rough field
+// contrast the paper predicts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/sidechannel/search.hpp"
+
+namespace xbarsec::sidechannel {
+namespace {
+
+// Smooth unimodal field over a 28×28 grid (MNIST-like 1-norm surface).
+double smooth_field(std::size_t j) {
+    const double y = static_cast<double>(j / 28), x = static_cast<double>(j % 28);
+    const double dy = y - 13.0, dx = x - 17.0;
+    return std::exp(-(dx * dx + dy * dy) / 60.0);
+}
+
+// Rough field (CIFAR-like): deterministic hash noise with a planted max.
+double rough_field(std::size_t j) {
+    if (j == 431) return 2.0;  // planted global max
+    SplitMix64 sm(j * 0x9E3779B97F4A7C15ull + 1);
+    return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+const data::ImageShape kGrid{28, 28, 1};
+
+TEST(Search, FullScanFindsTheExactMax) {
+    const SearchResult r = find_argmax(smooth_field, kGrid, SearchStrategy::FullScan);
+    EXPECT_EQ(r.best_index, 13u * 28u + 17u);
+    EXPECT_EQ(r.queries, 784u);
+}
+
+TEST(Search, FullScanOnRoughFieldFindsPlantedMax) {
+    const SearchResult r = find_argmax(rough_field, kGrid, SearchStrategy::FullScan);
+    EXPECT_EQ(r.best_index, 431u);
+}
+
+TEST(Search, RandomSubsetRespectsBudget) {
+    SearchOptions o;
+    o.budget = 50;
+    const SearchResult r = find_argmax(smooth_field, kGrid, SearchStrategy::RandomSubset, o);
+    EXPECT_LE(r.queries, 50u);
+    EXPECT_GT(r.best_value, 0.0);
+}
+
+TEST(Search, HillClimbFindsSmoothMaxWithFarFewerQueries) {
+    SearchOptions o;
+    o.budget = 300;
+    o.restarts = 6;
+    o.seed = 3;
+    const SearchResult r = find_argmax(smooth_field, kGrid, SearchStrategy::HillClimb, o);
+    EXPECT_EQ(r.best_index, 13u * 28u + 17u) << "greedy ascent should find the unimodal max";
+    EXPECT_LT(r.queries, 784u / 2);
+}
+
+TEST(Search, CoarseToFineFindsSmoothMax) {
+    SearchOptions o;
+    o.stride = 4;
+    const SearchResult r = find_argmax(smooth_field, kGrid, SearchStrategy::CoarseToFine, o);
+    // Must land within the refinement radius of the true max and use far
+    // fewer queries than the full scan.
+    const double y = static_cast<double>(r.best_index / 28), x = static_cast<double>(r.best_index % 28);
+    EXPECT_NEAR(y, 13.0, 2.0);
+    EXPECT_NEAR(x, 17.0, 2.0);
+    EXPECT_LT(r.queries, 784u / 2);
+}
+
+TEST(Search, RoughFieldDefeatsCheapStrategies) {
+    // The paper's prediction: on rapidly varying fields, budgeted search
+    // rarely finds the max. With a single planted spike in 784 cells and a
+    // ~100-query budget the hit probability is ≈ budget/784.
+    SearchOptions o;
+    o.budget = 100;
+    int hits = 0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        o.seed = seed;
+        const SearchResult r = find_argmax(rough_field, kGrid, SearchStrategy::HillClimb, o);
+        if (r.best_index == 431u) ++hits;
+    }
+    EXPECT_LT(hits, 12) << "rough fields should not be reliably searchable";
+}
+
+TEST(Search, CachedProbesAreNotRecounted) {
+    // Hill climbing revisits neighbours; the query counter must count
+    // distinct indices only (the attacker memoises measurements).
+    SearchOptions o;
+    o.budget = 2000;
+    o.restarts = 8;
+    o.seed = 11;
+    const SearchResult r = find_argmax(smooth_field, kGrid, SearchStrategy::HillClimb, o);
+    EXPECT_LE(r.queries, 784u);
+}
+
+TEST(Search, MultiChannelNeighboursStayInPlane) {
+    // On a 2×2×2 field, hill climbing from any start must only ever probe
+    // the 4 cells of the start channel plane (neighbourhood is per-plane).
+    const data::ImageShape shape{2, 2, 2};
+    std::vector<int> probed(8, 0);
+    auto field = [&probed](std::size_t j) {
+        ++probed[j];
+        return static_cast<double>(j % 4);  // max at plane-local index 3
+    };
+    SearchOptions o;
+    o.budget = 100;
+    o.restarts = 1;
+    o.seed = 0;
+    find_argmax(field, shape, SearchStrategy::HillClimb, o);
+    const bool plane0 = probed[0] + probed[1] + probed[2] + probed[3] > 0;
+    const bool plane1 = probed[4] + probed[5] + probed[6] + probed[7] > 0;
+    EXPECT_NE(plane0, plane1) << "one restart must stay within one channel plane";
+}
+
+TEST(Search, StrategyNames) {
+    EXPECT_EQ(to_string(SearchStrategy::FullScan), "full-scan");
+    EXPECT_EQ(to_string(SearchStrategy::HillClimb), "hill-climb");
+}
+
+TEST(Search, Validation) {
+    EXPECT_THROW(find_argmax(FieldFn{}, kGrid, SearchStrategy::FullScan),
+                 xbarsec::ContractViolation);
+    SearchOptions bad;
+    bad.budget = 0;
+    EXPECT_THROW(find_argmax(smooth_field, kGrid, SearchStrategy::RandomSubset, bad),
+                 xbarsec::ContractViolation);
+}
+
+}  // namespace
+}  // namespace xbarsec::sidechannel

@@ -1,0 +1,137 @@
+// Sensitivity analysis tests (Section III machinery: Eq. 7 maps, Table-I
+// correlations, Eq. 8 bound).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xbarsec/data/synthetic_mnist.hpp"
+#include "xbarsec/nn/sensitivity.hpp"
+#include "xbarsec/stats/correlation.hpp"
+#include "xbarsec/nn/trainer.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::nn {
+namespace {
+
+data::Dataset tiny_data(Rng& rng, std::size_t n, std::size_t dim, std::size_t classes) {
+    tensor::Matrix inputs = tensor::Matrix::random_uniform(rng, n, dim);
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % classes);
+    return data::Dataset(std::move(inputs), std::move(labels), classes,
+                         data::ImageShape{1, dim, 1});
+}
+
+TEST(Sensitivity, MeanAbsGradientMatchesPerSampleLoop) {
+    Rng rng(1);
+    const data::Dataset d = tiny_data(rng, 40, 9, 3);
+    SingleLayerNet net(rng, 9, 3, Activation::Softmax, Loss::CategoricalCrossentropy);
+
+    const tensor::Vector batched = mean_abs_input_gradient(net, d);
+    tensor::Vector manual(9, 0.0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const tensor::Vector g = net.input_gradient(d.input(i), d.target(i));
+        manual += tensor::abs(g);
+    }
+    manual /= static_cast<double>(d.size());
+    ASSERT_EQ(batched.size(), manual.size());
+    for (std::size_t j = 0; j < 9; ++j) EXPECT_NEAR(batched[j], manual[j], 1e-10);
+}
+
+TEST(Sensitivity, StreamingVisitSeesEverySample) {
+    Rng rng(2);
+    const data::Dataset d = tiny_data(rng, 23, 5, 2);
+    SingleLayerNet net(rng, 5, 2, Activation::Linear, Loss::Mse);
+    std::size_t visits = 0;
+    for_each_abs_input_gradient(net, d, [&](const tensor::Vector& g) {
+        EXPECT_EQ(g.size(), 5u);
+        for (const double x : g) EXPECT_GE(x, 0.0);
+        ++visits;
+    });
+    EXPECT_EQ(visits, d.size());
+}
+
+TEST(Sensitivity, MeanPerSampleCorrelationMatchesManual) {
+    Rng rng(3);
+    const data::Dataset d = tiny_data(rng, 30, 8, 2);
+    SingleLayerNet net(rng, 8, 2, Activation::Linear, Loss::Mse);
+    const tensor::Vector ref = tensor::column_abs_sums(net.weights());
+
+    const double fast = mean_per_sample_correlation(net, d, ref);
+    double manual = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const tensor::Vector g = tensor::abs(net.input_gradient(d.input(i), d.target(i)));
+        manual += stats::pearson(g, ref);
+    }
+    manual /= static_cast<double>(d.size());
+    EXPECT_NEAR(fast, manual, 1e-10);
+}
+
+TEST(Sensitivity, CorrelationOfMeanIsPearsonOfTheMap) {
+    Rng rng(4);
+    const data::Dataset d = tiny_data(rng, 30, 8, 2);
+    SingleLayerNet net(rng, 8, 2, Activation::Linear, Loss::Mse);
+    const tensor::Vector ref = tensor::column_abs_sums(net.weights());
+    const double got = correlation_of_mean(net, d, ref);
+    const double expected = stats::pearson(mean_abs_input_gradient(net, d), ref);
+    EXPECT_NEAR(got, expected, 1e-12);
+}
+
+TEST(Sensitivity, Eq8BoundHoldsForBothPaperConfigs) {
+    Rng rng(5);
+    for (const auto& [act, loss] :
+         {std::pair{Activation::Linear, Loss::Mse},
+          std::pair{Activation::Softmax, Loss::CategoricalCrossentropy}}) {
+        SingleLayerNet net(rng, 12, 4, act, loss);
+        for (int trial = 0; trial < 20; ++trial) {
+            const tensor::Vector u = tensor::Vector::random_uniform(rng, 12);
+            tensor::Vector t(4, 0.0);
+            t[static_cast<std::size_t>(rng.below(4))] = 1.0;
+            const tensor::Vector grad = tensor::abs(net.input_gradient(u, t));
+            const tensor::Vector bound = sensitivity_upper_bound(net, u, t);
+            for (std::size_t j = 0; j < 12; ++j) {
+                EXPECT_LE(grad[j], bound[j] + 1e-12) << "Eq.8 bound violated at j=" << j;
+            }
+        }
+    }
+}
+
+TEST(Sensitivity, Eq8BoundIsTightUnderSignAlignment) {
+    // Equality holds when every term δ_i·w_ij has the same sign — e.g. a
+    // single-output network (M = 1): |δ·w_j| == |δ|·|w_j| always.
+    Rng rng(6);
+    SingleLayerNet net(rng, 6, 1, Activation::Linear, Loss::Mse);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 6);
+    const tensor::Vector t{0.3};
+    const tensor::Vector grad = tensor::abs(net.input_gradient(u, t));
+    const tensor::Vector bound = sensitivity_upper_bound(net, u, t);
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(grad[j], bound[j], 1e-12);
+}
+
+TEST(Sensitivity, TrainedMnistSensitivityCorrelatesWithL1) {
+    // Mini Table-I: after training on MNIST-like data the correlation of
+    // the mean sensitivity with the column 1-norms must be strongly
+    // positive (the paper reports 0.92-0.99 at full scale).
+    data::SyntheticMnistConfig dc;
+    dc.train_count = 1500;
+    dc.test_count = 300;
+    const data::DataSplit split = data::make_synthetic_mnist(dc);
+    Rng rng(7);
+    SingleLayerNet net(rng, 784, 10, Activation::Softmax, Loss::CategoricalCrossentropy);
+    TrainConfig tc;
+    tc.epochs = 12;
+    tc.learning_rate = 0.1;
+    tc.momentum = 0.9;
+    train(net, split.train, tc);
+
+    const tensor::Vector l1 = tensor::column_abs_sums(net.weights());
+    const double corr_mean = correlation_of_mean(net, split.test, l1);
+    EXPECT_GT(corr_mean, 0.6);
+    // And per-sample correlation is positive but weaker — the paper's
+    // central observation about what the 1-norms can and cannot reveal.
+    const double mean_corr = mean_per_sample_correlation(net, split.test, l1);
+    EXPECT_GT(mean_corr, 0.1);
+    EXPECT_LT(mean_corr, corr_mean);
+}
+
+}  // namespace
+}  // namespace xbarsec::nn

@@ -1,0 +1,159 @@
+// Surrogate-training tests (Eq. 9): the power term's math, its pull on
+// the surrogate's column 1-norms, and the closed-form Q ≥ N baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xbarsec/attack/surrogate.hpp"
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/stats/correlation.hpp"
+#include "xbarsec/tensor/gemm.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::attack {
+namespace {
+
+/// Builds query data from a known linear oracle W: outputs = U·Wᵀ and
+/// power = U·colabs(W) (the ideal crossbar's normalised total current).
+QueryDataset make_queries(const tensor::Matrix& W, const tensor::Matrix& U) {
+    QueryDataset q;
+    q.inputs = U;
+    q.outputs = tensor::Matrix(U.rows(), W.rows(), 0.0);
+    tensor::gemm(1.0, U, tensor::Op::None, W, tensor::Op::Transpose, 0.0, q.outputs);
+    q.power = surrogate_power_batch(W, U);
+    return q;
+}
+
+TEST(SurrogatePower, SingleAndBatchAgree) {
+    Rng rng(1);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 4, 6);
+    nn::DenseLayer layer(4, 6);
+    layer.weights() = W;
+    const nn::SingleLayerNet net(std::move(layer), nn::Activation::Linear, nn::Loss::Mse);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 5, 6);
+    const tensor::Vector batch = surrogate_power_batch(W, U);
+    for (std::size_t r = 0; r < 5; ++r) {
+        EXPECT_NEAR(batch[r], surrogate_power(net, U.row(r)), 1e-12);
+    }
+}
+
+TEST(SurrogatePower, EqualsDotWithColumnL1) {
+    Rng rng(2);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 3, 5);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 5);
+    nn::DenseLayer layer(3, 5);
+    layer.weights() = W;
+    const nn::SingleLayerNet net(std::move(layer), nn::Activation::Linear, nn::Loss::Mse);
+    EXPECT_NEAR(surrogate_power(net, u), tensor::dot(tensor::column_abs_sums(W), u), 1e-12);
+}
+
+SurrogateConfig quick_config(double lambda, std::size_t epochs = 150) {
+    SurrogateConfig c;
+    c.power_loss_weight = lambda;
+    c.train.epochs = epochs;
+    c.train.batch_size = 16;
+    c.train.learning_rate = 0.05;
+    c.train.momentum = 0.9;
+    c.train.final_lr_fraction = 0.1;
+    return c;
+}
+
+TEST(TrainSurrogate, OutputLossDecreases) {
+    Rng rng(3);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 3, 8);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 64, 8);
+    const QueryDataset q = make_queries(W, U);
+    const SurrogateTrainResult fit = train_surrogate(q, quick_config(0.0));
+    ASSERT_FALSE(fit.epoch_output_loss.empty());
+    EXPECT_LT(fit.epoch_output_loss.back(), 0.2 * fit.epoch_output_loss.front());
+}
+
+TEST(TrainSurrogate, LambdaZeroIgnoresPowerChannel) {
+    Rng rng(4);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 3, 8);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 32, 8);
+    QueryDataset q = make_queries(W, U);
+    const SurrogateTrainResult a = train_surrogate(q, quick_config(0.0));
+    // Corrupt the power channel; with λ=0 the fit must be identical.
+    for (std::size_t i = 0; i < q.power.size(); ++i) q.power[i] = 1e9;
+    const SurrogateTrainResult b = train_surrogate(q, quick_config(0.0));
+    EXPECT_EQ(a.surrogate.weights(), b.surrogate.weights());
+    EXPECT_DOUBLE_EQ(a.epoch_power_loss.back(), 0.0);
+}
+
+TEST(TrainSurrogate, PowerTermPullsColumnNormsTowardOracle) {
+    // Few queries (Q << N): outputs underdetermine W, and the power term
+    // is what drags the surrogate's column 1-norm profile toward the
+    // oracle's. Compare λ=0 vs λ>0 on the 1-norm correlation.
+    Rng rng(5);
+    const std::size_t N = 40, M = 3, Q = 8;
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, M, N);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, Q, N);
+    const QueryDataset q = make_queries(W, U);
+
+    const SurrogateTrainResult base = train_surrogate(q, quick_config(0.0, 400));
+    const SurrogateTrainResult power = train_surrogate(q, quick_config(0.02, 400));
+
+    const tensor::Vector truth = tensor::column_abs_sums(W);
+    const double corr_base =
+        stats::pearson(tensor::column_abs_sums(base.surrogate.weights()), truth);
+    const double corr_power =
+        stats::pearson(tensor::column_abs_sums(power.surrogate.weights()), truth);
+    EXPECT_GT(corr_power, corr_base)
+        << "power-aware surrogate should match the oracle's 1-norm profile better";
+    // And the power loss itself must have dropped substantially.
+    EXPECT_LT(power.epoch_power_loss.back(), 0.5 * power.epoch_power_loss.front());
+}
+
+TEST(TrainSurrogate, ValidatesShapes) {
+    QueryDataset q;
+    q.inputs = tensor::Matrix(4, 3);
+    q.outputs = tensor::Matrix(3, 2);  // row mismatch
+    q.power = tensor::Vector(4);
+    EXPECT_THROW(train_surrogate(q, quick_config(0.0)), ConfigError);
+    q.outputs = tensor::Matrix(4, 2);
+    q.power = tensor::Vector(2);  // power mismatch
+    EXPECT_THROW(train_surrogate(q, quick_config(0.0)), ConfigError);
+    q.power = tensor::Vector(4);
+    SurrogateConfig bad = quick_config(-0.1);
+    EXPECT_THROW(train_surrogate(q, bad), ContractViolation);
+}
+
+TEST(LeastSquaresSurrogate, RecoversOracleExactlyWhenQAtLeastN) {
+    // Section IV: W = U†·Ŷ when Q ≥ N — power information is redundant.
+    Rng rng(6);
+    const std::size_t N = 15, M = 4, Q = 25;
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, M, N);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, Q, N);
+    const QueryDataset q = make_queries(W, U);
+    const nn::SingleLayerNet surrogate = fit_least_squares_surrogate(q);
+    for (std::size_t i = 0; i < M; ++i)
+        for (std::size_t j = 0; j < N; ++j)
+            EXPECT_NEAR(surrogate.weights()(i, j), W(i, j), 1e-8);
+}
+
+TEST(LeastSquaresSurrogate, RidgePathHandlesQBelowN) {
+    Rng rng(7);
+    const std::size_t N = 20, M = 3, Q = 6;
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, M, N);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, Q, N);
+    const QueryDataset q = make_queries(W, U);
+    const nn::SingleLayerNet surrogate = fit_least_squares_surrogate(q, 1e-6);
+    // Underdetermined: cannot equal W, but must fit the queries well.
+    const tensor::Matrix pred = surrogate.layer().forward_batch(U);
+    for (std::size_t r = 0; r < Q; ++r)
+        for (std::size_t c = 0; c < M; ++c) EXPECT_NEAR(pred(r, c), q.outputs(r, c), 1e-3);
+}
+
+TEST(TrainSurrogate, DeterministicGivenSeeds) {
+    Rng rng(8);
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, 2, 6);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 16, 6);
+    const QueryDataset q = make_queries(W, U);
+    const SurrogateTrainResult a = train_surrogate(q, quick_config(0.01, 50));
+    const SurrogateTrainResult b = train_surrogate(q, quick_config(0.01, 50));
+    EXPECT_EQ(a.surrogate.weights(), b.surrogate.weights());
+}
+
+}  // namespace
+}  // namespace xbarsec::attack

@@ -1,0 +1,122 @@
+// Crossbar-deployed network tests: analog inference equals the software
+// network under ideal devices, degrades gracefully otherwise.
+#include <gtest/gtest.h>
+
+#include "xbarsec/data/synthetic_mnist.hpp"
+#include "xbarsec/nn/metrics.hpp"
+#include "xbarsec/nn/trainer.hpp"
+#include "xbarsec/tensor/ops.hpp"
+#include "xbarsec/xbar/xbar_network.hpp"
+
+namespace xbarsec::xbar {
+namespace {
+
+DeviceSpec ideal_spec() {
+    DeviceSpec s;
+    s.g_on_max = 100e-6;
+    return s;
+}
+
+nn::SingleLayerNet random_net(Rng& rng, std::size_t in, std::size_t out) {
+    return nn::SingleLayerNet(rng, in, out, nn::Activation::Softmax,
+                              nn::Loss::CategoricalCrossentropy);
+}
+
+TEST(CrossbarNetwork, IdealPredictMatchesSoftware) {
+    Rng rng(1);
+    const nn::SingleLayerNet net = random_net(rng, 12, 4);
+    const CrossbarNetwork hw(net, ideal_spec());
+    for (int trial = 0; trial < 10; ++trial) {
+        const tensor::Vector u = tensor::Vector::random_uniform(rng, 12);
+        const tensor::Vector sw = net.predict(u);
+        const tensor::Vector analog = hw.predict(u);
+        for (std::size_t i = 0; i < sw.size(); ++i) EXPECT_NEAR(analog[i], sw[i], 1e-9);
+        EXPECT_EQ(hw.classify(u), net.classify(u));
+    }
+}
+
+TEST(CrossbarNetwork, EffectiveNetworkRoundTripsWeights) {
+    Rng rng(2);
+    const nn::SingleLayerNet net = random_net(rng, 8, 3);
+    const CrossbarNetwork hw(net, ideal_spec());
+    const nn::SingleLayerNet eff = hw.effective_network();
+    EXPECT_EQ(eff.activation(), net.activation());
+    EXPECT_EQ(eff.loss_kind(), net.loss_kind());
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            EXPECT_NEAR(eff.weights()(i, j), net.weights()(i, j), 1e-12);
+}
+
+TEST(CrossbarNetwork, RejectsBiasedNetworks) {
+    Rng rng(3);
+    nn::DenseLayer biased = nn::DenseLayer::glorot(rng, 3, 8, /*with_bias=*/true);
+    const nn::SingleLayerNet net(std::move(biased), nn::Activation::Linear, nn::Loss::Mse);
+    EXPECT_THROW(CrossbarNetwork(net, ideal_spec()), ContractViolation);
+}
+
+TEST(CrossbarNetwork, PowerChannelExposed) {
+    Rng rng(4);
+    const nn::SingleLayerNet net = random_net(rng, 6, 2);
+    const CrossbarNetwork hw(net, ideal_spec());
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 6);
+    EXPECT_GT(hw.total_current(u), 0.0);
+    EXPECT_GT(hw.static_power(u), 0.0);
+}
+
+TEST(CrossbarNetwork, IdealAccuracyMatchesSoftwareAccuracy) {
+    data::SyntheticMnistConfig dc;
+    dc.train_count = 400;
+    dc.test_count = 150;
+    const data::DataSplit split = data::make_synthetic_mnist(dc);
+    Rng rng(5);
+    nn::SingleLayerNet net(rng, 784, 10, nn::Activation::Softmax,
+                           nn::Loss::CategoricalCrossentropy);
+    nn::TrainConfig tc;
+    tc.epochs = 8;
+    tc.learning_rate = 0.1;
+    tc.momentum = 0.9;
+    nn::train(net, split.train, tc);
+
+    const CrossbarNetwork hw(net, ideal_spec());
+    EXPECT_NEAR(hw.accuracy(split.test), nn::accuracy(net, split.test), 1e-12);
+}
+
+TEST(CrossbarNetwork, QuantisationDegradesButDoesNotDestroyAccuracy) {
+    data::SyntheticMnistConfig dc;
+    dc.train_count = 400;
+    dc.test_count = 150;
+    const data::DataSplit split = data::make_synthetic_mnist(dc);
+    Rng rng(6);
+    nn::SingleLayerNet net(rng, 784, 10, nn::Activation::Softmax,
+                           nn::Loss::CategoricalCrossentropy);
+    nn::TrainConfig tc;
+    tc.epochs = 8;
+    tc.learning_rate = 0.1;
+    tc.momentum = 0.9;
+    nn::train(net, split.train, tc);
+    const double sw_acc = nn::accuracy(net, split.test);
+
+    DeviceSpec coarse = ideal_spec();
+    coarse.conductance_levels = 16;  // 4-bit devices
+    const CrossbarNetwork hw(net, coarse);
+    const double hw_acc = hw.accuracy(split.test);
+    EXPECT_GT(hw_acc, sw_acc - 0.15) << "4-bit quantisation should not crater accuracy";
+}
+
+TEST(CrossbarNetwork, WriteNoisePerturbsDeployedAccuracyDeterministically) {
+    Rng rng(7);
+    const nn::SingleLayerNet net = random_net(rng, 10, 3);
+    DeviceSpec noisy = ideal_spec();
+    noisy.write_noise_std = 0.2;
+    MappingOptions mo;
+    mo.noise_seed = 42;
+    const CrossbarNetwork a(net, noisy, {}, mo);
+    const CrossbarNetwork b(net, noisy, {}, mo);
+    const tensor::Vector u = tensor::Vector::random_uniform(rng, 10);
+    const tensor::Vector ya = a.predict(u);
+    const tensor::Vector yb = b.predict(u);
+    for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+}  // namespace
+}  // namespace xbarsec::xbar
