@@ -1,126 +1,16 @@
 // Reproduces Figure 3: mean |∂L/∂u| sensitivity maps (panels a,c,e,g)
 // against power-probed column 1-norm maps (panels b,d,f,h) for the four
-// dataset × activation configurations. Prints ASCII heat maps and the
-// per-pair Pearson correlation; writes CSV grids for re-plotting.
+// dataset × activation configurations, via the fig3/* scenario registry
+// entries. Prints ASCII heat maps and the per-pair Pearson correlation;
+// writes CSV grids for re-plotting.
 //
 // Shape target (paper): visually matching map pairs; MNIST maps smooth
 // and centre-weighted, CIFAR maps rapidly varying.
-#include <cstdio>
-#include <iostream>
-
-#include "xbarsec/common/cli.hpp"
-#include "xbarsec/common/log.hpp"
-#include "xbarsec/common/table.hpp"
-#include "xbarsec/common/timer.hpp"
-#include "xbarsec/core/fig3.hpp"
-#include "xbarsec/core/report.hpp"
-#include "xbarsec/data/loaders.hpp"
-
-using namespace xbarsec;
-
-namespace {
-
-// Mean absolute pixel-to-neighbour difference of a (normalised) map — the
-// roughness measure behind the paper's smooth-vs-rough contrast.
-double roughness(const tensor::Vector& map, const data::ImageShape& shape) {
-    const std::size_t plane = shape.height * shape.width;
-    double lo = map[0], hi = map[0];
-    for (std::size_t j = 0; j < plane; ++j) {
-        lo = std::min(lo, map[j]);
-        hi = std::max(hi, map[j]);
-    }
-    const double span = hi > lo ? hi - lo : 1.0;
-    double acc = 0.0;
-    std::size_t count = 0;
-    for (std::size_t y = 0; y < shape.height; ++y) {
-        for (std::size_t x = 0; x + 1 < shape.width; ++x) {
-            acc += std::abs(map[y * shape.width + x + 1] - map[y * shape.width + x]) / span;
-            ++count;
-        }
-    }
-    return acc / static_cast<double>(count);
-}
-
-}  // namespace
+#include "scenario_bench_common.hpp"
 
 int main(int argc, char** argv) {
-    Cli cli("bench_fig3 — reproduces Figure 3 (sensitivity maps vs 1-norm maps)");
-    cli.flag("train", "6000", "training samples per dataset");
-    cli.flag("test", "1500", "test samples per dataset");
-    cli.flag("epochs", "15", "victim training epochs");
-    cli.flag("seed", "2022", "base seed");
-    cli.flag("data-dir", "", "directory with real MNIST/CIFAR files (optional)");
-    cli.flag("ascii", "true", "print ASCII heat maps");
-    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
-    try {
-        if (!cli.parse(argc, argv)) return 0;
-
-        data::LoadOptions load;
-        load.data_dir = cli.str("data-dir");
-        load.train_count = static_cast<std::size_t>(cli.integer("train"));
-        load.test_count = static_cast<std::size_t>(cli.integer("test"));
-        load.seed = static_cast<std::uint64_t>(cli.integer("seed"));
-        std::size_t epochs = static_cast<std::size_t>(cli.integer("epochs"));
-        if (cli.boolean("smoke")) {
-            load.train_count = 400;
-            load.test_count = 120;
-            epochs = 4;
-        }
-
-        WallTimer timer;
-        const data::DataSplit mnist = data::load_mnist_like(load);
-        const data::DataSplit cifar = data::load_cifar10_like(load);
-
-        Table summary({"Panel pair", "Config", "Pearson r", "Roughness(sens)", "Roughness(L1)",
-                       "Victim test acc"});
-        const char* panels[] = {"(a,b)", "(c,d)", "(e,f)", "(g,h)"};
-        int panel_idx = 0;
-        for (const auto& [split, name] :
-             {std::pair<const data::DataSplit*, const char*>{&mnist, "MNIST-like"},
-              std::pair<const data::DataSplit*, const char*>{&cifar, "CIFAR-10-like"}}) {
-            for (const core::OutputConfig output :
-                 {core::OutputConfig::linear_mse(), core::OutputConfig::softmax_ce()}) {
-                core::VictimConfig config = core::VictimConfig::defaults(output);
-                config.train.epochs = epochs;
-                const core::Fig3Panel panel =
-                    core::run_fig3_config(*split, name, output, config);
-
-                summary.begin_row();
-                summary.add(panels[panel_idx]);
-                summary.add(panel.label);
-                summary.add(panel.correlation, 3);
-                summary.add(roughness(panel.sensitivity_map, panel.shape), 3);
-                summary.add(roughness(panel.l1_map, panel.shape), 3);
-                summary.add(panel.victim_test_accuracy, 3);
-
-                const std::string stem =
-                    core::results_dir() + "/fig3_" + core::sanitize_label(panel.label);
-                core::write_grid_csv(stem + "_sensitivity.csv", panel.sensitivity_map,
-                                     panel.shape);
-                core::write_grid_csv(stem + "_l1.csv", panel.l1_map, panel.shape);
-
-                if (cli.boolean("ascii")) {
-                    std::cout << "\n### " << panel.label
-                              << " — mean |dL/du| (left target of the panel pair)\n"
-                              << core::render_ascii_heatmap(panel.sensitivity_map, panel.shape)
-                              << "\n### " << panel.label
-                              << " — probed column 1-norms (right target)\n"
-                              << core::render_ascii_heatmap(panel.l1_map, panel.shape);
-                }
-                ++panel_idx;
-            }
-        }
-
-        std::cout << "\n## Figure 3 reproduction summary\n\n"
-                  << summary << "\n"
-                  << "Paper shape: high r per pair; MNIST maps smoother (lower roughness) "
-                     "than CIFAR.\nCSV grids written to "
-                  << core::results_dir() << "/fig3_*.csv\n";
-        summary.write_csv(core::results_dir() + "/fig3_summary.csv");
-        log::info("bench_fig3 finished in ", timer.seconds(), " s");
-        return 0;
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "bench_fig3: %s\n", e.what());
-        return 1;
-    }
+    return xbarsec::benchscenario::run_prefix(
+        "bench_fig3 — reproduces Figure 3 (sensitivity maps vs 1-norm maps)", "fig3/", argc, argv,
+        "Paper shape: high Pearson r per panel pair; MNIST maps smoother (lower roughness) "
+        "than CIFAR.");
 }

@@ -1,83 +1,17 @@
 // Reproduces Figure 4: single-pixel attack test accuracy vs attack
-// strength (0..10) for RP / + / − / RD / Worst, in all four dataset ×
-// activation configurations.
+// strength (0..10) for RP / + / − / RD / Worst, via the fig4/* scenario
+// registry entries — the paper's four dataset × activation panels plus
+// the noisy-device and detector-guarded variants.
 //
 // Shape target (paper): power-guided methods beat RP; "+" strongest of
 // the power methods, "−" weakest; "Worst" is the floor; effects larger
 // on MNIST than CIFAR.
-#include <cstdio>
-#include <iostream>
-
-#include "xbarsec/common/cli.hpp"
-#include "xbarsec/common/log.hpp"
-#include "xbarsec/common/timer.hpp"
-#include "xbarsec/core/fig4.hpp"
-#include "xbarsec/core/report.hpp"
-#include "xbarsec/data/loaders.hpp"
-
-using namespace xbarsec;
+#include "scenario_bench_common.hpp"
 
 int main(int argc, char** argv) {
-    Cli cli("bench_fig4 — reproduces Figure 4 (power-guided single-pixel attacks)");
-    cli.flag("runs", "1", "reserved; Figure 4 is a single sweep in the paper");
-    cli.flag("train", "6000", "training samples per dataset");
-    cli.flag("test", "1500", "test samples per dataset");
-    cli.flag("epochs", "15", "victim training epochs");
-    cli.flag("eval", "0", "evaluate on at most this many test samples (0 = all)");
-    cli.flag("seed", "2022", "base seed");
-    cli.flag("data-dir", "", "directory with real MNIST/CIFAR files (optional)");
-    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
-    try {
-        if (!cli.parse(argc, argv)) return 0;
-
-        data::LoadOptions load;
-        load.data_dir = cli.str("data-dir");
-        load.train_count = static_cast<std::size_t>(cli.integer("train"));
-        load.test_count = static_cast<std::size_t>(cli.integer("test"));
-        load.seed = static_cast<std::uint64_t>(cli.integer("seed"));
-
-        core::Fig4Options options;
-        options.seed = load.seed + 33;
-        options.eval_limit = static_cast<std::size_t>(cli.integer("eval"));
-        std::size_t epochs = static_cast<std::size_t>(cli.integer("epochs"));
-        if (cli.boolean("smoke")) {
-            load.train_count = 400;
-            load.test_count = 120;
-            options.strengths = {0, 5, 10};
-            epochs = 4;
-        }
-
-        WallTimer timer;
-        const data::DataSplit mnist = data::load_mnist_like(load);
-        const data::DataSplit cifar = data::load_cifar10_like(load);
-
-        const char* panels[] = {"(a)", "(b)", "(c)", "(d)"};
-        int panel_idx = 0;
-        for (const auto& [split, name] :
-             {std::pair<const data::DataSplit*, const char*>{&mnist, "MNIST-like"},
-              std::pair<const data::DataSplit*, const char*>{&cifar, "CIFAR-10-like"}}) {
-            for (const core::OutputConfig output :
-                 {core::OutputConfig::linear_mse(), core::OutputConfig::softmax_ce()}) {
-                core::VictimConfig config = core::VictimConfig::defaults(output);
-                config.train.epochs = epochs;
-                const core::Fig4Result result =
-                    core::run_fig4_config(*split, name, output, config, options);
-                const Table table = core::render_fig4(result);
-                std::cout << "\n## Figure 4" << panels[panel_idx] << " — " << result.label
-                          << " (clean acc " << Table::format_number(result.clean_accuracy, 3)
-                          << ")\n\n"
-                          << table;
-                table.write_csv(core::results_dir() + "/fig4_" +
-                                core::sanitize_label(result.label) + ".csv");
-                ++panel_idx;
-            }
-        }
-        std::cout << "\nPaper shape: accuracy falls with strength; '+' <= RD <= '-' among "
-                     "power methods, all <= RP; 'Worst' is the lower bound.\n";
-        log::info("bench_fig4 finished in ", timer.seconds(), " s");
-        return 0;
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "bench_fig4: %s\n", e.what());
-        return 1;
-    }
+    return xbarsec::benchscenario::run_prefix(
+        "bench_fig4 — reproduces Figure 4 (power-guided single-pixel attacks)", "fig4/", argc,
+        argv,
+        "Paper shape: accuracy falls with strength; '+' <= RD <= '-' among power methods, "
+        "all <= RP; 'Worst' is the lower bound.");
 }

@@ -3,15 +3,7 @@
 #include "fig5_common.hpp"
 
 int main(int argc, char** argv) {
-    const xbarsec::benchfig5::DatasetSpec spec{
-        "bench_fig5_cifar — Figure 5 rows 3-4 (CIFAR-10-like surrogate attacks)",
-        "CIFAR-10-like",
-        /*cifar=*/true,
-        "ROW 3 (label-only)",
-        "ROW 4 (raw outputs)",
-        /*default_train=*/"3000",
-        /*default_queries=*/"2,10,50,100,500,1500",
-        /*default_eval=*/"300",
-    };
-    return xbarsec::benchfig5::run(spec, argc, argv);
+    return xbarsec::benchfig5::run(
+        "bench_fig5_cifar — Figure 5 rows 3-4 (CIFAR-10-like surrogate attacks)", "fig5/cifar/",
+        argc, argv);
 }

@@ -1,17 +1,10 @@
 // Reproduces Figure 5 ROWS 1-2 (MNIST): surrogate black-box attacks with
-// power information, label-only and raw-output variants.
+// power information, label-only and raw-output variants (plus the
+// defended-deployment registry entry).
 #include "fig5_common.hpp"
 
 int main(int argc, char** argv) {
-    const xbarsec::benchfig5::DatasetSpec spec{
-        "bench_fig5_mnist — Figure 5 rows 1-2 (MNIST-like surrogate attacks)",
-        "MNIST-like",
-        /*cifar=*/false,
-        "ROW 1 (label-only)",
-        "ROW 2 (raw outputs)",
-        /*default_train=*/"6000",
-        /*default_queries=*/"2,10,50,100,500,1000,4000",
-        /*default_eval=*/"500",
-    };
-    return xbarsec::benchfig5::run(spec, argc, argv);
+    return xbarsec::benchfig5::run(
+        "bench_fig5_mnist — Figure 5 rows 1-2 (MNIST-like surrogate attacks)", "fig5/mnist/",
+        argc, argv);
 }

@@ -1,0 +1,165 @@
+// Batched vs per-vector oracle query throughput on the synthetic-MNIST
+// victim (784 inputs × 10 classes) — the measurement behind the batched
+// Oracle API: query_labels / query_raw_batch / query_power_batch route
+// through the crossbar's dense GEMM path instead of the per-vector
+// simulation loop. Results are written to BENCH_oracle.json.
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "xbarsec/common/cli.hpp"
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/common/log.hpp"
+#include "xbarsec/common/table.hpp"
+#include "xbarsec/common/timer.hpp"
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/loaders.hpp"
+
+using namespace xbarsec;
+
+namespace {
+
+struct Measurement {
+    std::string query;
+    std::size_t batch = 0;
+    double scalar_qps = 0.0;
+    double batched_qps = 0.0;
+    double speedup = 0.0;
+};
+
+double seconds_for(const std::function<void()>& body, std::size_t reps) {
+    WallTimer timer;
+    for (std::size_t i = 0; i < reps; ++i) body();
+    return timer.seconds();
+}
+
+/// Repeats until the slower path accumulates enough wall time to trust.
+Measurement measure(core::CrossbarOracle& oracle, const tensor::Matrix& U,
+                    const std::string& query, std::size_t reps) {
+    Measurement m;
+    m.query = query;
+    m.batch = U.rows();
+
+    const auto scalar_pass = [&] {
+        for (std::size_t r = 0; r < U.rows(); ++r) {
+            if (query == "labels") {
+                (void)oracle.query_label(U.row(r));
+            } else if (query == "raw") {
+                (void)oracle.query_raw(U.row(r));
+            } else {
+                (void)oracle.query_power(U.row(r));
+            }
+        }
+    };
+    const auto batched_pass = [&] {
+        if (query == "labels") {
+            (void)oracle.query_labels(U);
+        } else if (query == "raw") {
+            (void)oracle.query_raw_batch(U);
+        } else {
+            (void)oracle.query_power_batch(U);
+        }
+    };
+
+    scalar_pass();   // warm caches
+    batched_pass();
+    const double queries = static_cast<double>(U.rows() * reps);
+    m.scalar_qps = queries / seconds_for(scalar_pass, reps);
+    m.batched_qps = queries / seconds_for(batched_pass, reps);
+    m.speedup = m.batched_qps / m.scalar_qps;
+    return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_oracle_batch — batched vs per-vector oracle query throughput");
+    cli.flag("batches", "64,256,1024", "batch sizes to measure");
+    cli.flag("reps", "8", "repetitions per measurement");
+    cli.flag("train", "2000", "victim training samples");
+    cli.flag("epochs", "6", "victim training epochs");
+    cli.flag("out", "BENCH_oracle.json", "JSON results path");
+    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        data::LoadOptions load;
+        load.train_count = static_cast<std::size_t>(cli.integer("train"));
+        load.test_count = 400;
+        std::vector<long long> batches = cli.integer_list("batches");
+        for (const long long batch : batches) {
+            if (batch < 1) throw ConfigError("--batches entries must be >= 1");
+        }
+        std::size_t reps = static_cast<std::size_t>(cli.integer("reps"));
+        if (reps < 1) throw ConfigError("--reps must be >= 1");
+        core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
+        config.train.epochs = static_cast<std::size_t>(cli.integer("epochs"));
+        if (cli.boolean("smoke")) {
+            load.train_count = 400;
+            load.test_count = 120;
+            batches = {64, 256};
+            reps = 2;
+            config.train.epochs = 2;
+        }
+
+        const data::DataSplit split = data::load_mnist_like(load);
+        const core::TrainedVictim victim = core::train_victim(split, config);
+        core::CrossbarOracle oracle = core::deploy_victim(victim.net, config);
+
+        Table table({"Query", "Batch", "Per-vector q/s", "Batched q/s", "Speedup"});
+        std::vector<Measurement> results;
+        Rng rng(7);
+        for (const long long batch : batches) {
+            const tensor::Matrix U = tensor::Matrix::random_uniform(
+                rng, static_cast<std::size_t>(batch), oracle.inputs());
+            for (const char* query : {"labels", "raw", "power"}) {
+                const Measurement m = measure(oracle, U, query, reps);
+                results.push_back(m);
+                table.begin_row();
+                table.add(m.query);
+                table.add(static_cast<long long>(m.batch));
+                table.add(m.scalar_qps, 0);
+                table.add(m.batched_qps, 0);
+                table.add(m.speedup, 2);
+            }
+        }
+
+        std::cout << "\n## Batched oracle query throughput (784×10 synthetic-MNIST victim)\n\n"
+                  << table;
+
+        const std::string out_path = cli.str("out");
+        std::ofstream out(out_path);
+        out << "{\n  \"victim\": \"synthetic-mnist-784x10\",\n  \"results\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const Measurement& m = results[i];
+            out << "    {\"query\": \"" << m.query << "\", \"batch\": " << m.batch
+                << ", \"scalar_qps\": " << static_cast<long long>(m.scalar_qps)
+                << ", \"batched_qps\": " << static_cast<long long>(m.batched_qps)
+                << ", \"speedup\": " << m.speedup << "}" << (i + 1 < results.size() ? "," : "")
+                << "\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "\nResults written to " << out_path << "\n";
+
+        // The acceptance bar for the batched API: >= 3x label throughput
+        // at batch 256. Enforced (non-zero exit) so the CI smoke run
+        // fails loudly if the fast path regresses; the measured margin
+        // is ~3x the bar, so scheduler noise cannot trip it.
+        int exit_code = 0;
+        for (const Measurement& m : results) {
+            if (m.query == "labels" && m.batch == 256) {
+                const bool pass = m.speedup >= 3.0;
+                std::cout << "labels@256 speedup: " << Table::format_number(m.speedup, 2)
+                          << (pass ? " (PASS, >= 3x)" : " (FAIL, below the 3x target)") << "\n";
+                if (!pass) exit_code = 1;
+            }
+        }
+        return exit_code;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_oracle_batch: %s\n", e.what());
+        return 1;
+    }
+}

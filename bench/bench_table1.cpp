@@ -1,78 +1,15 @@
 // Reproduces Table I: correlation between the loss-sensitivity magnitude
 // |∂L/∂u_j| and the power-probed column 1-norms, for
 // {MNIST-like, CIFAR-10-like} × {linear+MSE, softmax+CE}, averaged over
-// independent runs.
+// independent runs — via the table1/* scenario registry entries.
 //
 // Shape target (paper): correlation-of-mean ≫ per-sample mean
 // correlation; MNIST rows above CIFAR rows; all positive.
-#include <cstdio>
-#include <iostream>
-
-#include "xbarsec/common/cli.hpp"
-#include "xbarsec/common/log.hpp"
-#include "xbarsec/common/timer.hpp"
-#include "xbarsec/core/report.hpp"
-#include "xbarsec/core/table1.hpp"
-#include "xbarsec/data/loaders.hpp"
-
-using namespace xbarsec;
+#include "scenario_bench_common.hpp"
 
 int main(int argc, char** argv) {
-    Cli cli("bench_table1 — reproduces Table I (sensitivity vs 1-norm correlations)");
-    cli.flag("runs", "5", "independent runs averaged per row");
-    cli.flag("train", "6000", "training samples per dataset");
-    cli.flag("test", "1500", "test samples per dataset");
-    cli.flag("epochs", "15", "victim training epochs");
-    cli.flag("seed", "2022", "base seed");
-    cli.flag("data-dir", "", "directory with real MNIST/CIFAR files (optional)");
-    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
-    try {
-        if (!cli.parse(argc, argv)) return 0;
-
-        data::LoadOptions load;
-        load.data_dir = cli.str("data-dir");
-        load.train_count = static_cast<std::size_t>(cli.integer("train"));
-        load.test_count = static_cast<std::size_t>(cli.integer("test"));
-        load.seed = static_cast<std::uint64_t>(cli.integer("seed"));
-
-        core::Table1Options options;
-        options.runs = static_cast<std::size_t>(cli.integer("runs"));
-        options.seed = load.seed;
-
-        std::size_t epochs = static_cast<std::size_t>(cli.integer("epochs"));
-        if (cli.boolean("smoke")) {
-            load.train_count = 400;
-            load.test_count = 120;
-            options.runs = 2;
-            epochs = 4;
-        }
-
-        WallTimer timer;
-        std::vector<core::Table1Row> rows;
-        const data::DataSplit mnist = data::load_mnist_like(load);
-        const data::DataSplit cifar = data::load_cifar10_like(load);
-        for (const auto& [split, name] :
-             {std::pair<const data::DataSplit*, const char*>{&mnist, "MNIST-like"},
-              std::pair<const data::DataSplit*, const char*>{&cifar, "CIFAR-10-like"}}) {
-            for (const core::OutputConfig output :
-                 {core::OutputConfig::linear_mse(), core::OutputConfig::softmax_ce()}) {
-                core::Table1Options per = options;
-                per.victim = core::VictimConfig::defaults(output);
-                per.victim.train.epochs = epochs;
-                rows.push_back(core::run_table1_config(*split, name, output, per));
-            }
-        }
-
-        const Table table = core::render_table1(rows);
-        std::cout << "\n## Table I reproduction (sensitivity/1-norm correlations)\n\n"
-                  << table << "\n"
-                  << "Paper shape: Corr-of-Mean >> Mean-Corr per row; MNIST > CIFAR; "
-                     "all positive.\n";
-        table.write_csv(core::results_dir() + "/table1.csv");
-        log::info("bench_table1 finished in ", timer.seconds(), " s");
-        return 0;
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "bench_table1: %s\n", e.what());
-        return 1;
-    }
+    return xbarsec::benchscenario::run_prefix(
+        "bench_table1 — reproduces Table I (sensitivity vs 1-norm correlations)", "table1/", argc,
+        argv,
+        "Paper shape: Corr-of-Mean >> Mean-Corr per row; MNIST > CIFAR; all positive.");
 }

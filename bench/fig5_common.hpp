@@ -1,128 +1,16 @@
-// Shared driver for the two Figure-5 benches (MNIST-like / CIFAR-like).
+// Shared driver for the two Figure-5 benches (MNIST-like / CIFAR-like):
+// a thin prefix filter over the fig5/* scenario registry entries.
 #pragma once
 
-#include <cstdio>
-#include <iostream>
-#include <string>
-
-#include "xbarsec/common/cli.hpp"
-#include "xbarsec/common/log.hpp"
-#include "xbarsec/common/threadpool.hpp"
-#include "xbarsec/common/timer.hpp"
-#include "xbarsec/core/fig5.hpp"
-#include "xbarsec/core/report.hpp"
-#include "xbarsec/data/loaders.hpp"
+#include "scenario_bench_common.hpp"
 
 namespace xbarsec::benchfig5 {
 
-struct DatasetSpec {
-    const char* cli_summary;
-    const char* dataset_label;
-    bool cifar;  ///< false ⇒ MNIST-like
-    const char* row_label_only;
-    const char* row_raw;
-    // Default sweep sizes (CIFAR's 3072-dim inputs cost ~4× MNIST per
-    // sample, so its defaults are smaller to keep the bench in minutes).
-    const char* default_train;
-    const char* default_queries;
-    const char* default_eval;
-};
-
-inline int run(const DatasetSpec& spec, int argc, char** argv) {
-    Cli cli(spec.cli_summary);
-    cli.flag("runs", "5", "independent runs per cell (paper: 10)");
-    cli.flag("train", spec.default_train, "training-pool samples");
-    cli.flag("test", "1500", "test samples");
-    cli.flag("epochs", "15", "oracle training epochs");
-    cli.flag("queries", spec.default_queries, "query-count sweep Q");
-    cli.flag("lambdas", "0,0.002,0.004,0.006,0.008,0.01", "power-loss weight sweep");
-    cli.flag("eps", "0.1", "FGSM attack strength (paper: 0.1)");
-    cli.flag("eval", spec.default_eval, "adversarial evaluation subsample (0 = full test set)");
-    cli.flag("seed", "2022", "base seed");
-    cli.flag("data-dir", "", "directory with real dataset files (optional)");
-    cli.flag("threads", "0", "worker threads (0 = hardware)");
-    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
-    try {
-        if (!cli.parse(argc, argv)) return 0;
-
-        data::LoadOptions load;
-        load.data_dir = cli.str("data-dir");
-        load.train_count = static_cast<std::size_t>(cli.integer("train"));
-        load.test_count = static_cast<std::size_t>(cli.integer("test"));
-        load.seed = static_cast<std::uint64_t>(cli.integer("seed"));
-
-        core::Fig5Options options;
-        options.runs = static_cast<std::size_t>(cli.integer("runs"));
-        options.fgsm_eps = cli.real("eps");
-        options.eval_limit = static_cast<std::size_t>(cli.integer("eval"));
-        options.seed = load.seed;
-        options.query_counts.clear();
-        for (const long long q : cli.integer_list("queries")) {
-            options.query_counts.push_back(static_cast<std::size_t>(q));
-        }
-        options.lambdas = cli.real_list("lambdas");
-
-        std::size_t epochs = static_cast<std::size_t>(cli.integer("epochs"));
-        if (cli.boolean("smoke")) {
-            load.train_count = 400;
-            load.test_count = 120;
-            options.runs = 2;
-            options.query_counts = {10, 100};
-            options.lambdas = {0.0, 0.005};
-            options.eval_limit = 60;
-            epochs = 4;
-        }
-
-        ThreadPool pool(static_cast<std::size_t>(cli.integer("threads")));
-        options.pool = &pool;
-
-        WallTimer timer;
-        const data::DataSplit split =
-            spec.cifar ? data::load_cifar10_like(load) : data::load_mnist_like(load);
-
-        // The oracle outputs are linear+MSE (the paper's Section-IV setup:
-        // "only linear activation function is used").
-        core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::linear_mse());
-        config.train.epochs = epochs;
-
-        for (const bool raw : {false, true}) {
-            core::Fig5Options row_options = options;
-            row_options.raw_outputs = raw;
-            const core::Fig5Result result = core::run_fig5(
-                split, spec.dataset_label, core::OutputConfig::linear_mse(), config, row_options);
-
-            const char* row_name = raw ? spec.row_raw : spec.row_label_only;
-            std::cout << "\n## Figure 5 " << row_name << " — " << result.label
-                      << " (oracle clean acc "
-                      << Table::format_number(result.oracle_clean_accuracy_mean, 3) << ", "
-                      << options.runs << " runs)\n";
-            const Table sur = core::render_fig5_surrogate_accuracy(result);
-            const Table adv = core::render_fig5_adversarial_accuracy(result);
-            const Table imp = core::render_fig5_improvement(result);
-            std::cout << "\n### Surrogate test accuracy (panels a/d/g/j)\n\n"
-                      << sur << "\n### Oracle accuracy under FGSM(eps="
-                      << Table::format_number(options.fgsm_eps, 2)
-                      << ") from the surrogate (panels b/e/h/k)\n\n"
-                      << adv
-                      << "\n### Improvement vs lambda=0 with significance (* = p<0.05; "
-                         "panels c/f/i/l)\n\n"
-                      << imp;
-            const std::string stem =
-                core::results_dir() + "/fig5_" + core::sanitize_label(result.label);
-            sur.write_csv(stem + "_surrogate_acc.csv");
-            adv.write_csv(stem + "_adv_acc.csv");
-            imp.write_csv(stem + "_improvement.csv");
-        }
-        std::cout << "\nPaper shape (" << spec.dataset_label
-                  << "): see EXPERIMENTS.md — power info helps at moderate Q on MNIST "
-                     "(many *), little/none on CIFAR; benefit vanishes once Q exceeds the "
-                     "input dimension.\n";
-        log::info("fig5 bench finished in ", timer.seconds(), " s");
-        return 0;
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "bench_fig5: %s\n", e.what());
-        return 1;
-    }
+inline int run(const char* summary, const std::string& prefix, int argc, char** argv) {
+    return benchscenario::run_prefix(
+        summary, prefix, argc, argv,
+        "Paper shape: see EXPERIMENTS.md — power info helps at moderate Q on MNIST (many *), "
+        "little/none on CIFAR; benefit vanishes once Q exceeds the input dimension.");
 }
 
 }  // namespace xbarsec::benchfig5

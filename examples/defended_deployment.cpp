@@ -1,14 +1,18 @@
-// Defensive scenario (library extension): the deployment adds power
-// obfuscation — supply-rail dithering or randomised dummy loads — and we
-// measure how much side-channel quality the attacker loses.
+// Defensive scenario (library extension): the deployment stacks power
+// obfuscation decorators — supply-rail dithering, dummy loads, sensing
+// noise, a hard query budget — over the crossbar oracle, and we measure
+// how much side-channel quality the attacker loses through each stack.
+//
+// The attacker only ever sees `core::Oracle&`; swapping the defense is a
+// different decorator composition, not different attack code.
 #include <cstdio>
 #include <iostream>
 
 #include "xbarsec/common/table.hpp"
+#include "xbarsec/core/decorators.hpp"
+#include "xbarsec/core/queries.hpp"
 #include "xbarsec/core/victim.hpp"
 #include "xbarsec/data/loaders.hpp"
-#include "xbarsec/sidechannel/obfuscation.hpp"
-#include "xbarsec/sidechannel/probe.hpp"
 #include "xbarsec/tensor/ops.hpp"
 
 int main() {
@@ -22,50 +26,90 @@ int main() {
         core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
         config.train.epochs = 10;
         const core::TrainedVictim victim = core::train_victim(split, config);
-        core::CrossbarOracle oracle = core::deploy_victim(victim.net, config);
+        core::CrossbarOracle backend = core::deploy_victim(victim.net, config);
         const tensor::Vector truth = tensor::column_abs_sums(victim.net.weights());
         const double scale = tensor::max(truth);
 
+        // Each row probes the deployment through a different decorator
+        // stack built over the same backend.
         struct Row {
             const char* name;
-            sidechannel::TotalCurrentFn measure;
+            core::DecoratorStack stack;
             std::size_t repeats;
         };
         std::vector<Row> rows;
-        rows.push_back({"undefended", oracle.power_measure_fn(), 1});
-        rows.push_back({"dither (1 probe)",
-                        sidechannel::make_dithered_measure(oracle.power_measure_fn(), 0.5 * scale, 1),
-                        1});
-        rows.push_back({"dither (32 probes avg)",
-                        sidechannel::make_dithered_measure(oracle.power_measure_fn(), 0.5 * scale, 2),
-                        32});
-        rows.push_back({"uniform dummies",
-                        sidechannel::make_uniform_dummy_measure(oracle.power_measure_fn(), scale),
-                        1});
-        rows.push_back({"random dummies",
-                        sidechannel::make_random_dummy_measure(oracle.power_measure_fn(),
-                                                               oracle.inputs(), scale, 3),
-                        1});
-        rows.push_back({"random dummies (32 probes avg)",
-                        sidechannel::make_random_dummy_measure(oracle.power_measure_fn(),
-                                                               oracle.inputs(), scale, 3),
-                        32});
+        rows.push_back({"undefended", core::DecoratorStack(backend), 1});
+        {
+            core::ObfuscationConfig dither;
+            dither.kind = core::ObfuscationConfig::Kind::Dither;
+            dither.magnitude = 0.5 * scale;
+            dither.seed = 1;
+            core::DecoratorStack stack(backend);
+            stack.push<core::ObfuscatedOracle>(dither);
+            rows.push_back({"dither (1 probe)", std::move(stack), 1});
+        }
+        {
+            core::ObfuscationConfig dither;
+            dither.kind = core::ObfuscationConfig::Kind::Dither;
+            dither.magnitude = 0.5 * scale;
+            dither.seed = 2;
+            core::DecoratorStack stack(backend);
+            stack.push<core::ObfuscatedOracle>(dither);
+            rows.push_back({"dither (32 probes avg)", std::move(stack), 32});
+        }
+        {
+            core::ObfuscationConfig dummies;
+            dummies.kind = core::ObfuscationConfig::Kind::UniformDummy;
+            dummies.magnitude = scale;
+            core::DecoratorStack stack(backend);
+            stack.push<core::ObfuscatedOracle>(dummies);
+            rows.push_back({"uniform dummies", std::move(stack), 1});
+        }
+        {
+            core::ObfuscationConfig dummies;
+            dummies.kind = core::ObfuscationConfig::Kind::RandomDummy;
+            dummies.magnitude = scale;
+            dummies.seed = 3;
+            core::DecoratorStack stack(backend);
+            stack.push<core::ObfuscatedOracle>(dummies);
+            rows.push_back({"random dummies", std::move(stack), 1});
+        }
+        {
+            // A full production stack: randomised dummies + sensing noise
+            // + a hard measurement budget (enough for exactly 32 probe
+            // repeats of every line).
+            core::ObfuscationConfig dummies;
+            dummies.kind = core::ObfuscationConfig::Kind::RandomDummy;
+            dummies.magnitude = scale;
+            dummies.seed = 3;
+            core::QueryBudget budget;
+            budget.max_power = 32 * backend.inputs();
+            core::DecoratorStack stack(backend);
+            stack.push<core::ObfuscatedOracle>(dummies);
+            stack.push<core::NoisyPowerOracle>(0.1 * scale, 4);
+            stack.push<core::QueryBudgetOracle>(budget);
+            rows.push_back({"random dummies + noise + budget (32 avg)", std::move(stack), 32});
+        }
 
-        Table table({"Deployment", "L1 rel. error", "Top-16 ranking agreement"});
-        for (const Row& row : rows) {
+        Table table({"Deployment", "L1 rel. error", "Top-16 ranking agreement", "Power queries"});
+        for (Row& row : rows) {
+            backend.reset_counters();
             sidechannel::ProbeOptions po;
             po.repeats = row.repeats;
             const tensor::Vector est =
-                sidechannel::probe_columns(row.measure, oracle.inputs(), po).conductance_sums;
+                core::probe_columns(row.stack.top(), po).conductance_sums;
             table.begin_row();
             table.add(row.name);
             table.add(sidechannel::relative_error(est, truth), 4);
             table.add(sidechannel::topk_agreement(est, truth, 16), 3);
+            table.add(static_cast<long long>(backend.counters().power));
         }
         std::cout << table
                   << "\nTakeaways: dithering is defeated by averaging; uniform dummies shift "
                      "magnitudes but cannot hide the *ranking*; randomised per-line dummies "
-                     "survive averaging and actually blunt the attack.\n";
+                     "survive averaging and actually blunt the attack — and a query budget "
+                     "caps how hard the attacker can average. Counters are accumulated once, "
+                     "at the backend, however deep the decorator stack.\n";
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "defended_deployment: %s\n", e.what());

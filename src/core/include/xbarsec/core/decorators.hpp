@@ -1,0 +1,243 @@
+// Composable defensive decorators over the attacker-facing Oracle.
+//
+// Each decorator wraps an existing Oracle (by reference — it does not own
+// the backend) and alters one aspect of the query interface:
+//   * ObfuscatedOracle  — power-channel obfuscation via the
+//     sidechannel::obfuscation transforms (dither / uniform dummies /
+//     randomised dummies), in weight units;
+//   * NoisyPowerOracle  — additive Gaussian measurement noise on the
+//     power channel (a sensing-resolution model);
+//   * QueryBudgetOracle — hard attacker-cost cap; throws
+//     QueryBudgetExceeded once the budget is spent (batched queries are
+//     charged all-or-nothing, before they reach the backend);
+//   * DetectorOracle    — feeds every inference input to a
+//     sidechannel::CurrentSignatureDetector inline, counting (and
+//     optionally refusing) flagged queries.
+//
+// Decorators compose arbitrarily: QueryBudgetOracle(ObfuscatedOracle(
+// CrossbarOracle)) is a budget-capped attacker against an obfuscated
+// deployment. Counting happens exactly once, at the backend — decorators
+// forward queries and delegate counters() inward, so wrapping never
+// double-counts, no matter how deep the stack. DecoratorStack owns a
+// dynamically-built chain (scenario registry entries describe stacks as
+// data).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "xbarsec/core/oracle.hpp"
+#include "xbarsec/sidechannel/detector.hpp"
+#include "xbarsec/sidechannel/obfuscation.hpp"
+
+namespace xbarsec::core {
+
+/// Base decorator: forwards every query to the wrapped oracle. Derived
+/// classes override only the aspect they alter. Batched queries forward
+/// as batches so the backend's GEMM path is preserved through the stack.
+class OracleDecorator : public Oracle {
+public:
+    std::size_t inputs() const override { return inner_.inputs(); }
+    std::size_t outputs() const override { return inner_.outputs(); }
+
+    int query_label(const tensor::Vector& u) override { return inner_.query_label(u); }
+    tensor::Vector query_raw(const tensor::Vector& u) override { return inner_.query_raw(u); }
+    double query_power(const tensor::Vector& u) override { return inner_.query_power(u); }
+
+    std::vector<int> query_labels(const tensor::Matrix& U) override {
+        return inner_.query_labels(U);
+    }
+    tensor::Matrix query_raw_batch(const tensor::Matrix& U) override {
+        return inner_.query_raw_batch(U);
+    }
+    tensor::Vector query_power_batch(const tensor::Matrix& U) override {
+        return inner_.query_power_batch(U);
+    }
+
+    /// Counters live at the backend; delegating keeps every physical
+    /// query counted exactly once regardless of stack depth.
+    QueryCounters counters() const override { return inner_.counters(); }
+    void reset_counters() override { inner_.reset_counters(); }
+
+    Oracle& inner() { return inner_; }
+    const Oracle& inner() const { return inner_; }
+
+protected:
+    explicit OracleDecorator(Oracle& inner) : inner_(inner) {}
+    OracleDecorator(const OracleDecorator&) = delete;
+    OracleDecorator& operator=(const OracleDecorator&) = delete;
+
+private:
+    Oracle& inner_;
+};
+
+// ---- power obfuscation ------------------------------------------------------
+
+/// Which sidechannel::obfuscation transform to apply to the power channel.
+struct ObfuscationConfig {
+    enum class Kind {
+        Dither,        ///< zero-mean Gaussian supply-rail dither
+        UniformDummy,  ///< identical always-on dummy load per input line
+        RandomDummy,   ///< randomised per-line dummy loads
+    };
+
+    Kind kind = Kind::Dither;
+
+    /// Transform magnitude in weight units: dither σ, or the (maximum)
+    /// dummy conductance. A natural scale is max_j ‖W[:,j]‖₁.
+    double magnitude = 0.0;
+
+    /// Seed for the dither stream / dummy draw.
+    std::uint64_t seed = 0xD3F3A5Eull;
+};
+
+/// Applies a power-obfuscation counter-measure to the wrapped oracle's
+/// power channel. Labels and raw outputs pass through unchanged. Batched
+/// power queries are serialised through the transform so the obfuscation
+/// stream is identical to per-vector measurement.
+class ObfuscatedOracle : public OracleDecorator {
+public:
+    ObfuscatedOracle(Oracle& inner, ObfuscationConfig config);
+
+    double query_power(const tensor::Vector& u) override;
+    tensor::Vector query_power_batch(const tensor::Matrix& U) override;
+
+    const ObfuscationConfig& config() const { return config_; }
+
+private:
+    ObfuscationConfig config_;
+    sidechannel::TotalCurrentFn obfuscated_;
+    std::mutex mutex_;  ///< the dither transform draws from a stateful Rng
+};
+
+/// Additive Gaussian measurement noise on the power channel (σ in weight
+/// units, deterministic stream). Unlike ObfuscationConfig::Kind::Dither
+/// the noise is absolute, not built from the obfuscation wrappers — this
+/// is the plain sensing-noise model used by the noisy-scenario entries.
+class NoisyPowerOracle : public OracleDecorator {
+public:
+    NoisyPowerOracle(Oracle& inner, double sigma, std::uint64_t seed = 0x5EED0FF5Eull);
+
+    double query_power(const tensor::Vector& u) override;
+    tensor::Vector query_power_batch(const tensor::Matrix& U) override;
+
+private:
+    double sigma_;
+    Rng rng_;
+    std::mutex mutex_;  ///< the noise stream is stateful; serialise draws
+};
+
+// ---- query budgets ----------------------------------------------------------
+
+/// Attacker-cost cap. 0 means unlimited for that bucket.
+struct QueryBudget {
+    std::uint64_t max_inference = 0;
+    std::uint64_t max_power = 0;
+    std::uint64_t max_total = 0;
+};
+
+/// Thrown by QueryBudgetOracle when a query would exceed the budget.
+class QueryBudgetExceeded : public Error {
+public:
+    explicit QueryBudgetExceeded(const std::string& what)
+        : Error("query budget exceeded: " + what) {}
+};
+
+/// Enforces a hard query budget on everything passing through. Charging
+/// is all-or-nothing: a batch that would cross the cap throws before any
+/// of it reaches the backend, and a refused query is not charged.
+class QueryBudgetOracle : public OracleDecorator {
+public:
+    QueryBudgetOracle(Oracle& inner, QueryBudget budget);
+
+    int query_label(const tensor::Vector& u) override;
+    tensor::Vector query_raw(const tensor::Vector& u) override;
+    double query_power(const tensor::Vector& u) override;
+    std::vector<int> query_labels(const tensor::Matrix& U) override;
+    tensor::Matrix query_raw_batch(const tensor::Matrix& U) override;
+    tensor::Vector query_power_batch(const tensor::Matrix& U) override;
+
+    const QueryBudget& budget() const { return budget_; }
+
+    /// Queries charged against the budget so far (this decorator's own
+    /// ledger — backend counters may include queries made before the
+    /// budget was imposed).
+    QueryCounters spent() const;
+
+private:
+    void charge_inference(std::uint64_t n);
+    void charge_power(std::uint64_t n);
+
+    QueryBudget budget_;
+    mutable std::mutex mutex_;
+    std::uint64_t spent_inference_ = 0;
+    std::uint64_t spent_power_ = 0;
+};
+
+// ---- inline detection -------------------------------------------------------
+
+/// Thrown by DetectorOracle when a flagged query is refused.
+class QueryRefused : public Error {
+public:
+    explicit QueryRefused(const std::string& what) : Error("query refused: " + what) {}
+};
+
+/// Screens every inference input through a current-signature detector
+/// before forwarding it. In log-only mode flagged queries are counted and
+/// still answered (measurement of detector coverage); in blocking mode
+/// they throw QueryRefused without reaching the backend. Power probes are
+/// not screened — the detector models DetectX-style inference-time
+/// sensing, and basis-vector probes are not inferences.
+class DetectorOracle : public OracleDecorator {
+public:
+    DetectorOracle(Oracle& inner, const sidechannel::CurrentSignatureDetector& detector,
+                   bool block_flagged = false);
+
+    int query_label(const tensor::Vector& u) override;
+    tensor::Vector query_raw(const tensor::Vector& u) override;
+    std::vector<int> query_labels(const tensor::Matrix& U) override;
+    tensor::Matrix query_raw_batch(const tensor::Matrix& U) override;
+
+    std::uint64_t screened() const { return screened_.load(std::memory_order_relaxed); }
+    std::uint64_t flagged() const { return flagged_.load(std::memory_order_relaxed); }
+    double flagged_fraction() const;
+
+private:
+    void screen(const tensor::Vector& u);
+    void screen_batch(const tensor::Matrix& U);
+
+    const sidechannel::CurrentSignatureDetector& detector_;
+    bool block_flagged_;
+    std::atomic<std::uint64_t> screened_{0};
+    std::atomic<std::uint64_t> flagged_{0};
+};
+
+// ---- owned stacks -----------------------------------------------------------
+
+/// An owned decorator chain over a (non-owned) backend. push<D>(args...)
+/// constructs D(top(), args...) and makes it the new top; top() is the
+/// attacker-facing oracle. Layer addresses are stable (heap-allocated),
+/// so the chain survives moves of the stack object.
+class DecoratorStack {
+public:
+    explicit DecoratorStack(Oracle& base) : base_(&base) {}
+
+    template <typename D, typename... Args>
+    D& push(Args&&... args) {
+        auto layer = std::make_unique<D>(top(), std::forward<Args>(args)...);
+        D& ref = *layer;
+        layers_.push_back(std::move(layer));
+        return ref;
+    }
+
+    Oracle& top() { return layers_.empty() ? *base_ : *layers_.back(); }
+    std::size_t depth() const { return layers_.size(); }
+
+private:
+    Oracle* base_;
+    std::vector<std::unique_ptr<Oracle>> layers_;
+};
+
+}  // namespace xbarsec::core

@@ -27,4 +27,10 @@ struct Fig3Panel {
 Fig3Panel run_fig3_config(const data::DataSplit& split, const std::string& dataset_name,
                           const OutputConfig& output, const VictimConfig& base_config);
 
+/// Produces the panel pair for an already-trained, already-deployed
+/// victim; the 1-norm map is probed through `attacker` (the top of any
+/// decorator stack), so defended deployments show their degraded map.
+Fig3Panel run_fig3_on(Oracle& attacker, const TrainedVictim& victim, const data::Dataset& test,
+                      const std::string& label);
+
 }  // namespace xbarsec::core

@@ -12,6 +12,7 @@
 
 #include "xbarsec/attack/single_pixel.hpp"
 #include "xbarsec/common/table.hpp"
+#include "xbarsec/core/oracle.hpp"
 #include "xbarsec/core/victim.hpp"
 
 namespace xbarsec::core {
@@ -21,6 +22,10 @@ struct Fig4Options {
     std::uint64_t seed = 33;
     /// Evaluate on at most this many test samples (0 = all).
     std::size_t eval_limit = 0;
+    /// Score attacks by querying the attacker-facing oracle (counted, and
+    /// subject to any decorator stack — detector screening, budgets)
+    /// instead of the experimenter's direct hardware evaluation.
+    bool evaluate_via_oracle = false;
 };
 
 /// Accuracy series for one attack method.
@@ -36,10 +41,21 @@ struct Fig4Result {
     double clean_accuracy = 0.0;  ///< accuracy at strength 0 (sanity anchor)
 };
 
-/// Runs the full method × strength sweep for one configuration.
+/// Runs the full method × strength sweep for one configuration (trains
+/// and deploys a fresh victim, then delegates to run_fig4_on).
 Fig4Result run_fig4_config(const data::DataSplit& split, const std::string& dataset_name,
                            const OutputConfig& output, const VictimConfig& base_config,
                            const Fig4Options& options);
+
+/// Runs the sweep against an already-deployed victim. `attacker` is the
+/// attacker-facing oracle — probed for the 1-norm ranking, and also used
+/// to score attacks when options.evaluate_via_oracle; `hardware` supplies
+/// white-box gradients (WorstCase reference) and the direct evaluation
+/// path. Pass the top of a decorator stack as `attacker` to measure a
+/// defended deployment.
+Fig4Result run_fig4_on(Oracle& attacker, const xbar::CrossbarNetwork& hardware,
+                       const data::Dataset& eval_set, const std::string& label,
+                       const Fig4Options& options);
 
 /// Markdown rendering: one row per strength, one column per method.
 Table render_fig4(const Fig4Result& result);

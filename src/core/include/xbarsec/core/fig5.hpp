@@ -14,11 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "xbarsec/common/table.hpp"
 #include "xbarsec/common/threadpool.hpp"
+#include "xbarsec/core/decorators.hpp"
 #include "xbarsec/core/victim.hpp"
 #include "xbarsec/stats/descriptive.hpp"
 
@@ -37,6 +39,11 @@ struct Fig5Options {
     std::size_t eval_limit = 0;
     /// Optional pool for run-level parallelism.
     ThreadPool* pool = nullptr;
+    /// Optional defensive decorator stack applied to each run's deployed
+    /// oracle before the attacker collects queries (scenario entries
+    /// describe defended fig5 sweeps with this hook). The backend is
+    /// passed so defenses can scale to the deployed weights.
+    std::function<void(DecoratorStack&, CrossbarOracle&)> defense;
 };
 
 /// Aggregated results of one (λ, Q) cell.

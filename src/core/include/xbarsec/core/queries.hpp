@@ -1,4 +1,5 @@
-// Attacker query collection for the Section-IV surrogate pipeline.
+// Attacker query collection for the Section-IV surrogate pipeline, plus
+// Oracle-based bridges into the sidechannel probing/search primitives.
 #pragma once
 
 #include <cstdint>
@@ -6,6 +7,7 @@
 #include "xbarsec/attack/surrogate.hpp"
 #include "xbarsec/core/oracle.hpp"
 #include "xbarsec/data/dataset.hpp"
+#include "xbarsec/sidechannel/search.hpp"
 
 namespace xbarsec::core {
 
@@ -27,8 +29,21 @@ struct QueryPlan {
 
 /// Draws `plan.count` inputs from `pool` (without replacement while
 /// possible, then uniformly with replacement), queries the oracle for
-/// outputs (+ power), and packages them for the surrogate trainer.
-attack::QueryDataset collect_queries(CrossbarOracle& oracle, const data::Dataset& pool,
+/// outputs (+ power) through the batched interface, and packages them for
+/// the surrogate trainer.
+attack::QueryDataset collect_queries(Oracle& oracle, const data::Dataset& pool,
                                      const QueryPlan& plan);
+
+/// Probes every input column through the oracle's power channel (weight
+/// units). Each probe is a counted power query; defensive decorators on
+/// the oracle apply to every measurement.
+sidechannel::ProbeResult probe_columns(Oracle& oracle,
+                                       const sidechannel::ProbeOptions& options = {});
+
+/// Query-efficient search for the largest probed column 1-norm, driving
+/// sidechannel::find_argmax through the oracle's power channel.
+sidechannel::SearchResult find_argmax(Oracle& oracle, const data::ImageShape& shape,
+                                      sidechannel::SearchStrategy strategy,
+                                      const sidechannel::SearchOptions& options = {});
 
 }  // namespace xbarsec::core

@@ -20,6 +20,11 @@ void write_grid_csv(const std::string& path, const tensor::Vector& map,
 std::string render_ascii_heatmap(const tensor::Vector& map, const data::ImageShape& shape,
                                  std::size_t channel = 0);
 
+/// Mean absolute pixel-to-neighbour difference of a (normalised) map —
+/// the roughness measure behind the paper's smooth-MNIST vs rough-CIFAR
+/// contrast (Figure 3 discussion).
+double map_roughness(const tensor::Vector& map, const data::ImageShape& shape);
+
 /// Filesystem-safe version of an experiment label ('/' and spaces → '_').
 std::string sanitize_label(const std::string& label);
 

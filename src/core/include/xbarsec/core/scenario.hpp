@@ -1,0 +1,179 @@
+// Named experiment scenarios and the unified runner.
+//
+// A ScenarioSpec is pure data: dataset × victim × device non-idealities ×
+// oracle decorator stack × experiment. The ScenarioRegistry maps names to
+// specs (the built-in entries cover every figure/table of the paper plus
+// defended and noisy-device variants), and ScenarioRunner turns any spec
+// into a ScenarioOutcome — so a new workload is a registry entry, not a
+// new translation unit. The fig3/fig4/fig5/table1 benches and the generic
+// bench_scenarios driver all run through this path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xbarsec/common/table.hpp"
+#include "xbarsec/core/decorators.hpp"
+#include "xbarsec/core/fig3.hpp"
+#include "xbarsec/core/fig4.hpp"
+#include "xbarsec/core/fig5.hpp"
+#include "xbarsec/core/table1.hpp"
+#include "xbarsec/data/loaders.hpp"
+
+namespace xbarsec::core {
+
+enum class DatasetKind { MnistLike, Cifar10Like };
+enum class ExperimentKind { Fig3, Fig4, Fig5, Table1, Probe };
+
+std::string to_string(DatasetKind kind);
+std::string to_string(ExperimentKind kind);
+
+/// One defensive decorator layer, described as data. Layers are applied
+/// in order: the first entry wraps the backend, the last is the
+/// attacker-facing top of the stack.
+struct DefenseSpec {
+    enum class Kind {
+        DitherPower,   ///< ObfuscatedOracle, Gaussian supply-rail dither
+        UniformDummy,  ///< ObfuscatedOracle, identical per-line dummies
+        RandomDummy,   ///< ObfuscatedOracle, randomised per-line dummies
+        NoisyPower,    ///< NoisyPowerOracle (sensing-noise model)
+        QueryBudget,   ///< QueryBudgetOracle
+        Detector,      ///< DetectorOracle (current-signature screening)
+    };
+
+    Kind kind = Kind::NoisyPower;
+
+    /// Noise σ / dummy conductance. Interpreted in weight units; when
+    /// `relative` it is multiplied by max_j ‖W[:,j]‖₁ of the deployed
+    /// weights (the natural scale of the leaked signal).
+    double magnitude = 0.0;
+    bool relative = true;
+    std::uint64_t seed = 101;
+
+    QueryBudget budget{};  ///< Kind::QueryBudget only
+
+    // Kind::Detector only.
+    sidechannel::DetectorConfig detector{};
+    bool block_flagged = false;
+    std::size_t detector_enrollment = 256;  ///< clean train samples enrolled
+};
+
+/// A complete named workload.
+struct ScenarioSpec {
+    std::string name;         ///< registry key, e.g. "fig4/mnist/softmax"
+    std::string description;  ///< one-line summary for listings
+
+    DatasetKind dataset = DatasetKind::MnistLike;
+    data::LoadOptions load;
+    OutputConfig output = OutputConfig::softmax_ce();
+    VictimConfig victim = VictimConfig::defaults(OutputConfig::softmax_ce());
+    std::vector<DefenseSpec> defenses;
+
+    ExperimentKind experiment = ExperimentKind::Fig4;
+    Fig4Options fig4;
+    Fig5Options fig5;
+    Table1Options table1;
+    sidechannel::ProbeOptions probe;
+    std::size_t probe_topk = 16;  ///< ranking-agreement k for Probe reports
+};
+
+/// Shrinks a spec to CI-smoke size (tiny datasets, minimal sweeps).
+void apply_smoke(ScenarioSpec& spec);
+
+/// Name → spec map with ordered listing. Lookup of an unknown name
+/// throws ConfigError naming the nearest available entries.
+class ScenarioRegistry {
+public:
+    /// Registers a spec; throws ConfigError on empty or duplicate names.
+    void add(ScenarioSpec spec);
+
+    bool contains(const std::string& name) const;
+    const ScenarioSpec& get(const std::string& name) const;
+
+    /// Registered names (sorted); optionally filtered to a prefix.
+    std::vector<std::string> names(const std::string& prefix = "") const;
+    std::size_t size() const { return specs_.size(); }
+
+private:
+    std::map<std::string, ScenarioSpec> specs_;
+};
+
+/// The global registry, pre-populated with the built-in scenarios on
+/// first use.
+ScenarioRegistry& builtin_scenarios();
+
+/// A trained victim deployed on the crossbar with its decorator stack
+/// built — ready for an attacker. Owns everything it references.
+class DeployedScenario {
+public:
+    const ScenarioSpec& spec() const { return spec_; }
+    const data::DataSplit& split() const { return split_; }
+    const TrainedVictim& victim() const { return victim_; }
+
+    /// The physical deployment (evaluation-side access).
+    CrossbarOracle& backend() { return *backend_; }
+
+    /// The attacker-facing top of the decorator stack.
+    Oracle& oracle() { return stack_->top(); }
+
+    /// Non-null when the stack contains a Detector layer.
+    const DetectorOracle* detector_layer() const { return detector_layer_; }
+
+private:
+    friend class ScenarioRunner;
+    DeployedScenario() = default;
+
+    ScenarioSpec spec_;
+    data::DataSplit split_;
+    TrainedVictim victim_;
+    std::unique_ptr<CrossbarOracle> backend_;
+    std::unique_ptr<sidechannel::CurrentSignatureDetector> detector_;
+    std::unique_ptr<DecoratorStack> stack_;
+    DetectorOracle* detector_layer_ = nullptr;
+};
+
+/// Everything a scenario produced, in renderable form.
+struct ScenarioOutcome {
+    std::string name;
+    std::string label;  ///< dataset/activation label of the experiment
+
+    std::vector<std::pair<std::string, Table>> tables;
+    std::vector<std::pair<std::string, std::string>> notes;  ///< e.g. ASCII heat maps
+    std::map<std::string, double> metrics;
+
+    /// Per-pixel maps worth re-plotting (Figure 3 panels).
+    struct Grid {
+        std::string name;
+        tensor::Vector map;
+        data::ImageShape shape;
+    };
+    std::vector<Grid> grids;
+
+    /// Backend query counters after the experiment (single-deployment
+    /// experiments; zero for the multi-deployment Fig5/Table1 sweeps).
+    QueryCounters attacker_cost;
+};
+
+/// Runs any ScenarioSpec end to end.
+class ScenarioRunner {
+public:
+    /// `pool` parallelises batched oracle queries and fig5 runs.
+    explicit ScenarioRunner(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+    /// Loads data, trains the victim, deploys it, and builds the
+    /// decorator stack (experiments that manage their own training —
+    /// Fig5, Table1 — do not use this).
+    DeployedScenario deploy(const ScenarioSpec& spec) const;
+
+    ScenarioOutcome run(const ScenarioSpec& spec) const;
+
+    /// Convenience: builtin_scenarios() lookup + run.
+    ScenarioOutcome run(const std::string& name) const;
+
+private:
+    ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace xbarsec::core

@@ -1,0 +1,184 @@
+#include "xbarsec/core/decorators.hpp"
+
+#include <string>
+
+namespace xbarsec::core {
+
+// ---- ObfuscatedOracle -------------------------------------------------------
+
+namespace {
+
+sidechannel::TotalCurrentFn build_obfuscation(Oracle& inner, const ObfuscationConfig& config) {
+    // The wrapped measurement routes through inner.query_power, so the
+    // backend counts the read and deeper decorators still apply.
+    sidechannel::TotalCurrentFn base = [&inner](const tensor::Vector& v) {
+        return inner.query_power(v);
+    };
+    switch (config.kind) {
+        case ObfuscationConfig::Kind::Dither:
+            return sidechannel::make_dithered_measure(std::move(base), config.magnitude,
+                                                      config.seed);
+        case ObfuscationConfig::Kind::UniformDummy:
+            return sidechannel::make_uniform_dummy_measure(std::move(base), config.magnitude);
+        case ObfuscationConfig::Kind::RandomDummy:
+            return sidechannel::make_random_dummy_measure(std::move(base), inner.inputs(),
+                                                          config.magnitude, config.seed);
+    }
+    throw ConfigError("unknown obfuscation kind");
+}
+
+}  // namespace
+
+ObfuscatedOracle::ObfuscatedOracle(Oracle& inner, ObfuscationConfig config)
+    : OracleDecorator(inner), config_(config), obfuscated_(build_obfuscation(inner, config)) {}
+
+double ObfuscatedOracle::query_power(const tensor::Vector& u) {
+    // The dither transform draws from a stateful Rng inside the wrapper;
+    // serialise so concurrent (e.g. thread-pool) queries stay defined and
+    // the obfuscation stream deterministic.
+    std::lock_guard lock(mutex_);
+    return obfuscated_(u);
+}
+
+tensor::Vector ObfuscatedOracle::query_power_batch(const tensor::Matrix& U) {
+    // The base implementation serialises through this->query_power, which
+    // is exactly the documented per-measurement transform semantics.
+    return Oracle::query_power_batch(U);
+}
+
+// ---- NoisyPowerOracle -------------------------------------------------------
+
+NoisyPowerOracle::NoisyPowerOracle(Oracle& inner, double sigma, std::uint64_t seed)
+    : OracleDecorator(inner), sigma_(sigma), rng_(seed) {
+    XS_EXPECTS(sigma >= 0.0);
+}
+
+double NoisyPowerOracle::query_power(const tensor::Vector& u) {
+    const double clean = inner().query_power(u);
+    std::lock_guard lock(mutex_);
+    return clean + rng_.normal(0.0, sigma_);
+}
+
+tensor::Vector NoisyPowerOracle::query_power_batch(const tensor::Matrix& U) {
+    tensor::Vector p = inner().query_power_batch(U);
+    std::lock_guard lock(mutex_);
+    for (std::size_t r = 0; r < p.size(); ++r) p[r] += rng_.normal(0.0, sigma_);
+    return p;
+}
+
+// ---- QueryBudgetOracle ------------------------------------------------------
+
+QueryBudgetOracle::QueryBudgetOracle(Oracle& inner, QueryBudget budget)
+    : OracleDecorator(inner), budget_(budget) {}
+
+void QueryBudgetOracle::charge_inference(std::uint64_t n) {
+    std::lock_guard lock(mutex_);
+    if (budget_.max_inference != 0 && spent_inference_ + n > budget_.max_inference) {
+        throw QueryBudgetExceeded("inference budget of " + std::to_string(budget_.max_inference) +
+                                  " queries is exhausted");
+    }
+    if (budget_.max_total != 0 && spent_inference_ + spent_power_ + n > budget_.max_total) {
+        throw QueryBudgetExceeded("total budget of " + std::to_string(budget_.max_total) +
+                                  " queries is exhausted");
+    }
+    spent_inference_ += n;
+}
+
+void QueryBudgetOracle::charge_power(std::uint64_t n) {
+    std::lock_guard lock(mutex_);
+    if (budget_.max_power != 0 && spent_power_ + n > budget_.max_power) {
+        throw QueryBudgetExceeded("power budget of " + std::to_string(budget_.max_power) +
+                                  " measurements is exhausted");
+    }
+    if (budget_.max_total != 0 && spent_inference_ + spent_power_ + n > budget_.max_total) {
+        throw QueryBudgetExceeded("total budget of " + std::to_string(budget_.max_total) +
+                                  " queries is exhausted");
+    }
+    spent_power_ += n;
+}
+
+QueryCounters QueryBudgetOracle::spent() const {
+    std::lock_guard lock(mutex_);
+    QueryCounters c;
+    c.inference = spent_inference_;
+    c.power = spent_power_;
+    return c;
+}
+
+int QueryBudgetOracle::query_label(const tensor::Vector& u) {
+    charge_inference(1);
+    return inner().query_label(u);
+}
+
+tensor::Vector QueryBudgetOracle::query_raw(const tensor::Vector& u) {
+    charge_inference(1);
+    return inner().query_raw(u);
+}
+
+double QueryBudgetOracle::query_power(const tensor::Vector& u) {
+    charge_power(1);
+    return inner().query_power(u);
+}
+
+std::vector<int> QueryBudgetOracle::query_labels(const tensor::Matrix& U) {
+    charge_inference(U.rows());
+    return inner().query_labels(U);
+}
+
+tensor::Matrix QueryBudgetOracle::query_raw_batch(const tensor::Matrix& U) {
+    charge_inference(U.rows());
+    return inner().query_raw_batch(U);
+}
+
+tensor::Vector QueryBudgetOracle::query_power_batch(const tensor::Matrix& U) {
+    charge_power(U.rows());
+    return inner().query_power_batch(U);
+}
+
+// ---- DetectorOracle ---------------------------------------------------------
+
+DetectorOracle::DetectorOracle(Oracle& inner,
+                               const sidechannel::CurrentSignatureDetector& detector,
+                               bool block_flagged)
+    : OracleDecorator(inner), detector_(detector), block_flagged_(block_flagged) {}
+
+double DetectorOracle::flagged_fraction() const {
+    const std::uint64_t n = screened();
+    return n == 0 ? 0.0 : static_cast<double>(flagged()) / static_cast<double>(n);
+}
+
+void DetectorOracle::screen(const tensor::Vector& u) {
+    screened_.fetch_add(1, std::memory_order_relaxed);
+    if (detector_.is_adversarial(u)) {
+        flagged_.fetch_add(1, std::memory_order_relaxed);
+        if (block_flagged_) {
+            throw QueryRefused("input flagged by the current-signature detector");
+        }
+    }
+}
+
+void DetectorOracle::screen_batch(const tensor::Matrix& U) {
+    for (std::size_t r = 0; r < U.rows(); ++r) screen(U.row(r));
+}
+
+int DetectorOracle::query_label(const tensor::Vector& u) {
+    screen(u);
+    return inner().query_label(u);
+}
+
+tensor::Vector DetectorOracle::query_raw(const tensor::Vector& u) {
+    screen(u);
+    return inner().query_raw(u);
+}
+
+std::vector<int> DetectorOracle::query_labels(const tensor::Matrix& U) {
+    screen_batch(U);
+    return inner().query_labels(U);
+}
+
+tensor::Matrix DetectorOracle::query_raw_batch(const tensor::Matrix& U) {
+    screen_batch(U);
+    return inner().query_raw_batch(U);
+}
+
+}  // namespace xbarsec::core

@@ -1,10 +1,22 @@
 #include "xbarsec/core/fig3.hpp"
 
+#include "xbarsec/core/queries.hpp"
 #include "xbarsec/nn/sensitivity.hpp"
-#include "xbarsec/sidechannel/probe.hpp"
 #include "xbarsec/stats/correlation.hpp"
 
 namespace xbarsec::core {
+
+Fig3Panel run_fig3_on(Oracle& attacker, const TrainedVictim& victim, const data::Dataset& test,
+                      const std::string& label) {
+    Fig3Panel panel;
+    panel.label = label;
+    panel.shape = test.shape();
+    panel.sensitivity_map = nn::mean_abs_input_gradient(victim.net, test);
+    panel.l1_map = probe_columns(attacker).conductance_sums;
+    panel.correlation = stats::pearson(panel.sensitivity_map, panel.l1_map);
+    panel.victim_test_accuracy = victim.test_accuracy;
+    return panel;
+}
 
 Fig3Panel run_fig3_config(const data::DataSplit& split, const std::string& dataset_name,
                           const OutputConfig& output, const VictimConfig& base_config) {
@@ -13,16 +25,7 @@ Fig3Panel run_fig3_config(const data::DataSplit& split, const std::string& datas
 
     const TrainedVictim victim = train_victim(split, config);
     CrossbarOracle oracle = deploy_victim(victim.net, config);
-
-    Fig3Panel panel;
-    panel.label = dataset_name + "/" + output.name();
-    panel.shape = split.test.shape();
-    panel.sensitivity_map = nn::mean_abs_input_gradient(victim.net, split.test);
-    panel.l1_map =
-        sidechannel::probe_columns(oracle.power_measure_fn(), oracle.inputs()).conductance_sums;
-    panel.correlation = stats::pearson(panel.sensitivity_map, panel.l1_map);
-    panel.victim_test_accuracy = victim.test_accuracy;
-    return panel;
+    return run_fig3_on(oracle, victim, split.test, dataset_name + "/" + output.name());
 }
 
 }  // namespace xbarsec::core

@@ -1,36 +1,33 @@
 #include "xbarsec/core/fig4.hpp"
 
+#include "xbarsec/attack/evaluate.hpp"
 #include "xbarsec/common/log.hpp"
+#include "xbarsec/core/queries.hpp"
 #include "xbarsec/nn/metrics.hpp"
-#include "xbarsec/sidechannel/probe.hpp"
 
 namespace xbarsec::core {
 
-Fig4Result run_fig4_config(const data::DataSplit& split, const std::string& dataset_name,
-                           const OutputConfig& output, const VictimConfig& base_config,
-                           const Fig4Options& options) {
+Fig4Result run_fig4_on(Oracle& attacker, const xbar::CrossbarNetwork& hardware,
+                       const data::Dataset& eval_set, const std::string& label,
+                       const Fig4Options& options) {
     XS_EXPECTS(!options.strengths.empty());
-    VictimConfig config = base_config;
-    config.output = output;
-
-    const TrainedVictim victim = train_victim(split, config);
-    CrossbarOracle oracle = deploy_victim(victim.net, config);
+    XS_EXPECTS(eval_set.size() > 0);
 
     // What the victim actually computes in deployment (equals the software
-    // net when the device config is ideal).
-    const nn::SingleLayerNet deployed = oracle.hardware_for_evaluation().effective_network();
+    // net when the device config is ideal); the WorstCase reference method
+    // takes its white-box gradients from here.
+    const nn::SingleLayerNet deployed = hardware.effective_network();
 
-    // Attacker side: probe the power channel once for the 1-norm ranking.
-    const tensor::Vector l1 =
-        sidechannel::probe_columns(oracle.power_measure_fn(), oracle.inputs()).conductance_sums;
-
-    const data::Dataset eval_set =
-        options.eval_limit > 0 ? split.test.take(options.eval_limit) : split.test;
+    // Attacker side: probe the power channel once for the 1-norm ranking —
+    // through the decorator stack, so obfuscation defenses degrade it.
+    const tensor::Vector l1 = probe_columns(attacker).conductance_sums;
 
     Fig4Result result;
-    result.label = dataset_name + "/" + output.name();
+    result.label = label;
     result.strengths = options.strengths;
-    result.clean_accuracy = nn::accuracy(deployed, eval_set);
+    result.clean_accuracy = options.evaluate_via_oracle
+                                ? attack::oracle_accuracy(attacker, eval_set)
+                                : nn::accuracy(deployed, eval_set);
 
     for (const attack::SinglePixelMethod method : attack::all_single_pixel_methods()) {
         Fig4Series series;
@@ -41,13 +38,32 @@ Fig4Result run_fig4_config(const data::DataSplit& split, const std::string& data
             // points are independent and reproducible in isolation.
             Rng rng(options.seed ^ (static_cast<std::uint64_t>(method) << 32) ^
                     static_cast<std::uint64_t>(strength * 1024.0));
-            series.accuracy.push_back(attack::evaluate_single_pixel_attack(
-                deployed, eval_set, method, strength, &l1, rng));
+            const tensor::Matrix adv = attack::craft_single_pixel_batch(
+                method, eval_set, strength, &l1, &deployed, rng);
+            series.accuracy.push_back(
+                options.evaluate_via_oracle
+                    ? attack::oracle_accuracy(attacker, adv, eval_set.labels())
+                    : nn::accuracy(deployed, adv, eval_set.labels()));
         }
         log::info("fig4 ", result.label, " method ", to_string(method), " done");
         result.series.push_back(std::move(series));
     }
     return result;
+}
+
+Fig4Result run_fig4_config(const data::DataSplit& split, const std::string& dataset_name,
+                           const OutputConfig& output, const VictimConfig& base_config,
+                           const Fig4Options& options) {
+    VictimConfig config = base_config;
+    config.output = output;
+
+    const TrainedVictim victim = train_victim(split, config);
+    CrossbarOracle oracle = deploy_victim(victim.net, config);
+
+    const data::Dataset eval_set =
+        options.eval_limit > 0 ? split.test.take(options.eval_limit) : split.test;
+    return run_fig4_on(oracle, oracle.hardware_for_evaluation(), eval_set,
+                       dataset_name + "/" + output.name(), options);
 }
 
 Table render_fig4(const Fig4Result& result) {

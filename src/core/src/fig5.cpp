@@ -57,8 +57,11 @@ RunOutput execute_run(std::size_t run, const data::DataSplit& split, const Outpu
     config.train.shuffle_seed = options.seed + 10007 * run + 31;
 
     const TrainedVictim victim = train_victim(split, config);
-    CrossbarOracle oracle = deploy_victim(victim.net, config);
-    const nn::SingleLayerNet deployed = oracle.hardware_for_evaluation().effective_network();
+    CrossbarOracle backend = deploy_victim(victim.net, config);
+    DecoratorStack stack(backend);
+    if (options.defense) options.defense(stack, backend);
+    Oracle& oracle = stack.top();  // what the attacker sees
+    const nn::SingleLayerNet deployed = backend.hardware_for_evaluation().effective_network();
 
     const data::Dataset eval_set =
         options.eval_limit > 0 ? split.test.take(options.eval_limit) : split.test;

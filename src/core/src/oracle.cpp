@@ -1,36 +1,176 @@
 #include "xbarsec/core/oracle.hpp"
 
+#include "xbarsec/tensor/ops.hpp"
+
 namespace xbarsec::core {
 
+// ---- Oracle -----------------------------------------------------------------
+
+std::vector<int> Oracle::query_labels(const tensor::Matrix& U) {
+    std::vector<int> labels(U.rows());
+    for (std::size_t r = 0; r < U.rows(); ++r) labels[r] = query_label(U.row(r));
+    return labels;
+}
+
+tensor::Matrix Oracle::query_raw_batch(const tensor::Matrix& U) {
+    tensor::Matrix Y(U.rows(), outputs(), 0.0);
+    for (std::size_t r = 0; r < U.rows(); ++r) Y.set_row(r, query_raw(U.row(r)));
+    return Y;
+}
+
+tensor::Vector Oracle::query_power_batch(const tensor::Matrix& U) {
+    tensor::Vector p(U.rows(), 0.0);
+    for (std::size_t r = 0; r < U.rows(); ++r) p[r] = query_power(U.row(r));
+    return p;
+}
+
+sidechannel::TotalCurrentFn Oracle::power_measure_fn() {
+    return [this](const tensor::Vector& v) { return query_power(v); };
+}
+
+// ---- BackendOracle ----------------------------------------------------------
+
+BackendOracle::BackendOracle(BackendOracle&& other) noexcept
+    : options_(other.options_),
+      pool_(other.pool_),
+      inference_count_(other.inference_count_.load(std::memory_order_relaxed)),
+      power_count_(other.power_count_.load(std::memory_order_relaxed)) {}
+
+BackendOracle& BackendOracle::operator=(BackendOracle&& other) noexcept {
+    options_ = other.options_;
+    pool_ = other.pool_;
+    inference_count_.store(other.inference_count_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    power_count_.store(other.power_count_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+}
+
+QueryCounters BackendOracle::counters() const {
+    QueryCounters snapshot;
+    snapshot.inference = inference_count_.load(std::memory_order_relaxed);
+    snapshot.power = power_count_.load(std::memory_order_relaxed);
+    return snapshot;
+}
+
+void BackendOracle::reset_counters() {
+    inference_count_.store(0, std::memory_order_relaxed);
+    power_count_.store(0, std::memory_order_relaxed);
+}
+
+void BackendOracle::require_raw_access() const {
+    if (!options_.expose_raw_outputs) {
+        throw AccessDenied("raw outputs are not exposed by this deployment");
+    }
+}
+
+void BackendOracle::require_power_access() const {
+    if (!options_.expose_power) {
+        throw AccessDenied("power measurement is not possible on this deployment");
+    }
+}
+
+// ---- CrossbarOracle ---------------------------------------------------------
+
 CrossbarOracle::CrossbarOracle(xbar::CrossbarNetwork hardware, OracleOptions options)
-    : hardware_(std::move(hardware)), options_(options) {}
+    : BackendOracle(options),
+      hardware_(std::move(hardware)),
+      weight_scale_(hardware_.crossbar().program().weight_scale) {}
 
 int CrossbarOracle::query_label(const tensor::Vector& u) {
     XS_EXPECTS(u.size() == inputs());
-    ++counters_.inference;
+    count_inference();
     return hardware_.classify(u);
 }
 
 tensor::Vector CrossbarOracle::query_raw(const tensor::Vector& u) {
-    if (!options_.expose_raw_outputs) {
-        throw AccessDenied("raw outputs are not exposed by this deployment");
-    }
+    require_raw_access();
     XS_EXPECTS(u.size() == inputs());
-    ++counters_.inference;
+    count_inference();
     return hardware_.predict(u);
 }
 
 double CrossbarOracle::query_power(const tensor::Vector& u) {
-    if (!options_.expose_power) {
-        throw AccessDenied("power measurement is not possible on this deployment");
-    }
+    require_power_access();
     XS_EXPECTS(u.size() == inputs());
-    ++counters_.power;
-    return hardware_.total_current(u) / hardware_.crossbar().program().weight_scale;
+    count_power();
+    return hardware_.total_current(u) / weight_scale_;
 }
 
-sidechannel::TotalCurrentFn CrossbarOracle::power_measure_fn() {
-    return [this](const tensor::Vector& v) { return query_power(v); };
+std::vector<int> CrossbarOracle::query_labels(const tensor::Matrix& U) {
+    XS_EXPECTS(U.cols() == inputs());
+    count_inference(U.rows());
+    return hardware_.classify_batch(U, thread_pool());
+}
+
+tensor::Matrix CrossbarOracle::query_raw_batch(const tensor::Matrix& U) {
+    require_raw_access();
+    XS_EXPECTS(U.cols() == inputs());
+    count_inference(U.rows());
+    return hardware_.predict_batch(U, thread_pool());
+}
+
+tensor::Vector CrossbarOracle::query_power_batch(const tensor::Matrix& U) {
+    require_power_access();
+    XS_EXPECTS(U.cols() == inputs());
+    count_power(U.rows());
+    tensor::Vector p = hardware_.total_current_batch(U, thread_pool());
+    p /= weight_scale_;
+    return p;
+}
+
+// ---- SoftwareOracle ---------------------------------------------------------
+
+SoftwareOracle::SoftwareOracle(nn::SingleLayerNet net, OracleOptions options)
+    : BackendOracle(options),
+      net_(std::move(net)),
+      column_l1_(tensor::column_abs_sums(net_.weights())) {}
+
+int SoftwareOracle::query_label(const tensor::Vector& u) {
+    XS_EXPECTS(u.size() == inputs());
+    count_inference();
+    return net_.classify(u);
+}
+
+tensor::Vector SoftwareOracle::query_raw(const tensor::Vector& u) {
+    require_raw_access();
+    XS_EXPECTS(u.size() == inputs());
+    count_inference();
+    return net_.predict(u);
+}
+
+double SoftwareOracle::query_power(const tensor::Vector& u) {
+    require_power_access();
+    XS_EXPECTS(u.size() == inputs());
+    count_power();
+    return tensor::dot(u, column_l1_);
+}
+
+std::vector<int> SoftwareOracle::query_labels(const tensor::Matrix& U) {
+    XS_EXPECTS(U.cols() == inputs());
+    count_inference(U.rows());
+    return tensor::argmax_rows(net_.predict_batch(U));
+}
+
+tensor::Matrix SoftwareOracle::query_raw_batch(const tensor::Matrix& U) {
+    require_raw_access();
+    XS_EXPECTS(U.cols() == inputs());
+    count_inference(U.rows());
+    return net_.predict_batch(U);
+}
+
+tensor::Vector SoftwareOracle::query_power_batch(const tensor::Matrix& U) {
+    require_power_access();
+    XS_EXPECTS(U.cols() == inputs());
+    count_power(U.rows());
+    tensor::Vector p(U.rows(), 0.0);
+    for (std::size_t r = 0; r < U.rows(); ++r) {
+        const auto row = U.row_span(r);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * column_l1_[j];
+        p[r] = acc;
+    }
+    return p;
 }
 
 }  // namespace xbarsec::core

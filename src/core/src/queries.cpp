@@ -4,7 +4,7 @@
 
 namespace xbarsec::core {
 
-attack::QueryDataset collect_queries(CrossbarOracle& oracle, const data::Dataset& pool,
+attack::QueryDataset collect_queries(Oracle& oracle, const data::Dataset& pool,
                                      const QueryPlan& plan) {
     XS_EXPECTS(plan.count > 0);
     XS_EXPECTS(pool.size() > 0);
@@ -25,27 +25,38 @@ attack::QueryDataset collect_queries(CrossbarOracle& oracle, const data::Dataset
 
     attack::QueryDataset q;
     q.inputs = tensor::Matrix(plan.count, pool.input_dim());
-    q.outputs = tensor::Matrix(plan.count, oracle.outputs(), 0.0);
-    q.power = tensor::Vector(plan.count, 0.0);
-
     for (std::size_t r = 0; r < plan.count; ++r) {
-        const tensor::Vector u = pool.input(picks[r]);
-        {
-            const auto src = pool.inputs().row_span(picks[r]);
-            auto dst = q.inputs.row_span(r);
-            std::copy(src.begin(), src.end(), dst.begin());
-        }
-        if (plan.raw_outputs) {
-            const tensor::Vector y = oracle.query_raw(u);
-            auto dst = q.outputs.row_span(r);
-            std::copy(y.begin(), y.end(), dst.begin());
-        } else {
-            const int label = oracle.query_label(u);
-            q.outputs(r, static_cast<std::size_t>(label)) = 1.0;
-        }
-        if (plan.record_power) q.power[r] = oracle.query_power(u);
+        const auto src = pool.inputs().row_span(picks[r]);
+        auto dst = q.inputs.row_span(r);
+        std::copy(src.begin(), src.end(), dst.begin());
     }
+
+    if (plan.raw_outputs) {
+        q.outputs = oracle.query_raw_batch(q.inputs);
+    } else {
+        q.outputs = tensor::Matrix(plan.count, oracle.outputs(), 0.0);
+        const std::vector<int> labels = oracle.query_labels(q.inputs);
+        for (std::size_t r = 0; r < plan.count; ++r) {
+            q.outputs(r, static_cast<std::size_t>(labels[r])) = 1.0;
+        }
+    }
+    q.power = plan.record_power ? oracle.query_power_batch(q.inputs)
+                                : tensor::Vector(plan.count, 0.0);
     return q;
+}
+
+sidechannel::ProbeResult probe_columns(Oracle& oracle, const sidechannel::ProbeOptions& options) {
+    return sidechannel::probe_columns(oracle.power_measure_fn(), oracle.inputs(), options);
+}
+
+sidechannel::SearchResult find_argmax(Oracle& oracle, const data::ImageShape& shape,
+                                      sidechannel::SearchStrategy strategy,
+                                      const sidechannel::SearchOptions& options) {
+    XS_EXPECTS(shape.pixels() == oracle.inputs());
+    const sidechannel::FieldFn field = [&oracle](std::size_t j) {
+        return oracle.query_power(tensor::Vector::basis(oracle.inputs(), j));
+    };
+    return sidechannel::find_argmax(field, shape, strategy, options);
 }
 
 }  // namespace xbarsec::core

@@ -1,6 +1,7 @@
 #include "xbarsec/core/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -54,6 +55,27 @@ std::string render_ascii_heatmap(const tensor::Vector& map, const data::ImageSha
         os << '\n';
     }
     return os.str();
+}
+
+double map_roughness(const tensor::Vector& map, const data::ImageShape& shape) {
+    XS_EXPECTS(map.size() >= shape.height * shape.width);
+    XS_EXPECTS(shape.width >= 2 && shape.height >= 1);
+    const std::size_t plane = shape.height * shape.width;
+    double lo = map[0], hi = map[0];
+    for (std::size_t j = 0; j < plane; ++j) {
+        lo = std::min(lo, map[j]);
+        hi = std::max(hi, map[j]);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t y = 0; y < shape.height; ++y) {
+        for (std::size_t x = 0; x + 1 < shape.width; ++x) {
+            acc += std::abs(map[y * shape.width + x + 1] - map[y * shape.width + x]) / span;
+            ++count;
+        }
+    }
+    return acc / static_cast<double>(count);
 }
 
 std::string sanitize_label(const std::string& label) {

@@ -1,0 +1,480 @@
+#include "xbarsec/core/scenario.hpp"
+
+#include <algorithm>
+
+#include "xbarsec/attack/evaluate.hpp"
+#include "xbarsec/core/queries.hpp"
+#include "xbarsec/core/report.hpp"
+#include "xbarsec/tensor/ops.hpp"
+
+namespace xbarsec::core {
+
+std::string to_string(DatasetKind kind) {
+    switch (kind) {
+        case DatasetKind::MnistLike: return "MNIST-like";
+        case DatasetKind::Cifar10Like: return "CIFAR-10-like";
+    }
+    return "?";
+}
+
+std::string to_string(ExperimentKind kind) {
+    switch (kind) {
+        case ExperimentKind::Fig3: return "fig3";
+        case ExperimentKind::Fig4: return "fig4";
+        case ExperimentKind::Fig5: return "fig5";
+        case ExperimentKind::Table1: return "table1";
+        case ExperimentKind::Probe: return "probe";
+    }
+    return "?";
+}
+
+void apply_smoke(ScenarioSpec& spec) {
+    spec.load.train_count = 400;
+    spec.load.test_count = 120;
+    spec.victim.train.epochs = 4;
+    spec.fig4.strengths = {0, 5, 10};
+    spec.fig4.eval_limit = 80;
+    spec.fig5.runs = 2;
+    spec.fig5.query_counts = {10, 100};
+    spec.fig5.lambdas = {0.0, 0.005};
+    spec.fig5.eval_limit = 60;
+    spec.table1.runs = 2;
+    for (DefenseSpec& d : spec.defenses) {
+        d.detector_enrollment = std::min<std::size_t>(d.detector_enrollment, 200);
+    }
+}
+
+// ---- registry ---------------------------------------------------------------
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+    if (spec.name.empty()) throw ConfigError("scenario name must not be empty");
+    if (specs_.count(spec.name) != 0) {
+        throw ConfigError("scenario '" + spec.name + "' is already registered");
+    }
+    specs_.emplace(spec.name, std::move(spec));
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+    return specs_.count(name) != 0;
+}
+
+const ScenarioSpec& ScenarioRegistry::get(const std::string& name) const {
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+        std::string available;
+        for (const auto& [key, value] : specs_) {
+            (void)value;
+            if (!available.empty()) available += ", ";
+            available += key;
+        }
+        throw ConfigError("unknown scenario '" + name + "'; available: " + available);
+    }
+    return it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::names(const std::string& prefix) const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : specs_) {
+        (void)value;
+        if (key.rfind(prefix, 0) == 0) out.push_back(key);
+    }
+    return out;
+}
+
+// ---- built-in scenarios -----------------------------------------------------
+
+namespace {
+
+ScenarioSpec base_spec(std::string name, std::string description, DatasetKind dataset,
+                       OutputConfig output, ExperimentKind experiment) {
+    ScenarioSpec s;
+    s.name = std::move(name);
+    s.description = std::move(description);
+    s.dataset = dataset;
+    s.output = output;
+    s.victim = VictimConfig::defaults(output);
+    s.victim.train.epochs = 15;
+    s.load.train_count = 6000;
+    s.load.test_count = 1500;
+    s.load.seed = 2022;
+    s.experiment = experiment;
+    s.fig4.seed = 2022 + 33;
+    s.fig5.seed = 2022;
+    s.table1.seed = 2022;
+    return s;
+}
+
+void register_builtins(ScenarioRegistry& registry) {
+    const struct {
+        DatasetKind kind;
+        const char* tag;
+    } datasets[] = {{DatasetKind::MnistLike, "mnist"}, {DatasetKind::Cifar10Like, "cifar"}};
+    const struct {
+        OutputConfig output;
+        const char* tag;
+    } outputs[] = {{OutputConfig::linear_mse(), "linear"},
+                   {OutputConfig::softmax_ce(), "softmax"}};
+
+    // The paper's core sweeps: every dataset × activation cell of
+    // Figure 3, Figure 4, and Table I.
+    for (const auto& ds : datasets) {
+        for (const auto& out : outputs) {
+            registry.add(base_spec(std::string("fig3/") + ds.tag + "/" + out.tag,
+                                   "Figure 3 panel pair: sensitivity map vs probed 1-norm map",
+                                   ds.kind, out.output, ExperimentKind::Fig3));
+            registry.add(base_spec(std::string("fig4/") + ds.tag + "/" + out.tag,
+                                   "Figure 4: power-guided single-pixel attack sweep", ds.kind,
+                                   out.output, ExperimentKind::Fig4));
+            registry.add(base_spec(std::string("table1/") + ds.tag + "/" + out.tag,
+                                   "Table I: sensitivity/1-norm correlations over runs", ds.kind,
+                                   out.output, ExperimentKind::Table1));
+        }
+    }
+
+    // Figure 5 (Section IV uses the linear oracle only).
+    for (const bool raw : {false, true}) {
+        {
+            ScenarioSpec s = base_spec(std::string("fig5/mnist/") + (raw ? "raw" : "label"),
+                                       "Figure 5 MNIST row: power-aware surrogate attacks",
+                                       DatasetKind::MnistLike, OutputConfig::linear_mse(),
+                                       ExperimentKind::Fig5);
+            s.fig5.raw_outputs = raw;
+            s.fig5.eval_limit = 500;
+            registry.add(std::move(s));
+        }
+        {
+            ScenarioSpec s = base_spec(std::string("fig5/cifar/") + (raw ? "raw" : "label"),
+                                       "Figure 5 CIFAR row: power-aware surrogate attacks",
+                                       DatasetKind::Cifar10Like, OutputConfig::linear_mse(),
+                                       ExperimentKind::Fig5);
+            s.load.train_count = 3000;
+            s.fig5.raw_outputs = raw;
+            s.fig5.query_counts = {2, 10, 50, 100, 500, 1500};
+            s.fig5.eval_limit = 300;
+            registry.add(std::move(s));
+        }
+    }
+
+    // Device non-idealities: the Figure 4 sweep on a noisy, faulty array.
+    {
+        ScenarioSpec s = base_spec("fig4/mnist/softmax-noisy-device",
+                                   "Figure 4 on a non-ideal device (read noise + stuck faults)",
+                                   DatasetKind::MnistLike, OutputConfig::softmax_ce(),
+                                   ExperimentKind::Fig4);
+        s.victim.nonideal.read_noise_std = 0.05;
+        s.victim.nonideal.stuck_off_fraction = 0.01;
+        registry.add(std::move(s));
+    }
+
+    // Defended deployments (decorator stacks).
+    {
+        ScenarioSpec s = base_spec("fig4/mnist/softmax-detected",
+                                   "Figure 4 against a detector-guarded deployment (log-only)",
+                                   DatasetKind::MnistLike, OutputConfig::softmax_ce(),
+                                   ExperimentKind::Fig4);
+        DefenseSpec det;
+        det.kind = DefenseSpec::Kind::Detector;
+        det.block_flagged = false;
+        s.defenses.push_back(det);
+        s.fig4.evaluate_via_oracle = true;  // the detector must see the attack inputs
+        registry.add(std::move(s));
+    }
+    {
+        ScenarioSpec s = base_spec("fig5/mnist/label-defended",
+                                   "Figure 5 MNIST label row against a noisy-power defense",
+                                   DatasetKind::MnistLike, OutputConfig::linear_mse(),
+                                   ExperimentKind::Fig5);
+        s.fig5.eval_limit = 500;
+        DefenseSpec noise;
+        noise.kind = DefenseSpec::Kind::NoisyPower;
+        noise.magnitude = 0.25;
+        s.defenses.push_back(noise);
+        registry.add(std::move(s));
+    }
+    {
+        ScenarioSpec s = base_spec("probe/mnist/undefended",
+                                   "Side-channel probe quality on the bare deployment",
+                                   DatasetKind::MnistLike, OutputConfig::softmax_ce(),
+                                   ExperimentKind::Probe);
+        registry.add(std::move(s));
+    }
+    {
+        // The decorator-stacked defended deployment: randomised dummy
+        // loads, sensing noise, and a hard power-measurement budget.
+        ScenarioSpec s = base_spec("probe/mnist/defended",
+                                   "Probe quality against dummies + noise + query budget",
+                                   DatasetKind::MnistLike, OutputConfig::softmax_ce(),
+                                   ExperimentKind::Probe);
+        DefenseSpec dummies;
+        dummies.kind = DefenseSpec::Kind::RandomDummy;
+        dummies.magnitude = 1.0;
+        s.defenses.push_back(dummies);
+        DefenseSpec noise;
+        noise.kind = DefenseSpec::Kind::NoisyPower;
+        noise.magnitude = 0.25;
+        s.defenses.push_back(noise);
+        DefenseSpec budget;
+        budget.kind = DefenseSpec::Kind::QueryBudget;
+        budget.budget.max_power = 4 * 784;  // one full probe plus headroom
+        s.defenses.push_back(budget);
+        registry.add(std::move(s));
+    }
+}
+
+}  // namespace
+
+ScenarioRegistry& builtin_scenarios() {
+    static ScenarioRegistry registry = [] {
+        ScenarioRegistry r;
+        register_builtins(r);
+        return r;
+    }();
+    return registry;
+}
+
+// ---- deployment -------------------------------------------------------------
+
+namespace {
+
+data::DataSplit load_split(const ScenarioSpec& spec) {
+    return spec.dataset == DatasetKind::Cifar10Like ? data::load_cifar10_like(spec.load)
+                                                    : data::load_mnist_like(spec.load);
+}
+
+std::string experiment_label(const ScenarioSpec& spec) {
+    return to_string(spec.dataset) + "/" + spec.output.name();
+}
+
+/// Applies one DefenseSpec as a decorator layer. `scale` is the deployed
+/// weights' max column 1-norm (for relative magnitudes); `detector` must
+/// be non-null for Kind::Detector.
+DetectorOracle* push_defense_layer(DecoratorStack& stack, const DefenseSpec& d, double scale,
+                                   const sidechannel::CurrentSignatureDetector* detector) {
+    const double magnitude = d.relative ? d.magnitude * scale : d.magnitude;
+    switch (d.kind) {
+        case DefenseSpec::Kind::DitherPower:
+        case DefenseSpec::Kind::UniformDummy:
+        case DefenseSpec::Kind::RandomDummy: {
+            ObfuscationConfig config;
+            config.kind = d.kind == DefenseSpec::Kind::DitherPower
+                              ? ObfuscationConfig::Kind::Dither
+                              : (d.kind == DefenseSpec::Kind::UniformDummy
+                                     ? ObfuscationConfig::Kind::UniformDummy
+                                     : ObfuscationConfig::Kind::RandomDummy);
+            config.magnitude = magnitude;
+            config.seed = d.seed;
+            stack.push<ObfuscatedOracle>(config);
+            return nullptr;
+        }
+        case DefenseSpec::Kind::NoisyPower:
+            stack.push<NoisyPowerOracle>(magnitude, d.seed);
+            return nullptr;
+        case DefenseSpec::Kind::QueryBudget:
+            stack.push<QueryBudgetOracle>(d.budget);
+            return nullptr;
+        case DefenseSpec::Kind::Detector:
+            XS_EXPECTS_MSG(detector != nullptr,
+                           "detector layer requested without an enrolled detector");
+            return &stack.push<DetectorOracle>(*detector, d.block_flagged);
+    }
+    throw ConfigError("unknown defense kind");
+}
+
+double deployed_weight_scale(const CrossbarOracle& backend) {
+    return tensor::max(
+        tensor::column_abs_sums(backend.hardware_for_evaluation().effective_network().weights()));
+}
+
+}  // namespace
+
+DeployedScenario ScenarioRunner::deploy(const ScenarioSpec& spec) const {
+    DeployedScenario d;
+    d.spec_ = spec;
+    d.spec_.victim.output = spec.output;
+    d.split_ = load_split(spec);
+    d.victim_ = train_victim(d.split_, d.spec_.victim);
+    d.backend_ = std::make_unique<CrossbarOracle>(deploy_victim(d.victim_.net, d.spec_.victim));
+    d.backend_->set_thread_pool(pool_);
+    d.stack_ = std::make_unique<DecoratorStack>(*d.backend_);
+
+    const bool needs_detector =
+        std::any_of(spec.defenses.begin(), spec.defenses.end(),
+                    [](const DefenseSpec& ds) { return ds.kind == DefenseSpec::Kind::Detector; });
+    if (needs_detector) {
+        // Enrol on clean training data through the deployed hardware.
+        const auto it = std::find_if(
+            spec.defenses.begin(), spec.defenses.end(),
+            [](const DefenseSpec& ds) { return ds.kind == DefenseSpec::Kind::Detector; });
+        const data::Dataset enrollment =
+            it->detector_enrollment > 0 ? d.split_.train.take(it->detector_enrollment)
+                                        : d.split_.train;
+        d.detector_ = std::make_unique<sidechannel::CurrentSignatureDetector>(
+            d.backend_->hardware_for_evaluation(), enrollment, it->detector);
+    }
+
+    const double scale = deployed_weight_scale(*d.backend_);
+    for (const DefenseSpec& defense : spec.defenses) {
+        DetectorOracle* layer =
+            push_defense_layer(*d.stack_, defense, scale, d.detector_.get());
+        if (layer != nullptr) d.detector_layer_ = layer;
+    }
+    return d;
+}
+
+// ---- experiments ------------------------------------------------------------
+
+namespace {
+
+void finish_with_cost(ScenarioOutcome& outcome, DeployedScenario& d) {
+    outcome.attacker_cost = d.backend().counters();
+    outcome.metrics["attacker_inference_queries"] =
+        static_cast<double>(outcome.attacker_cost.inference);
+    outcome.metrics["attacker_power_queries"] = static_cast<double>(outcome.attacker_cost.power);
+    if (d.detector_layer() != nullptr) {
+        outcome.metrics["detector_screened"] = static_cast<double>(d.detector_layer()->screened());
+        outcome.metrics["detector_flagged_fraction"] = d.detector_layer()->flagged_fraction();
+    }
+}
+
+ScenarioOutcome run_fig3_scenario(const ScenarioRunner& runner, const ScenarioSpec& spec) {
+    ScenarioOutcome outcome;
+    DeployedScenario d = runner.deploy(spec);
+    const Fig3Panel panel = run_fig3_on(d.oracle(), d.victim(), d.split().test,
+                                        experiment_label(spec));
+    outcome.label = panel.label;
+
+    Table summary({"Config", "Pearson r", "Roughness(sens)", "Roughness(L1)", "Victim test acc"});
+    summary.begin_row();
+    summary.add(panel.label);
+    summary.add(panel.correlation, 3);
+    summary.add(map_roughness(panel.sensitivity_map, panel.shape), 3);
+    summary.add(map_roughness(panel.l1_map, panel.shape), 3);
+    summary.add(panel.victim_test_accuracy, 3);
+    outcome.tables.emplace_back("summary", std::move(summary));
+
+    outcome.metrics["correlation"] = panel.correlation;
+    outcome.metrics["victim_test_accuracy"] = panel.victim_test_accuracy;
+    outcome.notes.emplace_back("sensitivity map (mean |dL/du|)",
+                               render_ascii_heatmap(panel.sensitivity_map, panel.shape));
+    outcome.notes.emplace_back("probed column 1-norms",
+                               render_ascii_heatmap(panel.l1_map, panel.shape));
+    outcome.grids.push_back({"sensitivity", panel.sensitivity_map, panel.shape});
+    outcome.grids.push_back({"l1", panel.l1_map, panel.shape});
+    finish_with_cost(outcome, d);
+    return outcome;
+}
+
+ScenarioOutcome run_fig4_scenario(const ScenarioRunner& runner, const ScenarioSpec& spec) {
+    ScenarioOutcome outcome;
+    DeployedScenario d = runner.deploy(spec);
+    const data::Dataset eval_set = spec.fig4.eval_limit > 0
+                                       ? d.split().test.take(spec.fig4.eval_limit)
+                                       : d.split().test;
+    const Fig4Result result = run_fig4_on(d.oracle(), d.backend().hardware_for_evaluation(),
+                                          eval_set, experiment_label(spec), spec.fig4);
+    outcome.label = result.label;
+    outcome.tables.emplace_back("fig4", render_fig4(result));
+    outcome.metrics["clean_accuracy"] = result.clean_accuracy;
+    finish_with_cost(outcome, d);
+    return outcome;
+}
+
+ScenarioOutcome run_fig5_scenario(const ScenarioSpec& spec, ThreadPool* pool) {
+    for (const DefenseSpec& defense : spec.defenses) {
+        if (defense.kind == DefenseSpec::Kind::Detector) {
+            throw ConfigError("fig5 scenarios do not support detector layers (each run deploys "
+                              "a fresh victim; use a fig4 or probe scenario)");
+        }
+    }
+    ScenarioOutcome outcome;
+    const data::DataSplit split = load_split(spec);
+    Fig5Options options = spec.fig5;
+    options.pool = pool;
+    if (!spec.defenses.empty()) {
+        options.defense = [defenses = spec.defenses](DecoratorStack& stack,
+                                                     CrossbarOracle& backend) {
+            const double scale = deployed_weight_scale(backend);
+            for (const DefenseSpec& defense : defenses) {
+                push_defense_layer(stack, defense, scale, nullptr);
+            }
+        };
+    }
+    VictimConfig victim = spec.victim;
+    const Fig5Result result =
+        run_fig5(split, to_string(spec.dataset), spec.output, victim, options);
+    outcome.label = result.label;
+    outcome.tables.emplace_back("surrogate_acc", render_fig5_surrogate_accuracy(result));
+    outcome.tables.emplace_back("adv_acc", render_fig5_adversarial_accuracy(result));
+    outcome.tables.emplace_back("improvement", render_fig5_improvement(result));
+    outcome.metrics["oracle_clean_accuracy_mean"] = result.oracle_clean_accuracy_mean;
+    return outcome;
+}
+
+ScenarioOutcome run_table1_scenario(const ScenarioSpec& spec) {
+    if (!spec.defenses.empty()) {
+        throw ConfigError("table1 scenarios do not support defense stacks (the probe is the "
+                          "measurement itself; use a probe scenario to study defenses)");
+    }
+    ScenarioOutcome outcome;
+    const data::DataSplit split = load_split(spec);
+    Table1Options options = spec.table1;
+    options.victim = spec.victim;
+    const Table1Row row = run_table1_config(split, to_string(spec.dataset), spec.output, options);
+    outcome.label = row.dataset + "/" + row.activation;
+    outcome.tables.emplace_back("table1", render_table1({row}));
+    outcome.metrics["mean_corr_test"] = row.mean_corr_test;
+    outcome.metrics["corr_of_mean_test"] = row.corr_of_mean_test;
+    outcome.metrics["victim_test_accuracy"] = row.victim_test_accuracy;
+    return outcome;
+}
+
+ScenarioOutcome run_probe_scenario(const ScenarioRunner& runner, const ScenarioSpec& spec) {
+    ScenarioOutcome outcome;
+    DeployedScenario d = runner.deploy(spec);
+    outcome.label = experiment_label(spec);
+
+    const tensor::Vector truth = tensor::column_abs_sums(
+        d.backend().hardware_for_evaluation().effective_network().weights());
+    const sidechannel::ProbeResult probe = probe_columns(d.oracle(), spec.probe);
+    const double rel_error = sidechannel::relative_error(probe.conductance_sums, truth);
+    const double agreement =
+        sidechannel::topk_agreement(probe.conductance_sums, truth, spec.probe_topk);
+
+    Table table({"Deployment", "L1 rel. error",
+                 "Top-" + std::to_string(spec.probe_topk) + " ranking agreement",
+                 "Power queries"});
+    table.begin_row();
+    table.add(spec.defenses.empty()
+                  ? std::string("undefended")
+                  : "defended (" + std::to_string(spec.defenses.size()) + "-layer stack)");
+    table.add(rel_error, 4);
+    table.add(agreement, 3);
+    table.add(static_cast<long long>(probe.queries));
+    outcome.tables.emplace_back("probe", std::move(table));
+
+    outcome.metrics["l1_relative_error"] = rel_error;
+    outcome.metrics["topk_agreement"] = agreement;
+    finish_with_cost(outcome, d);
+    return outcome;
+}
+
+}  // namespace
+
+ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
+    ScenarioOutcome outcome;
+    switch (spec.experiment) {
+        case ExperimentKind::Fig3: outcome = run_fig3_scenario(*this, spec); break;
+        case ExperimentKind::Fig4: outcome = run_fig4_scenario(*this, spec); break;
+        case ExperimentKind::Fig5: outcome = run_fig5_scenario(spec, pool_); break;
+        case ExperimentKind::Table1: outcome = run_table1_scenario(spec); break;
+        case ExperimentKind::Probe: outcome = run_probe_scenario(*this, spec); break;
+    }
+    outcome.name = spec.name;
+    return outcome;
+}
+
+ScenarioOutcome ScenarioRunner::run(const std::string& name) const {
+    return run(builtin_scenarios().get(name));
+}
+
+}  // namespace xbarsec::core

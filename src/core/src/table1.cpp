@@ -1,8 +1,8 @@
 #include "xbarsec/core/table1.hpp"
 
 #include "xbarsec/common/log.hpp"
+#include "xbarsec/core/queries.hpp"
 #include "xbarsec/nn/sensitivity.hpp"
-#include "xbarsec/sidechannel/probe.hpp"
 
 namespace xbarsec::core {
 
@@ -23,8 +23,7 @@ Table1Row run_table1_config(const data::DataSplit& split, const std::string& dat
         CrossbarOracle oracle = deploy_victim(victim.net, config);
 
         // The attacker's view of the 1-norms: probe the deployed array.
-        const sidechannel::ProbeResult probe =
-            sidechannel::probe_columns(oracle.power_measure_fn(), oracle.inputs());
+        const sidechannel::ProbeResult probe = probe_columns(oracle);
         const tensor::Vector& l1 = probe.conductance_sums;  // weight units (oracle normalises)
 
         row.mean_corr_train += nn::mean_per_sample_correlation(victim.net, split.train, l1);

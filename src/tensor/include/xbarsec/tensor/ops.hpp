@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "xbarsec/tensor/matrix.hpp"
 #include "xbarsec/tensor/vector.hpp"
@@ -91,6 +92,11 @@ Vector row_abs_sums(const Matrix& W);
 
 /// Column-wise sums (signed).
 Vector column_sums(const Matrix& W);
+
+/// Row-wise argmax as integer labels: out[r] = argmax of row r (first on
+/// ties). The batched classification reduction shared by the software
+/// and crossbar inference paths.
+std::vector<int> argmax_rows(const Matrix& M);
 
 /// Mean squared row norm E[‖row‖²] over (at most max_rows of) W's rows.
 /// Used to scale learning rates to the data: the GD stability bound for

@@ -178,6 +178,20 @@ Vector column_sums(const Matrix& W) {
     return out;
 }
 
+std::vector<int> argmax_rows(const Matrix& M) {
+    XS_EXPECTS(M.cols() > 0);
+    std::vector<int> out(M.rows());
+    for (std::size_t r = 0; r < M.rows(); ++r) {
+        const auto row = M.row_span(r);
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < row.size(); ++j) {
+            if (row[j] > row[best]) best = j;
+        }
+        out[r] = static_cast<int>(best);
+    }
+    return out;
+}
+
 double mean_squared_row_norm(const Matrix& W, std::size_t max_rows) {
     XS_EXPECTS(W.rows() > 0);
     const std::size_t rows = max_rows == 0 ? W.rows() : std::min(max_rows, W.rows());

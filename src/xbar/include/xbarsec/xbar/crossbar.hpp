@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "xbarsec/common/rng.hpp"
+#include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/tensor/vector.hpp"
 #include "xbarsec/xbar/mapping.hpp"
 
@@ -75,6 +76,23 @@ public:
     /// Total steady-state supply current (Eq. 5), amperes.
     double total_current(const tensor::Vector& v) const;
 
+    /// Batched inference: row r of the result is output_currents(V.row(r)).
+    /// Without IR drop the arithmetic runs as one dense GEMM against the
+    /// cached differential conductance matrix (optionally sharded over
+    /// `pool`; the row partition does not change the result). Read noise,
+    /// when enabled, is drawn serially in the same element order as the
+    /// per-vector calls, so batched and scalar measurements consume the
+    /// same noise stream.
+    tensor::Matrix output_currents_batch(const tensor::Matrix& V, ThreadPool* pool = nullptr) const;
+
+    /// output_currents_batch / weight_scale: row r is Ŵ·V.row(r).
+    tensor::Matrix mvm_batch(const tensor::Matrix& V, ThreadPool* pool = nullptr) const;
+
+    /// Batched Eq. 5: out[r] = total_current(V.row(r)). Without IR drop
+    /// each reading is a single dot against the cached per-column
+    /// conductance sums — O(N) per query instead of O(M·N).
+    tensor::Vector total_current_batch(const tensor::Matrix& V, ThreadPool* pool = nullptr) const;
+
     /// Per-input-line supply currents: out[j] = v_j·G_j (amperes), the
     /// current each input driver sources. Tile-level current sensing (the
     /// DetectX instrumentation model) observes exactly these; they sum to
@@ -106,6 +124,12 @@ private:
 
     CrossbarProgram program_;
     NonIdealityConfig nonideal_;
+    /// Post-fault caches for the batched fast path: (G⁺ − G⁻) and the
+    /// per-column conductance sums G_j. Invalid under IR drop (the cell
+    /// current is no longer linear in g), so the batch methods fall back
+    /// to the per-vector simulation there.
+    tensor::Matrix g_diff_;
+    tensor::Vector g_col_;
     mutable Rng read_rng_;
     mutable std::uint64_t measurements_ = 0;
 };

@@ -7,6 +7,8 @@
 // attacker-facing query interface.
 #pragma once
 
+#include <vector>
+
 #include "xbarsec/data/dataset.hpp"
 #include "xbarsec/nn/network.hpp"
 #include "xbarsec/xbar/crossbar.hpp"
@@ -35,8 +37,20 @@ public:
     /// Argmax class of predict(u).
     int classify(const tensor::Vector& u) const;
 
+    /// Batched analog inference: row r is predict(U.row(r)), computed
+    /// through the crossbar's dense GEMM fast path.
+    tensor::Matrix predict_batch(const tensor::Matrix& U, ThreadPool* pool = nullptr) const;
+
+    /// Batched classification: out[r] = classify(U.row(r)).
+    std::vector<int> classify_batch(const tensor::Matrix& U, ThreadPool* pool = nullptr) const;
+
     /// The power side channel for input u (Eq. 5).
     double total_current(const tensor::Vector& u) const { return crossbar_.total_current(u); }
+
+    /// Batched power side channel: out[r] = total_current(U.row(r)).
+    tensor::Vector total_current_batch(const tensor::Matrix& U, ThreadPool* pool = nullptr) const {
+        return crossbar_.total_current_batch(U, pool);
+    }
 
     /// Static power for input u.
     double static_power(const tensor::Vector& u) const { return crossbar_.static_power(u); }

@@ -23,6 +23,9 @@ Crossbar::Crossbar(CrossbarProgram program, NonIdealityConfig nonideal)
         Rng fault_rng(nonideal_.seed);
         apply_stuck_faults(fault_rng);
     }
+    g_diff_ = program_.g_plus;
+    g_diff_ -= program_.g_minus;
+    g_col_ = column_conductance_sums(program_);
 }
 
 void Crossbar::apply_stuck_faults(Rng& rng) {
@@ -96,6 +99,101 @@ double Crossbar::total_current(const tensor::Vector& v) const {
     }
     ++measurements_;
     return noisy(acc);
+}
+
+tensor::Matrix Crossbar::output_currents_batch(const tensor::Matrix& V, ThreadPool* pool) const {
+    XS_EXPECTS(V.cols() == cols());
+    const std::size_t batch = V.rows();
+    tensor::Matrix out(batch, rows(), 0.0);
+    if (batch == 0) return out;
+
+    if (nonideal_.line_resistance != 0.0) {
+        // IR drop makes the cell current nonlinear in conductance; run the
+        // faithful per-vector simulation (serially: it shares read_rng_).
+        for (std::size_t r = 0; r < batch; ++r) out.set_row(r, output_currents(V.row(r)));
+        return out;
+    }
+    measurements_ += batch;
+
+    // Dense fast path: out = V · (G⁺ − G⁻)ᵀ. The whole G row set stays
+    // cache-resident (the paper's arrays have ~10 outputs), each batch row
+    // reduces to a handful of contiguous dot products, and the per-row
+    // accumulation order is fixed, so any row partition over the pool is
+    // bit-identical to the serial product.
+    const std::size_t m = rows(), n = cols();
+    auto row_block_dot = [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const double* vrow = V.data() + r * n;
+            double* orow = out.data() + r * m;
+            for (std::size_t i = 0; i < m; ++i) {
+                const double* grow = g_diff_.data() + i * n;
+                double acc = 0.0;
+                for (std::size_t j = 0; j < n; ++j) acc += vrow[j] * grow[j];
+                orow[i] = acc;
+            }
+        }
+    };
+    constexpr std::size_t kRowsPerTask = 64;
+    if (pool != nullptr && batch >= 2 * kRowsPerTask) {
+        const std::size_t tasks = (batch + kRowsPerTask - 1) / kRowsPerTask;
+        parallel_for(*pool, tasks, [&](std::size_t t) {
+            const std::size_t r0 = t * kRowsPerTask;
+            row_block_dot(r0, std::min(r0 + kRowsPerTask, batch));
+        });
+    } else {
+        row_block_dot(0, batch);
+    }
+
+    if (nonideal_.read_noise_std != 0.0) {
+        for (std::size_t r = 0; r < batch; ++r) {
+            for (std::size_t i = 0; i < m; ++i) out(r, i) = noisy(out(r, i));
+        }
+    }
+    return out;
+}
+
+tensor::Matrix Crossbar::mvm_batch(const tensor::Matrix& V, ThreadPool* pool) const {
+    tensor::Matrix S = output_currents_batch(V, pool);
+    S *= 1.0 / program_.weight_scale;
+    return S;
+}
+
+tensor::Vector Crossbar::total_current_batch(const tensor::Matrix& V, ThreadPool* pool) const {
+    XS_EXPECTS(V.cols() == cols());
+    const std::size_t batch = V.rows();
+    tensor::Vector out(batch, 0.0);
+    if (batch == 0) return out;
+
+    if (nonideal_.line_resistance != 0.0) {
+        for (std::size_t r = 0; r < batch; ++r) out[r] = total_current(V.row(r));
+        return out;
+    }
+    measurements_ += batch;
+
+    const std::size_t n = cols();
+    auto row_block = [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const double* vrow = V.data() + r * n;
+            double acc = 0.0;
+            for (std::size_t j = 0; j < n; ++j) acc += vrow[j] * g_col_[j];
+            out[r] = acc;
+        }
+    };
+    constexpr std::size_t kRowsPerTask = 256;
+    if (pool != nullptr && batch >= 2 * kRowsPerTask) {
+        const std::size_t tasks = (batch + kRowsPerTask - 1) / kRowsPerTask;
+        parallel_for(*pool, tasks, [&](std::size_t t) {
+            const std::size_t r0 = t * kRowsPerTask;
+            row_block(r0, std::min(r0 + kRowsPerTask, batch));
+        });
+    } else {
+        row_block(0, batch);
+    }
+
+    if (nonideal_.read_noise_std != 0.0) {
+        for (std::size_t r = 0; r < batch; ++r) out[r] = noisy(out[r]);
+    }
+    return out;
 }
 
 tensor::Vector Crossbar::input_line_currents(const tensor::Vector& v) const {

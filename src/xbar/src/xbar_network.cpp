@@ -30,6 +30,14 @@ int CrossbarNetwork::classify(const tensor::Vector& u) const {
     return static_cast<int>(tensor::argmax(predict(u)));
 }
 
+tensor::Matrix CrossbarNetwork::predict_batch(const tensor::Matrix& U, ThreadPool* pool) const {
+    return nn::apply_activation_rows(activation_, crossbar_.mvm_batch(U, pool));
+}
+
+std::vector<int> CrossbarNetwork::classify_batch(const tensor::Matrix& U, ThreadPool* pool) const {
+    return tensor::argmax_rows(predict_batch(U, pool));
+}
+
 nn::SingleLayerNet CrossbarNetwork::effective_network() const {
     nn::DenseLayer layer(outputs(), inputs(), /*with_bias=*/false);
     layer.weights() = crossbar_.effective_weights();
@@ -39,9 +47,10 @@ nn::SingleLayerNet CrossbarNetwork::effective_network() const {
 double CrossbarNetwork::accuracy(const data::Dataset& dataset) const {
     XS_EXPECTS(dataset.size() > 0);
     XS_EXPECTS(dataset.input_dim() == inputs());
+    const std::vector<int> labels = classify_batch(dataset.inputs());
     std::size_t hits = 0;
     for (std::size_t i = 0; i < dataset.size(); ++i) {
-        if (classify(dataset.input(i)) == dataset.label(i)) ++hits;
+        if (labels[i] == dataset.label(i)) ++hits;
     }
     return static_cast<double>(hits) / static_cast<double>(dataset.size());
 }
