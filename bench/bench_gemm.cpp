@@ -1,0 +1,186 @@
+// Scalar-vs-kernel GEMM throughput at the paper's shapes.
+//
+// Measures the packed-panel register-tile kernel (tensor/gemm.cpp) against
+// the PR-1 blocked-axpy kernel (kept here verbatim as the baseline) on the
+// minibatch products that dominate surrogate training:
+//   * forward   (batch×N)·(N×10)ᵀ   — X·Wᵀ at the 10×784 / 10×3072 arrays
+//   * gradient  (10×batch)ᵀ·(batch×N) — Δᵀ·X weight gradients
+// plus a square product and the ThreadPool-sharded kernel. Results go to
+// BENCH_gemm.json via the shared recorder; the run fails (non-zero exit)
+// if the kernel does not hold >= 2x single-thread throughput over the
+// PR-1 baseline on the paper-shape products.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "record.hpp"
+#include "xbarsec/common/cli.hpp"
+#include "xbarsec/common/rng.hpp"
+#include "xbarsec/common/table.hpp"
+#include "xbarsec/common/threadpool.hpp"
+#include "xbarsec/common/timer.hpp"
+#include "xbarsec/tensor/gemm.hpp"
+
+using namespace xbarsec;
+using tensor::Matrix;
+using tensor::Op;
+
+namespace {
+
+// ---- the PR-1 kernel, verbatim, as the measurement baseline -----------------
+namespace pr1 {
+
+constexpr std::size_t kBlockI = 64;
+constexpr std::size_t kBlockK = 256;
+
+void gemm_nn(double alpha, const Matrix& A, const Matrix& B, Matrix& C) {
+    const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+        const std::size_t i1 = std::min(i0 + kBlockI, m);
+        for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const std::size_t k1 = std::min(k0 + kBlockK, k);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const double* arow = A.data() + i * k;
+                double* crow = C.data() + i * n;
+                for (std::size_t p = k0; p < k1; ++p) {
+                    const double aip = alpha * arow[p];
+                    if (aip == 0.0) continue;
+                    const double* brow = B.data() + p * n;
+                    for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, Matrix& C) {
+    C.fill(0.0);
+    if (opA == Op::None && opB == Op::None) gemm_nn(alpha, A, B, C);
+    else if (opA == Op::Transpose && opB == Op::None) gemm_nn(alpha, A.transposed(), B, C);
+    else if (opA == Op::None && opB == Op::Transpose) gemm_nn(alpha, A, B.transposed(), C);
+    else gemm_nn(alpha, A.transposed(), B.transposed(), C);
+}
+
+}  // namespace pr1
+
+struct Shape {
+    std::string label;
+    bool gate = false;  ///< participates in the >= 2x acceptance check
+    std::size_t m, k, n;
+    Op opA, opB;
+};
+
+/// Best-of-`reps` throughput in GFLOP/s (best-of removes scheduler noise
+/// from a single-core container).
+template <typename Fn>
+double gflops(const Fn& run, std::size_t m, std::size_t k, std::size_t n, std::size_t reps) {
+    const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                         static_cast<double>(n);
+    const std::size_t inner = std::max<std::size_t>(1, static_cast<std::size_t>(2e8 / flops));
+    run();  // warm
+    double best = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+        WallTimer timer;
+        for (std::size_t i = 0; i < inner; ++i) run();
+        best = std::max(best, flops * static_cast<double>(inner) / timer.seconds());
+    }
+    return best / 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_gemm — packed-panel kernel vs the PR-1 blocked-axpy baseline");
+    cli.flag("batch", "256", "minibatch dimension of the training-shape products");
+    cli.flag("reps", "7", "timed repetitions per measurement (best-of)");
+    cli.flag("out", "BENCH_gemm.json", "JSON results path");
+    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+        const std::size_t batch = static_cast<std::size_t>(cli.integer("batch"));
+        std::size_t reps = static_cast<std::size_t>(cli.integer("reps"));
+        // The full run enforces the 2x acceptance bar; the CI smoke run is a
+        // regression canary on noisy shared runners, so it gates at 1.5x.
+        double gate = 2.0;
+        if (cli.boolean("smoke")) {
+            reps = 3;
+            gate = 1.5;
+        }
+
+        const std::vector<Shape> shapes = {
+            {"fwd mnist (" + std::to_string(batch) + "x784)*(784x10)", true, batch, 784, 10,
+             Op::None, Op::Transpose},
+            {"grad mnist (10x" + std::to_string(batch) + ")*(" + std::to_string(batch) + "x784)",
+             true, 10, batch, 784, Op::Transpose, Op::None},
+            {"fwd cifar (" + std::to_string(batch) + "x3072)*(3072x10)", true, batch, 3072, 10,
+             Op::None, Op::Transpose},
+            {"grad cifar (10x" + std::to_string(batch) + ")*(" + std::to_string(batch) + "x3072)",
+             true, 10, batch, 3072, Op::Transpose, Op::None},
+            {"square 256", false, 256, 256, 256, Op::None, Op::None},
+        };
+
+        ThreadPool pool;
+        bench::BenchRecorder rec("gemm", "paper-shape GEMMs, kernel vs PR-1 baseline, best-of-" +
+                                             std::to_string(reps));
+        Table table({"Shape", "PR-1 GF/s", "Kernel GF/s", "Speedup", "Pooled GF/s"});
+        bool pass = true;
+
+        for (const Shape& s : shapes) {
+            Rng rng(s.m * 31 + s.k * 7 + s.n);
+            const Matrix A = Matrix::random_normal(rng, s.opA == Op::None ? s.m : s.k,
+                                                   s.opA == Op::None ? s.k : s.m);
+            const Matrix B = Matrix::random_normal(rng, s.opB == Op::None ? s.k : s.n,
+                                                   s.opB == Op::None ? s.n : s.k);
+            Matrix C(s.m, s.n, 0.0);
+
+            const double base = gflops(
+                [&] { pr1::gemm(1.0, A, s.opA, B, s.opB, C); }, s.m, s.k, s.n, reps);
+            const double kern = gflops(
+                [&] { tensor::gemm(1.0, A, s.opA, B, s.opB, 0.0, C); }, s.m, s.k, s.n, reps);
+            const double pooled = gflops(
+                [&] { tensor::gemm(1.0, A, s.opA, B, s.opB, 0.0, C, &pool); }, s.m, s.k, s.n,
+                reps);
+            const double speedup = kern / base;
+
+            table.begin_row();
+            table.add(s.label);
+            table.add(base, 2);
+            table.add(kern, 2);
+            table.add(speedup, 2);
+            table.add(pooled, 2);
+
+            rec.begin(s.label);
+            rec.add("m", static_cast<long long>(s.m));
+            rec.add("k", static_cast<long long>(s.k));
+            rec.add("n", static_cast<long long>(s.n));
+            rec.add("baseline_gflops", base);
+            rec.add("kernel_gflops", kern);
+            rec.add("pooled_gflops", pooled);
+            rec.add("speedup", speedup);
+
+            if (s.gate && speedup < gate) {
+                pass = false;
+                std::cout << "FAIL: " << s.label << " at " << Table::format_number(speedup, 2)
+                          << "x (target >= " << Table::format_number(gate, 1) << "x)\n";
+            }
+        }
+
+        std::cout << "\n## GEMM kernel throughput (paper shapes)\n\n" << table;
+
+        const std::string out_path = cli.str("out");
+        if (!rec.write(out_path)) {
+            std::fprintf(stderr, "bench_gemm: cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        std::cout << "\nResults written to " << out_path << "\n"
+                  << "kernel vs PR-1 baseline on the paper shapes: "
+                  << (pass ? "PASS" : "FAIL") << " (bar: >= "
+                  << Table::format_number(gate, 1) << "x)\n";
+        return pass ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_gemm: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,19 +1,28 @@
 // Batched vs per-vector oracle query throughput on the synthetic-MNIST
 // victim (784 inputs × 10 classes) — the measurement behind the batched
 // Oracle API: query_labels / query_raw_batch / query_power_batch route
-// through the crossbar's dense GEMM path instead of the per-vector
-// simulation loop. Results are written to BENCH_oracle.json.
+// through the crossbar's GEMM/matvec kernel layer instead of the
+// per-vector simulation loop.
+//
+// Both paths stream *fresh* query windows drawn from a pool much larger
+// than L2, so each batch size is measured at steady state. (Re-measuring
+// one small batch over and over — what this bench did before — lets the
+// batch stay cache-resident across repetitions and inflates small-batch
+// throughput by ~50% relative to large batches, an artifact no real
+// attacker ever sees.) Results are written to BENCH_oracle.json through
+// the shared recorder.
 #include <cstdio>
-#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "record.hpp"
 #include "xbarsec/common/cli.hpp"
 #include "xbarsec/common/error.hpp"
-#include "xbarsec/common/log.hpp"
 #include "xbarsec/common/table.hpp"
+#include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/common/timer.hpp"
 #include "xbarsec/core/victim.hpp"
 #include "xbarsec/data/loaders.hpp"
@@ -36,37 +45,43 @@ double seconds_for(const std::function<void()>& body, std::size_t reps) {
     return timer.seconds();
 }
 
-/// Repeats until the slower path accumulates enough wall time to trust.
-Measurement measure(core::CrossbarOracle& oracle, const tensor::Matrix& U,
+/// One pass = every window of the pool queried once; `reps` passes per
+/// measurement, so both paths touch pool_rows × reps fresh inputs.
+Measurement measure(core::CrossbarOracle& oracle, const std::vector<tensor::Matrix>& windows,
                     const std::string& query, std::size_t reps) {
     Measurement m;
     m.query = query;
-    m.batch = U.rows();
+    m.batch = windows.front().rows();
 
     const auto scalar_pass = [&] {
-        for (std::size_t r = 0; r < U.rows(); ++r) {
-            if (query == "labels") {
-                (void)oracle.query_label(U.row(r));
-            } else if (query == "raw") {
-                (void)oracle.query_raw(U.row(r));
-            } else {
-                (void)oracle.query_power(U.row(r));
+        for (const tensor::Matrix& U : windows) {
+            for (std::size_t r = 0; r < U.rows(); ++r) {
+                if (query == "labels") {
+                    (void)oracle.query_label(U.row(r));
+                } else if (query == "raw") {
+                    (void)oracle.query_raw(U.row(r));
+                } else {
+                    (void)oracle.query_power(U.row(r));
+                }
             }
         }
     };
     const auto batched_pass = [&] {
-        if (query == "labels") {
-            (void)oracle.query_labels(U);
-        } else if (query == "raw") {
-            (void)oracle.query_raw_batch(U);
-        } else {
-            (void)oracle.query_power_batch(U);
+        for (const tensor::Matrix& U : windows) {
+            if (query == "labels") {
+                (void)oracle.query_labels(U);
+            } else if (query == "raw") {
+                (void)oracle.query_raw_batch(U);
+            } else {
+                (void)oracle.query_power_batch(U);
+            }
         }
     };
 
-    scalar_pass();   // warm caches
+    scalar_pass();  // warm
     batched_pass();
-    const double queries = static_cast<double>(U.rows() * reps);
+    const double queries =
+        static_cast<double>(windows.size() * windows.front().rows() * reps);
     m.scalar_qps = queries / seconds_for(scalar_pass, reps);
     m.batched_qps = queries / seconds_for(batched_pass, reps);
     m.speedup = m.batched_qps / m.scalar_qps;
@@ -78,9 +93,11 @@ Measurement measure(core::CrossbarOracle& oracle, const tensor::Matrix& U,
 int main(int argc, char** argv) {
     Cli cli("bench_oracle_batch — batched vs per-vector oracle query throughput");
     cli.flag("batches", "64,256,1024", "batch sizes to measure");
-    cli.flag("reps", "8", "repetitions per measurement");
+    cli.flag("pool", "8192", "rows in the streamed query pool (>> L2)");
+    cli.flag("reps", "4", "passes over the pool per measurement");
     cli.flag("train", "2000", "victim training samples");
     cli.flag("epochs", "6", "victim training epochs");
+    cli.flag("threads", "0", "worker threads for the batched path (0 = serial)");
     cli.flag("out", "BENCH_oracle.json", "JSON results path");
     cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
     try {
@@ -93,14 +110,18 @@ int main(int argc, char** argv) {
         for (const long long batch : batches) {
             if (batch < 1) throw ConfigError("--batches entries must be >= 1");
         }
+        std::size_t pool_rows = static_cast<std::size_t>(cli.integer("pool"));
         std::size_t reps = static_cast<std::size_t>(cli.integer("reps"));
         if (reps < 1) throw ConfigError("--reps must be >= 1");
+        const bool smoke = cli.boolean("smoke");
+        const std::size_t threads = static_cast<std::size_t>(cli.integer("threads"));
         core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
         config.train.epochs = static_cast<std::size_t>(cli.integer("epochs"));
-        if (cli.boolean("smoke")) {
+        if (smoke) {
             load.train_count = 400;
             load.test_count = 120;
             batches = {64, 256};
+            pool_rows = 1024;
             reps = 2;
             config.train.epochs = 2;
         }
@@ -109,14 +130,38 @@ int main(int argc, char** argv) {
         const core::TrainedVictim victim = core::train_victim(split, config);
         core::CrossbarOracle oracle = core::deploy_victim(victim.net, config);
 
+        std::unique_ptr<ThreadPool> pool;
+        if (threads > 0) {
+            pool = std::make_unique<ThreadPool>(threads);
+            oracle.set_thread_pool(pool.get());
+        }
+
         Table table({"Query", "Batch", "Per-vector q/s", "Batched q/s", "Speedup"});
+        bench::BenchRecorder rec(
+            "oracle_batch", "synthetic-mnist-784x10 victim, streamed pool of " +
+                                std::to_string(pool_rows) + " rows, " +
+                                std::to_string(threads) + " worker threads");
         std::vector<Measurement> results;
         Rng rng(7);
+        const tensor::Matrix query_pool =
+            tensor::Matrix::random_uniform(rng, pool_rows, oracle.inputs());
+
         for (const long long batch : batches) {
-            const tensor::Matrix U = tensor::Matrix::random_uniform(
-                rng, static_cast<std::size_t>(batch), oracle.inputs());
+            const std::size_t b = static_cast<std::size_t>(batch);
+            if (b > pool_rows) throw ConfigError("--pool must be >= every batch size");
+            // Pre-sliced consecutive windows; both paths stream these.
+            std::vector<tensor::Matrix> windows;
+            for (std::size_t lo = 0; lo + b <= pool_rows; lo += b) {
+                tensor::Matrix U(b, oracle.inputs());
+                for (std::size_t r = 0; r < b; ++r) {
+                    const auto src = query_pool.row_span(lo + r);
+                    auto dst = U.row_span(r);
+                    std::copy(src.begin(), src.end(), dst.begin());
+                }
+                windows.push_back(std::move(U));
+            }
             for (const char* query : {"labels", "raw", "power"}) {
-                const Measurement m = measure(oracle, U, query, reps);
+                const Measurement m = measure(oracle, windows, query, reps);
                 results.push_back(m);
                 table.begin_row();
                 table.add(m.query);
@@ -124,6 +169,12 @@ int main(int argc, char** argv) {
                 table.add(m.scalar_qps, 0);
                 table.add(m.batched_qps, 0);
                 table.add(m.speedup, 2);
+                rec.begin(std::string(query) + "@" + std::to_string(m.batch));
+                rec.add("query", m.query);
+                rec.add("batch", static_cast<long long>(m.batch));
+                rec.add("scalar_qps", m.scalar_qps);
+                rec.add("batched_qps", m.batched_qps);
+                rec.add("speedup", m.speedup);
             }
         }
 
@@ -131,23 +182,21 @@ int main(int argc, char** argv) {
                   << table;
 
         const std::string out_path = cli.str("out");
-        std::ofstream out(out_path);
-        out << "{\n  \"victim\": \"synthetic-mnist-784x10\",\n  \"results\": [\n";
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const Measurement& m = results[i];
-            out << "    {\"query\": \"" << m.query << "\", \"batch\": " << m.batch
-                << ", \"scalar_qps\": " << static_cast<long long>(m.scalar_qps)
-                << ", \"batched_qps\": " << static_cast<long long>(m.batched_qps)
-                << ", \"speedup\": " << m.speedup << "}" << (i + 1 < results.size() ? "," : "")
-                << "\n";
+        if (!rec.write(out_path)) {
+            std::fprintf(stderr, "bench_oracle_batch: cannot write %s\n", out_path.c_str());
+            return 1;
         }
-        out << "  ]\n}\n";
         std::cout << "\nResults written to " << out_path << "\n";
 
-        // The acceptance bar for the batched API: >= 3x label throughput
-        // at batch 256. Enforced (non-zero exit) so the CI smoke run
-        // fails loudly if the fast path regresses; the measured margin
-        // is ~3x the bar, so scheduler noise cannot trip it.
+        // Acceptance gates, enforced (non-zero exit) so the CI smoke run
+        // fails loudly when the fast path regresses:
+        //   * labels@256 batched >= 3x the per-vector path (margin ~3x);
+        //   * batched power qps at the largest batch within 15% of the
+        //     smallest (the batch-1024 falloff this bench used to show was
+        //     a hot-cache artifact; with streamed windows the batch size
+        //     must not matter). Full runs only: a smoke measurement is
+        //     ~1 ms of wall time, where scheduler jitter alone exceeds
+        //     the 15% band.
         int exit_code = 0;
         for (const Measurement& m : results) {
             if (m.query == "labels" && m.batch == 256) {
@@ -156,6 +205,27 @@ int main(int argc, char** argv) {
                           << (pass ? " (PASS, >= 3x)" : " (FAIL, below the 3x target)") << "\n";
                 if (!pass) exit_code = 1;
             }
+        }
+        double power_small = 0.0, power_large = 0.0;
+        std::size_t small_b = 0, large_b = 0;
+        for (const Measurement& m : results) {
+            if (m.query != "power") continue;
+            if (small_b == 0 || m.batch < small_b) {
+                small_b = m.batch;
+                power_small = m.batched_qps;
+            }
+            if (m.batch > large_b) {
+                large_b = m.batch;
+                power_large = m.batched_qps;
+            }
+        }
+        if (!smoke && small_b != 0 && large_b != small_b) {
+            const double ratio = power_large / power_small;
+            const bool pass = ratio >= 0.85;
+            std::cout << "power@" << large_b << " vs power@" << small_b
+                      << " batched qps ratio: " << Table::format_number(ratio, 3)
+                      << (pass ? " (PASS, within 15%)" : " (FAIL, > 15% falloff)") << "\n";
+            if (!pass) exit_code = 1;
         }
         return exit_code;
     } catch (const std::exception& e) {

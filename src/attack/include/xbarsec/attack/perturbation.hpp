@@ -1,6 +1,9 @@
 // Perturbation bookkeeping shared by the attack implementations.
 #pragma once
 
+#include <vector>
+
+#include "xbarsec/tensor/matrix.hpp"
 #include "xbarsec/tensor/vector.hpp"
 
 namespace xbarsec::attack {
@@ -25,5 +28,10 @@ tensor::Vector apply_perturbation(const tensor::Vector& u, const tensor::Vector&
 
 /// ℓ∞ projection of r onto the budget ball (identity when linf == 0).
 tensor::Vector project_linf(const tensor::Vector& r, double linf);
+
+/// One-hot target matrix from integer labels: row i has a 1 at labels[i].
+/// Validates every label against num_classes. Shared by the batched
+/// gradient attacks.
+tensor::Matrix one_hot_targets(const std::vector<int>& labels, std::size_t num_classes);
 
 }  // namespace xbarsec::attack

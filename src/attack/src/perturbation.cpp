@@ -14,6 +14,15 @@ tensor::Vector project_linf(const tensor::Vector& r, double linf) {
     return out;
 }
 
+tensor::Matrix one_hot_targets(const std::vector<int>& labels, std::size_t num_classes) {
+    tensor::Matrix T(labels.size(), num_classes, 0.0);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        XS_EXPECTS(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < num_classes);
+        T(i, static_cast<std::size_t>(labels[i])) = 1.0;
+    }
+    return T;
+}
+
 tensor::Vector apply_perturbation(const tensor::Vector& u, const tensor::Vector& r,
                                   const PerturbationBudget& budget) {
     XS_EXPECTS(u.size() == r.size());

@@ -38,20 +38,45 @@ tensor::Vector pgd_attack(const nn::SingleLayerNet& net, const tensor::Vector& u
 tensor::Matrix pgd_attack_batch(const nn::SingleLayerNet& net, const tensor::Matrix& X,
                                 const std::vector<int>& labels, std::size_t num_classes,
                                 const PgdConfig& config) {
+    XS_EXPECTS(config.epsilon >= 0.0);
+    XS_EXPECTS(config.step_size > 0.0);
+    XS_EXPECTS(config.steps >= 1);
     XS_EXPECTS(X.rows() == labels.size());
+    XS_EXPECTS(X.cols() == net.inputs());
     XS_EXPECTS(num_classes == net.outputs());
-    tensor::Matrix out(X.rows(), X.cols());
-    for (std::size_t i = 0; i < X.rows(); ++i) {
-        XS_EXPECTS(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < num_classes);
-        tensor::Vector t(num_classes, 0.0);
-        t[static_cast<std::size_t>(labels[i])] = 1.0;
-        PgdConfig per_sample = config;
-        per_sample.seed = config.seed + i;  // independent random starts
-        const tensor::Vector adv = pgd_attack(net, X.row(i), t, per_sample);
-        auto dst = out.row_span(i);
-        std::copy(adv.begin(), adv.end(), dst.begin());
+
+    const tensor::Matrix T = one_hot_targets(labels, num_classes);
+    tensor::Matrix adv = X;
+
+    if (config.random_start && config.epsilon > 0.0) {
+        // Per-row RNG seeded exactly like the per-sample path (seed + i),
+        // so batched and scalar attacks draw identical random starts.
+        for (std::size_t i = 0; i < adv.rows(); ++i) {
+            Rng rng(config.seed + i);
+            auto row = adv.row_span(i);
+            for (double& a : row) a += rng.uniform(-config.epsilon, config.epsilon);
+        }
     }
-    return out;
+
+    // Every iteration takes the whole batch's gradient in two GEMMs and
+    // applies the sign step + projection elementwise — the same update,
+    // in the same order, as the per-sample loop.
+    const std::size_t total = X.size();
+    for (std::size_t step = 0; step < config.steps; ++step) {
+        const tensor::Matrix G = net.input_gradient_batch(adv, T);
+        const double* __restrict x = X.data();
+        const double* __restrict g = G.data();
+        double* __restrict a = adv.data();
+        for (std::size_t j = 0; j < total; ++j) {
+            double v = a[j];
+            if (g[j] > 0.0) v += config.step_size;
+            else if (g[j] < 0.0) v -= config.step_size;
+            v = std::clamp(v, x[j] - config.epsilon, x[j] + config.epsilon);
+            if (config.clip_to_box) v = std::clamp(v, config.box_lo, config.box_hi);
+            a[j] = v;
+        }
+    }
+    return adv;
 }
 
 }  // namespace xbarsec::attack

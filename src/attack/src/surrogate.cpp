@@ -17,15 +17,9 @@ double surrogate_power(const nn::SingleLayerNet& surrogate, const tensor::Vector
 
 tensor::Vector surrogate_power_batch(const tensor::Matrix& W, const tensor::Matrix& U) {
     XS_EXPECTS(U.cols() == W.cols());
-    const tensor::Vector colabs = tensor::column_abs_sums(W);
-    tensor::Vector p(U.rows(), 0.0);
-    for (std::size_t r = 0; r < U.rows(); ++r) {
-        const auto row = U.row_span(r);
-        double acc = 0.0;
-        for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * colabs[j];
-        p[r] = acc;
-    }
-    return p;
+    // Eq. 9's p̂ for the whole batch is one matvec against the column
+    // 1-norms (the same kernel the crossbar's batched power path uses).
+    return tensor::matvec(U, tensor::column_abs_sums(W));
 }
 
 namespace {
@@ -124,14 +118,11 @@ SurrogateTrainResult train_surrogate(const QueryDataset& queries, const Surrogat
                     e[r] = p_hat[r] - queries.power[order[lo + r]];
                     power_loss_acc += e[r] * e[r];
                 }
-                // q_j = (2/b) Σ_r e_r x_rj; ∂L_power/∂w_ij = λ·sign(w_ij)·q_j.
-                tensor::Vector q(n_inputs, 0.0);
-                for (std::size_t r = 0; r < b; ++r) {
-                    const auto xrow = xb.row_span(r);
-                    const double er = 2.0 * inv_b * e[r];
-                    if (er == 0.0) continue;
-                    for (std::size_t j = 0; j < n_inputs; ++j) q[j] += er * xrow[j];
-                }
+                // q_j = (2/b) Σ_r e_r x_rj = Xᵀ·(2/b·e);
+                // ∂L_power/∂w_ij = λ·sign(w_ij)·q_j.
+                tensor::Vector e_scaled = e;
+                e_scaled *= 2.0 * inv_b;
+                const tensor::Vector q = tensor::matvec_transposed(xb, e_scaled);
                 tensor::Matrix& W = net.weights();
                 for (std::size_t i = 0; i < n_outputs; ++i) {
                     auto wrow = W.row_span(i);

@@ -163,14 +163,7 @@ tensor::Vector SoftwareOracle::query_power_batch(const tensor::Matrix& U) {
     require_power_access();
     XS_EXPECTS(U.cols() == inputs());
     count_power(U.rows());
-    tensor::Vector p(U.rows(), 0.0);
-    for (std::size_t r = 0; r < U.rows(); ++r) {
-        const auto row = U.row_span(r);
-        double acc = 0.0;
-        for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * column_l1_[j];
-        p[r] = acc;
-    }
-    return p;
+    return tensor::matvec(U, column_l1_, thread_pool());
 }
 
 }  // namespace xbarsec::core

@@ -46,7 +46,11 @@ attack::QueryDataset collect_queries(Oracle& oracle, const data::Dataset& pool,
 }
 
 sidechannel::ProbeResult probe_columns(Oracle& oracle, const sidechannel::ProbeOptions& options) {
-    return sidechannel::probe_columns(oracle.power_measure_fn(), oracle.inputs(), options);
+    // Basis batches ride the oracle's batched power path (and any decorator
+    // stack above it) instead of issuing one query_power at a time.
+    return sidechannel::probe_columns_batch(
+        [&oracle](const tensor::Matrix& V) { return oracle.query_power_batch(V); },
+        oracle.inputs(), options);
 }
 
 sidechannel::SearchResult find_argmax(Oracle& oracle, const data::ImageShape& shape,

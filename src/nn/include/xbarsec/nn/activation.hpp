@@ -33,7 +33,18 @@ tensor::Matrix apply_activation_rows(Activation a, const tensor::Matrix& S);
 /// ConfigError; softmax gradients are fused with crossentropy in loss.hpp.
 tensor::Vector activation_derivative(Activation a, const tensor::Vector& s);
 
+/// Row-wise f'(S) for a batch of pre-activations (same domain rules as
+/// activation_derivative). The batched-backprop companion of
+/// apply_activation_rows.
+tensor::Matrix activation_derivative_rows(Activation a, const tensor::Matrix& S);
+
 /// Numerically stable softmax of one vector.
 tensor::Vector softmax(const tensor::Vector& s);
+
+/// Stable softmax of one contiguous row into `out` (may alias `s`'s
+/// buffer only if identical). The single formulation shared by the
+/// forward pass and the fused softmax+crossentropy gradient — keeping
+/// them numerically in lockstep.
+void softmax_row(const double* s, double* out, std::size_t n);
 
 }  // namespace xbarsec::nn

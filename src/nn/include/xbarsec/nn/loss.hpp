@@ -11,6 +11,7 @@
 #include <string>
 
 #include "xbarsec/nn/activation.hpp"
+#include "xbarsec/tensor/matrix.hpp"
 #include "xbarsec/tensor/vector.hpp"
 
 namespace xbarsec::nn {
@@ -33,5 +34,21 @@ tensor::Vector loss_gradient_preactivation(Activation activation, Loss loss,
 
 /// True when the pairing is supported by loss_gradient_preactivation.
 bool pairing_supported(Activation activation, Loss loss);
+
+// ---- batched variants -------------------------------------------------------
+//
+// Row r of each matrix is one sample. These are the minibatch hot paths —
+// they compute row-wise without materialising per-sample Vectors, so the
+// trainers touch each batch element exactly once.
+
+/// Sum of per-sample losses: Σ_r loss_value(loss, Y.row(r), T.row(r)).
+/// Y holds post-activation outputs.
+double loss_value_batch_sum(Loss loss, const tensor::Matrix& Y, const tensor::Matrix& T);
+
+/// Batched δ: row r is loss_gradient_preactivation(activation, loss,
+/// S.row(r), T.row(r)). S holds pre-activations.
+tensor::Matrix loss_gradient_preactivation_batch(Activation activation, Loss loss,
+                                                 const tensor::Matrix& S,
+                                                 const tensor::Matrix& T);
 
 }  // namespace xbarsec::nn

@@ -45,6 +45,13 @@ public:
     int classify(const tensor::Vector& u) const;
     double loss(const tensor::Vector& u, const tensor::Vector& target) const;
 
+    /// Batched forward pass: row r is predict(U.row(r)), run as one GEMM
+    /// chain per layer.
+    tensor::Matrix predict_batch(const tensor::Matrix& U) const;
+
+    /// Batched classification: out[r] = classify(U.row(r)).
+    std::vector<int> classify_batch(const tensor::Matrix& U) const;
+
     /// Per-layer gradients from one sample, plus the input gradient.
     struct Gradients {
         std::vector<tensor::Matrix> weights;

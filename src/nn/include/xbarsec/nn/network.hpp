@@ -56,9 +56,19 @@ public:
     /// δ = ∂L/∂s for one sample (used by trainers).
     tensor::Vector preactivation_delta(const tensor::Vector& u, const tensor::Vector& target) const;
 
+    /// Batched δ: row r is preactivation_delta(U.row(r), T.row(r)),
+    /// computed through the batch forward GEMM.
+    tensor::Matrix preactivation_delta_batch(const tensor::Matrix& U,
+                                             const tensor::Matrix& T) const;
+
     /// Eq. 7: ∂L/∂u = Wᵀ·δ. The gradient the white-box "Worst" attack and
     /// the FGSM baselines use.
     tensor::Vector input_gradient(const tensor::Vector& u, const tensor::Vector& target) const;
+
+    /// Batched Eq. 7: row r is input_gradient(U.row(r), T.row(r)). One
+    /// forward GEMM plus one Δ·W GEMM — the whole-testset gradient kernel
+    /// behind the batched FGSM/PGD attack loops.
+    tensor::Matrix input_gradient_batch(const tensor::Matrix& U, const tensor::Matrix& T) const;
 
 private:
     DenseLayer layer_;

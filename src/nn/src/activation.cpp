@@ -28,16 +28,22 @@ Activation activation_from_string(const std::string& name) {
     throw ConfigError("unknown activation '" + name + "'");
 }
 
-tensor::Vector softmax(const tensor::Vector& s) {
-    XS_EXPECTS(!s.empty());
-    tensor::Vector out(s.size());
-    const double m = tensor::max(s);
+void softmax_row(const double* s, double* out, std::size_t n) {
+    XS_EXPECTS(n > 0);
+    double m = s[0];
+    for (std::size_t i = 1; i < n; ++i) m = std::max(m, s[i]);
     double denom = 0.0;
-    for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
         out[i] = std::exp(s[i] - m);
         denom += out[i];
     }
-    for (auto& x : out) x /= denom;
+    for (std::size_t i = 0; i < n; ++i) out[i] /= denom;
+}
+
+tensor::Vector softmax(const tensor::Vector& s) {
+    XS_EXPECTS(!s.empty());
+    tensor::Vector out(s.size());
+    softmax_row(s.data(), out.data(), s.size());
     return out;
 }
 
@@ -67,14 +73,67 @@ tensor::Vector apply_activation(Activation a, const tensor::Vector& s) {
 tensor::Matrix apply_activation_rows(Activation a, const tensor::Matrix& S) {
     if (a == Activation::Linear) return S;
     tensor::Matrix out(S.rows(), S.cols());
-    for (std::size_t i = 0; i < S.rows(); ++i) {
-        // Row extraction keeps softmax's per-sample normalisation correct.
-        tensor::Vector row(S.cols());
-        const auto src = S.row_span(i);
-        std::copy(src.begin(), src.end(), row.begin());
-        const tensor::Vector activated = apply_activation(a, row);
-        auto dst = out.row_span(i);
-        std::copy(activated.begin(), activated.end(), dst.begin());
+    const std::size_t n = S.cols();
+    if (a == Activation::Softmax) {
+        // Per-row stable softmax (the normalisation is per sample, so
+        // rows are independent).
+        for (std::size_t r = 0; r < S.rows(); ++r) {
+            softmax_row(S.data() + r * n, out.data() + r * n, n);
+        }
+        return out;
+    }
+    // Elementwise activations: one pass over the whole batch.
+    const std::size_t total = S.rows() * n;
+    const double* __restrict s = S.data();
+    double* __restrict o = out.data();
+    switch (a) {
+        case Activation::Sigmoid:
+            for (std::size_t i = 0; i < total; ++i) o[i] = 1.0 / (1.0 + std::exp(-s[i]));
+            break;
+        case Activation::Relu:
+            for (std::size_t i = 0; i < total; ++i) o[i] = std::max(0.0, s[i]);
+            break;
+        case Activation::Tanh:
+            for (std::size_t i = 0; i < total; ++i) o[i] = std::tanh(s[i]);
+            break;
+        case Activation::Linear:
+        case Activation::Softmax:
+            break;  // handled above
+    }
+    return out;
+}
+
+tensor::Matrix activation_derivative_rows(Activation a, const tensor::Matrix& S) {
+    if (a == Activation::Softmax) {
+        throw ConfigError(
+            "softmax has no elementwise derivative; use the fused softmax+crossentropy "
+            "gradient in loss.hpp");
+    }
+    tensor::Matrix out(S.rows(), S.cols());
+    const std::size_t total = S.rows() * S.cols();
+    const double* __restrict s = S.data();
+    double* __restrict o = out.data();
+    switch (a) {
+        case Activation::Linear:
+            for (std::size_t i = 0; i < total; ++i) o[i] = 1.0;
+            break;
+        case Activation::Sigmoid:
+            for (std::size_t i = 0; i < total; ++i) {
+                const double f = 1.0 / (1.0 + std::exp(-s[i]));
+                o[i] = f * (1.0 - f);
+            }
+            break;
+        case Activation::Relu:
+            for (std::size_t i = 0; i < total; ++i) o[i] = s[i] > 0.0 ? 1.0 : 0.0;
+            break;
+        case Activation::Tanh:
+            for (std::size_t i = 0; i < total; ++i) {
+                const double t = std::tanh(s[i]);
+                o[i] = 1.0 - t * t;
+            }
+            break;
+        case Activation::Softmax:
+            break;  // unreachable
     }
     return out;
 }

@@ -83,4 +83,92 @@ tensor::Vector loss_gradient_preactivation(Activation activation, Loss loss,
     return delta;
 }
 
+double loss_value_batch_sum(Loss loss, const tensor::Matrix& Y, const tensor::Matrix& T) {
+    XS_EXPECTS(Y.rows() == T.rows() && Y.cols() == T.cols());
+    XS_EXPECTS(Y.cols() > 0);
+    const std::size_t n = Y.cols();
+    double total = 0.0;
+    if (loss == Loss::Mse) {
+        const double inv_m = 1.0 / static_cast<double>(n);
+        for (std::size_t r = 0; r < Y.rows(); ++r) {
+            const double* __restrict y = Y.data() + r * n;
+            const double* __restrict t = T.data() + r * n;
+            double acc = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double d = y[i] - t[i];
+                acc += d * d;
+            }
+            total += acc * inv_m;
+        }
+        return total;
+    }
+    for (std::size_t r = 0; r < Y.rows(); ++r) {
+        const double* __restrict y = Y.data() + r * n;
+        const double* __restrict t = T.data() + r * n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (t[i] != 0.0) total -= t[i] * std::log(std::max(y[i], kEps));
+        }
+    }
+    return total;
+}
+
+tensor::Matrix loss_gradient_preactivation_batch(Activation activation, Loss loss,
+                                                 const tensor::Matrix& S,
+                                                 const tensor::Matrix& T) {
+    XS_EXPECTS(S.rows() == T.rows() && S.cols() == T.cols());
+    XS_EXPECTS(S.cols() > 0);
+    if (!pairing_supported(activation, loss)) {
+        throw ConfigError("unsupported activation/loss pairing: " + to_string(activation) + "+" +
+                          to_string(loss));
+    }
+    const std::size_t n = S.cols();
+    tensor::Matrix delta(S.rows(), n);
+
+    if (loss == Loss::CategoricalCrossentropy) {
+        // Fused softmax + crossentropy: δ row = softmax(s) − t, through
+        // the same row kernel as the forward pass.
+        for (std::size_t r = 0; r < S.rows(); ++r) {
+            const double* __restrict t = T.data() + r * n;
+            double* __restrict d = delta.data() + r * n;
+            softmax_row(S.data() + r * n, d, n);
+            for (std::size_t i = 0; i < n; ++i) d[i] -= t[i];
+        }
+        return delta;
+    }
+
+    // MSE with an elementwise activation: δ = 2/M·(f(s) − t)·f'(s),
+    // evaluated with the same per-element expressions as the vector path.
+    const double scale = 2.0 / static_cast<double>(n);
+    const std::size_t total = S.rows() * n;
+    const double* __restrict s = S.data();
+    const double* __restrict t = T.data();
+    double* __restrict d = delta.data();
+    switch (activation) {
+        case Activation::Linear:
+            for (std::size_t i = 0; i < total; ++i) d[i] = scale * (s[i] - t[i]) * 1.0;
+            break;
+        case Activation::Sigmoid:
+            for (std::size_t i = 0; i < total; ++i) {
+                const double f = 1.0 / (1.0 + std::exp(-s[i]));
+                d[i] = scale * (f - t[i]) * (f * (1.0 - f));
+            }
+            break;
+        case Activation::Relu:
+            for (std::size_t i = 0; i < total; ++i) {
+                const double f = std::max(0.0, s[i]);
+                d[i] = scale * (f - t[i]) * (s[i] > 0.0 ? 1.0 : 0.0);
+            }
+            break;
+        case Activation::Tanh:
+            for (std::size_t i = 0; i < total; ++i) {
+                const double f = std::tanh(s[i]);
+                d[i] = scale * (f - t[i]) * (1.0 - f * f);
+            }
+            break;
+        case Activation::Softmax:
+            throw ConfigError("unreachable: softmax+mse rejected above");
+    }
+    return delta;
+}
+
 }  // namespace xbarsec::nn

@@ -44,6 +44,21 @@ tensor::Vector Mlp::predict(const tensor::Vector& u) const {
 
 int Mlp::classify(const tensor::Vector& u) const { return static_cast<int>(tensor::argmax(predict(u))); }
 
+tensor::Matrix Mlp::predict_batch(const tensor::Matrix& U) const {
+    XS_EXPECTS(!layers_.empty());
+    tensor::Matrix X = U;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Activation act =
+            l + 1 == layers_.size() ? config_.output_activation : config_.hidden_activation;
+        X = apply_activation_rows(act, layers_[l].forward_batch(X));
+    }
+    return X;
+}
+
+std::vector<int> Mlp::classify_batch(const tensor::Matrix& U) const {
+    return tensor::argmax_rows(predict_batch(U));
+}
+
 double Mlp::loss(const tensor::Vector& u, const tensor::Vector& target) const {
     return loss_value(config_.loss, predict(u), target);
 }

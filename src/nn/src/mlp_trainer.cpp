@@ -1,11 +1,29 @@
 #include "xbarsec/nn/mlp_trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "xbarsec/common/rng.hpp"
+#include "xbarsec/tensor/gemm.hpp"
 #include "xbarsec/tensor/ops.hpp"
 
 namespace xbarsec::nn {
+
+namespace {
+
+/// Extracts the rows of `src` at `idx[lo, hi)` into a dense batch.
+tensor::Matrix gather_rows(const tensor::Matrix& src, const std::vector<std::size_t>& idx,
+                           std::size_t lo, std::size_t hi) {
+    tensor::Matrix out(hi - lo, src.cols());
+    for (std::size_t r = lo; r < hi; ++r) {
+        const auto s = src.row_span(idx[r]);
+        auto d = out.row_span(r - lo);
+        std::copy(s.begin(), s.end(), d.begin());
+    }
+    return out;
+}
+
+}  // namespace
 
 TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig& config) {
     XS_EXPECTS(dataset.size() > 0);
@@ -13,9 +31,10 @@ TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig
     XS_EXPECTS(dataset.num_classes() == mlp.outputs());
     XS_EXPECTS(config.epochs > 0 && config.batch_size > 0);
 
+    const std::size_t L = mlp.depth();
     auto optimizer = make_optimizer(config.optimizer, config.learning_rate, config.momentum);
-    std::vector<std::size_t> w_slots(mlp.depth()), b_slots(mlp.depth());
-    for (std::size_t l = 0; l < mlp.depth(); ++l) {
+    std::vector<std::size_t> w_slots(L), b_slots(L);
+    for (std::size_t l = 0; l < L; ++l) {
         w_slots[l] = optimizer->register_parameter(mlp.layers()[l].weights().size());
         if (mlp.layers()[l].has_bias()) {
             b_slots[l] = optimizer->register_parameter(mlp.layers()[l].bias().size());
@@ -35,14 +54,19 @@ TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig
     TrainHistory history;
     history.epoch_loss.reserve(config.epochs);
 
-    // Gradient accumulators, one per layer.
-    std::vector<tensor::Matrix> grad_w;
-    std::vector<tensor::Vector> grad_b;
-    for (std::size_t l = 0; l < mlp.depth(); ++l) {
-        grad_w.emplace_back(mlp.layers()[l].weights().rows(), mlp.layers()[l].weights().cols(),
-                            0.0);
-        grad_b.emplace_back(mlp.layers()[l].has_bias() ? mlp.layers()[l].bias().size() : 0, 0.0);
+    const Activation out_act = mlp.config().output_activation;
+    const Activation hid_act = mlp.config().hidden_activation;
+    const Loss loss = mlp.config().loss;
+
+    // Per-layer gradient accumulator (reused across batches).
+    std::vector<tensor::Matrix> grad_w(L);
+    for (std::size_t l = 0; l < L; ++l) {
+        grad_w[l] = tensor::Matrix(mlp.layers()[l].weights().rows(),
+                                   mlp.layers()[l].weights().cols(), 0.0);
     }
+
+    // Forward caches: inputs[l] feeds layer l, pre[l] = S_l (batch rows).
+    std::vector<tensor::Matrix> inputs(L), pre(L);
 
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
         rng.shuffle(order);
@@ -50,27 +74,51 @@ TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig
         for (std::size_t lo = 0; lo < dataset.size(); lo += config.batch_size) {
             const std::size_t hi = std::min(lo + config.batch_size, dataset.size());
             const double inv_b = 1.0 / static_cast<double>(hi - lo);
-            for (auto& g : grad_w) g.fill(0.0);
-            for (auto& g : grad_b) g.fill(0.0);
+            const tensor::Matrix tb = gather_rows(dataset.targets(), order, lo, hi);
 
-            for (std::size_t r = lo; r < hi; ++r) {
-                const tensor::Vector u = dataset.input(order[r]);
-                const tensor::Vector t = dataset.target(order[r]);
-                loss_acc += mlp.loss(u, t);
-                const Mlp::Gradients g = mlp.backprop(u, t);
-                for (std::size_t l = 0; l < mlp.depth(); ++l) {
-                    grad_w[l] += g.weights[l];
-                    if (!grad_b[l].empty()) grad_b[l] += g.biases[l];
+            // ---- batched forward with caches --------------------------------
+            tensor::Matrix x = gather_rows(dataset.inputs(), order, lo, hi);
+            for (std::size_t l = 0; l < L; ++l) {
+                inputs[l] = std::move(x);
+                pre[l] = mlp.layers()[l].forward_batch(inputs[l]);
+                x = apply_activation_rows(l + 1 == L ? out_act : hid_act, pre[l]);
+            }
+            loss_acc += loss_value_batch_sum(loss, x, tb);
+
+            // ---- batched backward: Δ walks the layers in reverse ------------
+            std::vector<tensor::Vector> grad_b(L);
+            tensor::Matrix delta =
+                loss_gradient_preactivation_batch(out_act, loss, pre[L - 1], tb);
+            for (std::size_t lrev = 0; lrev < L; ++lrev) {
+                const std::size_t l = L - 1 - lrev;
+                // grad_W = 1/b · Δᵀ·X_l (the mean of the per-sample outer
+                // products, as one GEMM).
+                tensor::gemm(inv_b, delta, tensor::Op::Transpose, inputs[l], tensor::Op::None,
+                             0.0, grad_w[l]);
+                if (mlp.layers()[l].has_bias()) {
+                    grad_b[l] = tensor::column_sums(delta);
+                    grad_b[l] *= inv_b;
+                }
+                if (l > 0) {
+                    // Upstream = Δ·W_l, gated by f'(S_{l-1}).
+                    tensor::Matrix upstream(delta.rows(), mlp.layers()[l].weights().cols(), 0.0);
+                    tensor::gemm(1.0, delta, tensor::Op::None, mlp.layers()[l].weights(),
+                                 tensor::Op::None, 0.0, upstream);
+                    const tensor::Matrix fprime = activation_derivative_rows(hid_act, pre[l - 1]);
+                    double* __restrict up = upstream.data();
+                    const double* __restrict fp = fprime.data();
+                    for (std::size_t i = 0; i < upstream.size(); ++i) up[i] *= fp[i];
+                    delta = std::move(upstream);
                 }
             }
 
-            for (std::size_t l = 0; l < mlp.depth(); ++l) {
-                grad_w[l] *= inv_b;
+            // All gradients were taken at the pre-update weights; apply the
+            // optimizer steps afterwards, exactly like the per-sample path.
+            for (std::size_t l = 0; l < L; ++l) {
                 tensor::Matrix& W = mlp.layers()[l].weights();
                 optimizer->step(w_slots[l], {W.data(), W.size()},
                                 {grad_w[l].data(), grad_w[l].size()});
-                if (!grad_b[l].empty()) {
-                    grad_b[l] *= inv_b;
+                if (mlp.layers()[l].has_bias()) {
                     tensor::Vector& b = mlp.layers()[l].bias();
                     optimizer->step(b_slots[l], {b.data(), b.size()},
                                     {grad_b[l].data(), grad_b[l].size()});
@@ -88,9 +136,10 @@ TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig
 double accuracy(const Mlp& mlp, const tensor::Matrix& X, const std::vector<int>& labels) {
     XS_EXPECTS(X.rows() == labels.size());
     XS_EXPECTS(X.rows() > 0);
+    const std::vector<int> predicted = mlp.classify_batch(X);
     std::size_t hits = 0;
     for (std::size_t i = 0; i < X.rows(); ++i) {
-        if (mlp.classify(X.row(i)) == labels[i]) ++hits;
+        if (predicted[i] == labels[i]) ++hits;
     }
     return static_cast<double>(hits) / static_cast<double>(labels.size());
 }

@@ -1,6 +1,7 @@
 #include "xbarsec/nn/network.hpp"
 
 #include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/gemm.hpp"
 #include "xbarsec/tensor/ops.hpp"
 
 namespace xbarsec::nn {
@@ -49,6 +50,21 @@ tensor::Vector SingleLayerNet::input_gradient(const tensor::Vector& u,
                                               const tensor::Vector& target) const {
     // Eq. 7: ∂L/∂u_j = Σ_i δ_i · w_ij, i.e. Wᵀ·δ. (The bias does not enter.)
     return tensor::matvec_transposed(layer_.weights(), preactivation_delta(u, target));
+}
+
+tensor::Matrix SingleLayerNet::preactivation_delta_batch(const tensor::Matrix& U,
+                                                         const tensor::Matrix& T) const {
+    XS_EXPECTS(U.rows() == T.rows());
+    XS_EXPECTS(U.cols() == inputs() && T.cols() == outputs());
+    return loss_gradient_preactivation_batch(activation_, loss_, layer_.forward_batch(U), T);
+}
+
+tensor::Matrix SingleLayerNet::input_gradient_batch(const tensor::Matrix& U,
+                                                    const tensor::Matrix& T) const {
+    const tensor::Matrix delta = preactivation_delta_batch(U, T);
+    tensor::Matrix G(U.rows(), inputs(), 0.0);
+    tensor::gemm(1.0, delta, tensor::Op::None, layer_.weights(), tensor::Op::None, 0.0, G);
+    return G;
 }
 
 }  // namespace xbarsec::nn

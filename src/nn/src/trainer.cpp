@@ -12,19 +12,7 @@ namespace xbarsec::nn {
 
 tensor::Matrix batch_preactivation_delta(Activation activation, Loss loss,
                                          const tensor::Matrix& S, const tensor::Matrix& T) {
-    XS_EXPECTS(S.rows() == T.rows() && S.cols() == T.cols());
-    tensor::Matrix delta(S.rows(), S.cols());
-    tensor::Vector s(S.cols()), t(S.cols());
-    for (std::size_t r = 0; r < S.rows(); ++r) {
-        const auto srow = S.row_span(r);
-        const auto trow = T.row_span(r);
-        std::copy(srow.begin(), srow.end(), s.begin());
-        std::copy(trow.begin(), trow.end(), t.begin());
-        const tensor::Vector d = loss_gradient_preactivation(activation, loss, s, t);
-        auto drow = delta.row_span(r);
-        std::copy(d.begin(), d.end(), drow.begin());
-    }
-    return delta;
+    return loss_gradient_preactivation_batch(activation, loss, S, T);
 }
 
 double mean_loss_regression(const SingleLayerNet& net, const tensor::Matrix& X,
@@ -32,16 +20,7 @@ double mean_loss_regression(const SingleLayerNet& net, const tensor::Matrix& X,
     XS_EXPECTS(X.rows() == Y.rows());
     XS_EXPECTS(X.rows() > 0);
     const tensor::Matrix out = net.predict_batch(X);
-    double acc = 0.0;
-    tensor::Vector y(out.cols()), t(out.cols());
-    for (std::size_t r = 0; r < out.rows(); ++r) {
-        const auto orow = out.row_span(r);
-        const auto trow = Y.row_span(r);
-        std::copy(orow.begin(), orow.end(), y.begin());
-        std::copy(trow.begin(), trow.end(), t.begin());
-        acc += loss_value(net.loss_kind(), y, t);
-    }
-    return acc / static_cast<double>(out.rows());
+    return loss_value_batch_sum(net.loss_kind(), out, Y) / static_cast<double>(out.rows());
 }
 
 namespace {
@@ -101,18 +80,9 @@ TrainHistory train_impl(SingleLayerNet& net, const tensor::Matrix& X, const tens
                 batch_preactivation_delta(net.activation(), net.loss_kind(), sb, tb);
 
             // Accumulate the epoch's training loss from the same forward pass.
-            {
-                const tensor::Matrix yb = apply_activation_rows(net.activation(), sb);
-                tensor::Vector y(yb.cols()), t(yb.cols());
-                for (std::size_t r = 0; r < yb.rows(); ++r) {
-                    const auto yrow = yb.row_span(r);
-                    const auto trow = tb.row_span(r);
-                    std::copy(yrow.begin(), yrow.end(), y.begin());
-                    std::copy(trow.begin(), trow.end(), t.begin());
-                    loss_acc += loss_value(net.loss_kind(), y, t);
-                    ++loss_count;
-                }
-            }
+            loss_acc += loss_value_batch_sum(net.loss_kind(),
+                                             apply_activation_rows(net.activation(), sb), tb);
+            loss_count += sb.rows();
 
             // grad_W = deltaᵀ · X_batch / batch.
             const double inv_b = 1.0 / static_cast<double>(hi - lo);

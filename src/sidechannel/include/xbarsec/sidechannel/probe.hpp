@@ -25,6 +25,11 @@ namespace xbarsec::sidechannel {
 /// the observed supply current (amperes).
 using TotalCurrentFn = std::function<double(const tensor::Vector&)>;
 
+/// Batched variant: row r of the argument is one probe input; the result
+/// holds one reading per row. Lets the probe ride the oracle/crossbar
+/// batch fast path instead of issuing one query at a time.
+using BatchTotalCurrentFn = std::function<tensor::Vector(const tensor::Matrix&)>;
+
 /// Result of probing all columns.
 struct ProbeResult {
     /// Estimated per-column conductance sums Ĝ_j (siemens).
@@ -47,7 +52,14 @@ struct ProbeOptions {
 ProbeResult probe_columns(const TotalCurrentFn& measure, std::size_t n,
                           const ProbeOptions& options = {});
 
-/// Convenience overload measuring a Crossbar directly.
+/// Batched probe: same estimator and measurement order as the scalar
+/// overload (column j's repeats are consecutive rows), issued as basis
+/// batches capped at a few MiB so wide arrays stay cache-resident.
+ProbeResult probe_columns_batch(const BatchTotalCurrentFn& measure, std::size_t n,
+                                const ProbeOptions& options = {});
+
+/// Convenience overload measuring a Crossbar directly (through its
+/// batched total-current path).
 ProbeResult probe_columns(const xbar::Crossbar& crossbar, const ProbeOptions& options = {});
 
 /// Converts conductance sums to weight-unit column 1-norms given the

@@ -30,9 +30,48 @@ ProbeResult probe_columns(const TotalCurrentFn& measure, std::size_t n,
     return result;
 }
 
+ProbeResult probe_columns_batch(const BatchTotalCurrentFn& measure, std::size_t n,
+                                const ProbeOptions& options) {
+    XS_EXPECTS(measure != nullptr);
+    XS_EXPECTS(n > 0);
+    XS_EXPECTS(options.probe_voltage > 0.0);
+    XS_EXPECTS(options.repeats >= 1);
+
+    ProbeResult result;
+    result.conductance_sums = tensor::Vector(n, 0.0);
+
+    // Cap each basis batch at ~4 MiB of probe rows; column j's repeats are
+    // consecutive rows, so the measurement (and noise-draw) order matches
+    // the scalar probe loop.
+    const std::size_t rows_budget = std::max<std::size_t>(1, (std::size_t{4} << 20) / (8 * n));
+    const std::size_t cols_per_chunk = std::max<std::size_t>(1, rows_budget / options.repeats);
+
+    for (std::size_t j0 = 0; j0 < n; j0 += cols_per_chunk) {
+        const std::size_t j1 = std::min(j0 + cols_per_chunk, n);
+        tensor::Matrix probes((j1 - j0) * options.repeats, n, 0.0);
+        for (std::size_t j = j0; j < j1; ++j) {
+            for (std::size_t r = 0; r < options.repeats; ++r) {
+                probes((j - j0) * options.repeats + r, j) = options.probe_voltage;
+            }
+        }
+        const tensor::Vector readings = measure(probes);
+        XS_EXPECTS(readings.size() == probes.rows());
+        result.queries += probes.rows();
+        for (std::size_t j = j0; j < j1; ++j) {
+            double acc = 0.0;
+            for (std::size_t r = 0; r < options.repeats; ++r) {
+                acc += readings[(j - j0) * options.repeats + r];
+            }
+            result.conductance_sums[j] =
+                acc / (static_cast<double>(options.repeats) * options.probe_voltage);
+        }
+    }
+    return result;
+}
+
 ProbeResult probe_columns(const xbar::Crossbar& crossbar, const ProbeOptions& options) {
-    return probe_columns(
-        [&crossbar](const tensor::Vector& v) { return crossbar.total_current(v); },
+    return probe_columns_batch(
+        [&crossbar](const tensor::Matrix& V) { return crossbar.total_current_batch(V); },
         crossbar.cols(), options);
 }
 

@@ -1,12 +1,26 @@
 // General matrix-matrix multiply with transpose options.
 //
 // Minibatch training is expressed as GEMMs (X·Wᵀ forward, Gᵀ·X for weight
-// gradients), so this is the throughput core of the surrogate-training
-// benches (Figure 5). The implementation is a cache-blocked triple loop —
-// no external BLAS dependency — which reaches a few GFLOP/s on the target
-// container; microbenchmarked by bench_micro.
+// gradients), and the crossbar simulator's batched inference path reduces
+// to one GEMM against the differential conductance matrix — so this is the
+// throughput core of the whole library. The implementation is a packed-panel
+// kernel (no external BLAS dependency):
+//
+//   * the k dimension is blocked so a panel of each operand stays
+//     cache-resident while it is consumed;
+//   * B's k-slice is packed once per block into register-tile-wide strips,
+//     A's rows are packed (alpha-scaled, transposes folded in) per
+//     micro-panel — the inner loop only ever reads contiguous memory;
+//   * the hot loop updates a 4×4 register tile of C, compiled twice: an
+//     AVX2+FMA version picked at runtime when the CPU supports it, and a
+//     portable baseline. No -march flags are required.
+//
+// Passing a ThreadPool shards the output over row panels. Each C element
+// accumulates in the same order regardless of the partition, so the
+// parallel product is bit-identical to the serial one (tested).
 #pragma once
 
+#include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/tensor/matrix.hpp"
 
 namespace xbarsec::tensor {
@@ -17,8 +31,11 @@ enum class Op { None, Transpose };
 /// C = alpha * op(A) · op(B) + beta * C.
 ///
 /// Shapes (after applying ops): op(A) is (m×k), op(B) is (k×n), C must be
-/// (m×n). Aliasing C with A or B is not allowed.
-void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C);
+/// (m×n). Aliasing C with A or B is not allowed. When `pool` is non-null
+/// and the product is large enough to amortise task dispatch, row panels
+/// of C are computed on the pool's workers (bit-identical to serial).
+void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C,
+          ThreadPool* pool = nullptr);
 
 /// Convenience: returns A·B.
 Matrix matmul(const Matrix& A, const Matrix& B);

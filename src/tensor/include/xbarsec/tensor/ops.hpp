@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/tensor/matrix.hpp"
 #include "xbarsec/tensor/vector.hpp"
 
@@ -69,6 +70,12 @@ bool all_finite(const Vector& v);
 /// Returns W·u. W is (M×N), u is (N); result is (M). This is Eq. 4's
 /// pre-activation vector s.
 Vector matvec(const Matrix& W, const Vector& u);
+
+/// Pool-sharded matvec: W's rows are processed in cache-resident tiles on
+/// the pool's workers. Bit-identical to the serial overload for any tile
+/// partition (rows are independent). This is the batched power-channel
+/// kernel: total_current_batch(V) is matvec(V, G_col).
+Vector matvec(const Matrix& W, const Vector& u, ThreadPool* pool);
 
 /// Returns Wᵀ·v without forming the transpose. W is (M×N), v is (M);
 /// result is (N).

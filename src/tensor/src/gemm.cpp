@@ -1,42 +1,369 @@
 #include "xbarsec/tensor/gemm.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
 
 namespace xbarsec::tensor {
 
 namespace {
 
-// Cache-block sizes chosen for ~32 KiB L1 / 512 KiB L2; not tuned per-CPU,
-// just enough to keep the working set resident.
-constexpr std::size_t kBlockI = 64;
+// ---- kernel geometry --------------------------------------------------------
+
+/// Depth of the packed panels. One micro-panel of A (≤ 6 rows × kBlockK)
+/// and one B strip (kBlockK × ≤ 8) sit comfortably in L1 while a tile runs.
 constexpr std::size_t kBlockK = 256;
 
-// Core kernel: C[m×n] (+)= alpha * A'[m×k] · B'[k×n], where A' and B' are
-// materialized row-major operands (transposes are packed up front; the
-// matrices in this library are small enough that packing costs are noise).
-void gemm_nn(double alpha, const Matrix& A, const Matrix& B, Matrix& C) {
-    const std::size_t m = A.rows(), k = A.cols(), n = B.cols();
-    for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
-        const std::size_t i1 = std::min(i0 + kBlockI, m);
-        for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-            const std::size_t k1 = std::min(k0 + kBlockK, k);
-            for (std::size_t i = i0; i < i1; ++i) {
-                const double* arow = A.data() + i * k;
-                double* crow = C.data() + i * n;
-                for (std::size_t p = k0; p < k1; ++p) {
-                    const double aip = alpha * arow[p];
-                    if (aip == 0.0) continue;
-                    const double* brow = B.data() + p * n;
-                    for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+/// Upper bounds on the register-tile geometry (sizing for pack buffers).
+constexpr std::size_t kMaxMR = 6;
+constexpr std::size_t kMaxNR = 8;
+
+/// Rows per parallel task. Each C row accumulates its k-terms in p-ascending
+/// order in its own registers, independent of which rows share a tile, so
+/// any row partition is bit-identical to the serial product (tested by
+/// Gemm.ParallelMatchesSerialBitForBit).
+constexpr std::size_t kRowsPerPanel = 64;
+
+/// Smallest 2·m·n·k worth sharding (task dispatch costs microseconds).
+constexpr double kMinParallelFlops = 4.0e6;
+
+// ---- micro-kernels ----------------------------------------------------------
+//
+// C[mr×nr] += Ap·Bp over a kc-deep packed panel pair. Ap is p-major with
+// MR-interleaved (alpha-scaled, zero-padded) rows; Bp is a kc×NR strip
+// (zero-padded columns), so the hot loop is branch-free and every load is
+// contiguous. The MR·NR accumulators live in registers; the guarded
+// writeback touches only the live mr×nr corner of the tile.
+//
+// The body is stamped out at several geometries: a portable 4×4 whose 16
+// accumulators fit the 16 SSE2 xmm registers every x86-64 CPU has, and
+// AVX2+FMA 6×4 / 6×8 variants selected at runtime when the CPU supports
+// them — vector width without -march flags, so one binary runs anywhere.
+
+#define XS_GEMM_TILE_BODY(MR_, NR_)                                                 \
+    double acc[(MR_) * (NR_)] = {};                                                 \
+    for (std::size_t p = 0; p < kc; ++p) {                                          \
+        const double* __restrict a = ap + p * (MR_);                                \
+        const double* __restrict b = bp + p * bs;                                   \
+        for (std::size_t r = 0; r < (MR_); ++r) {                                   \
+            const double ar = a[r];                                                 \
+            for (std::size_t j = 0; j < (NR_); ++j) acc[r * (NR_) + j] += ar * b[j];\
+        }                                                                           \
+    }                                                                               \
+    for (std::size_t r = 0; r < mr; ++r) {                                          \
+        double* __restrict crow = c + r * ldc;                                      \
+        for (std::size_t j = 0; j < nr; ++j) crow[j] += acc[r * (NR_) + j];         \
+    }
+
+void tile_portable_4x4(const double* __restrict ap, const double* __restrict bp, std::size_t bs,
+                       std::size_t kc, double* __restrict c, std::size_t ldc, std::size_t mr,
+                       std::size_t nr) {
+    XS_GEMM_TILE_BODY(4, 4)
+}
+
+using TileFn = void (*)(const double* __restrict, const double* __restrict, std::size_t,
+                        std::size_t, double* __restrict, std::size_t, std::size_t, std::size_t);
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define XS_GEMM_HAVE_AVX2_VARIANT 1
+
+// The AVX2 tiles are written with intrinsics rather than the generic body:
+// at 48 accumulators GCC's scalar replacement gives up and spills the
+// accumulator array to the stack every iteration, which is slower than the
+// portable kernel. Explicit ymm accumulators pin the tile in registers.
+
+__attribute__((target("avx2,fma"))) void tile_avx2_6x4(const double* __restrict ap,
+                                                       const double* __restrict bp, std::size_t bs,
+                                                       std::size_t kc, double* __restrict c,
+                                                       std::size_t ldc, std::size_t mr,
+                                                       std::size_t nr) {
+    __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd(), acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd(), acc4 = _mm256_setzero_pd(), acc5 = _mm256_setzero_pd();
+    for (std::size_t p = 0; p < kc; ++p) {
+        const double* a = ap + p * 6;
+        const __m256d b = _mm256_loadu_pd(bp + p * bs);
+        acc0 = _mm256_fmadd_pd(_mm256_broadcast_sd(a + 0), b, acc0);
+        acc1 = _mm256_fmadd_pd(_mm256_broadcast_sd(a + 1), b, acc1);
+        acc2 = _mm256_fmadd_pd(_mm256_broadcast_sd(a + 2), b, acc2);
+        acc3 = _mm256_fmadd_pd(_mm256_broadcast_sd(a + 3), b, acc3);
+        acc4 = _mm256_fmadd_pd(_mm256_broadcast_sd(a + 4), b, acc4);
+        acc5 = _mm256_fmadd_pd(_mm256_broadcast_sd(a + 5), b, acc5);
+    }
+    double acc[6 * 4];
+    _mm256_storeu_pd(acc + 0, acc0);
+    _mm256_storeu_pd(acc + 4, acc1);
+    _mm256_storeu_pd(acc + 8, acc2);
+    _mm256_storeu_pd(acc + 12, acc3);
+    _mm256_storeu_pd(acc + 16, acc4);
+    _mm256_storeu_pd(acc + 20, acc5);
+    for (std::size_t r = 0; r < mr; ++r) {
+        double* __restrict crow = c + r * ldc;
+        for (std::size_t j = 0; j < nr; ++j) crow[j] += acc[r * 4 + j];
+    }
+}
+
+__attribute__((target("avx2,fma"))) void tile_avx2_6x8(const double* __restrict ap,
+                                                       const double* __restrict bp, std::size_t bs,
+                                                       std::size_t kc, double* __restrict c,
+                                                       std::size_t ldc, std::size_t mr,
+                                                       std::size_t nr) {
+    __m256d acc[12];
+    for (auto& v : acc) v = _mm256_setzero_pd();
+    for (std::size_t p = 0; p < kc; ++p) {
+        const double* a = ap + p * 6;
+        const __m256d b0 = _mm256_loadu_pd(bp + p * bs);
+        const __m256d b1 = _mm256_loadu_pd(bp + p * bs + 4);
+        const __m256d a0 = _mm256_broadcast_sd(a + 0);
+        acc[0] = _mm256_fmadd_pd(a0, b0, acc[0]);
+        acc[1] = _mm256_fmadd_pd(a0, b1, acc[1]);
+        const __m256d a1 = _mm256_broadcast_sd(a + 1);
+        acc[2] = _mm256_fmadd_pd(a1, b0, acc[2]);
+        acc[3] = _mm256_fmadd_pd(a1, b1, acc[3]);
+        const __m256d a2 = _mm256_broadcast_sd(a + 2);
+        acc[4] = _mm256_fmadd_pd(a2, b0, acc[4]);
+        acc[5] = _mm256_fmadd_pd(a2, b1, acc[5]);
+        const __m256d a3 = _mm256_broadcast_sd(a + 3);
+        acc[6] = _mm256_fmadd_pd(a3, b0, acc[6]);
+        acc[7] = _mm256_fmadd_pd(a3, b1, acc[7]);
+        const __m256d a4 = _mm256_broadcast_sd(a + 4);
+        acc[8] = _mm256_fmadd_pd(a4, b0, acc[8]);
+        acc[9] = _mm256_fmadd_pd(a4, b1, acc[9]);
+        const __m256d a5 = _mm256_broadcast_sd(a + 5);
+        acc[10] = _mm256_fmadd_pd(a5, b0, acc[10]);
+        acc[11] = _mm256_fmadd_pd(a5, b1, acc[11]);
+    }
+    double out[6 * 8];
+    for (std::size_t r = 0; r < 12; ++r) _mm256_storeu_pd(out + r * 4, acc[r]);
+    for (std::size_t r = 0; r < mr; ++r) {
+        double* __restrict crow = c + r * ldc;
+        for (std::size_t j = 0; j < nr; ++j) crow[j] += out[r * 8 + j];
+    }
+}
+
+bool avx2_available() {
+    static const bool available = [] {
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    }();
+    return available;
+}
+#else
+bool avx2_available() { return false; }
+#endif
+
+#undef XS_GEMM_TILE_BODY
+
+/// The tile function plus the geometry it was compiled for.
+struct KernelConfig {
+    TileFn tile;
+    std::size_t mr;
+    std::size_t nr;
+};
+
+/// Picks the widest kernel the CPU supports, with a narrow-NR variant for
+/// skinny outputs (the paper's 10-class heads) where an 8-wide strip would
+/// waste most of its lanes on padding.
+KernelConfig pick_kernel(std::size_t n) {
+#ifdef XS_GEMM_HAVE_AVX2_VARIANT
+    if (avx2_available()) {
+        if (n >= 12) return {tile_avx2_6x8, 6, 8};
+        return {tile_avx2_6x4, 6, 4};
+    }
+#endif
+    (void)n;
+    return {tile_portable_4x4, 4, 4};
+}
+
+// ---- panel packing ----------------------------------------------------------
+
+/// Packs rows [i0, i0+mr) of op(A)'s k-slice [k0, k1) into an alpha-scaled,
+/// p-major, MR-interleaved micro-panel. Rows beyond mr pad with zeros so
+/// the micro-kernel never branches on the row count.
+void pack_a(const Matrix& A, Op op, double alpha, std::size_t i0, std::size_t mr, std::size_t MR,
+            std::size_t k0, std::size_t k1, double* __restrict ap) {
+    const std::size_t kc = k1 - k0;
+    const std::size_t lda = A.cols();
+    if (op == Op::None) {
+        for (std::size_t r = 0; r < MR; ++r) {
+            if (r < mr) {
+                const double* __restrict src = A.data() + (i0 + r) * lda + k0;
+                for (std::size_t p = 0; p < kc; ++p) ap[p * MR + r] = alpha * src[p];
+            } else {
+                for (std::size_t p = 0; p < kc; ++p) ap[p * MR + r] = 0.0;
+            }
+        }
+    } else {
+        // op(A)(i, p) = A(p, i): the stored k-rows are contiguous.
+        if (mr == MR) {
+            for (std::size_t p = 0; p < kc; ++p) {
+                const double* __restrict src = A.data() + (k0 + p) * lda + i0;
+                for (std::size_t r = 0; r < MR; ++r) ap[p * MR + r] = alpha * src[r];
+            }
+        } else {
+            for (std::size_t p = 0; p < kc; ++p) {
+                const double* __restrict src = A.data() + (k0 + p) * lda + i0;
+                for (std::size_t r = 0; r < MR; ++r) {
+                    ap[p * MR + r] = r < mr ? alpha * src[r] : 0.0;
                 }
             }
         }
     }
 }
 
+/// Packs op(B)'s k-slice [k0, k1) into NR-wide strips (the tail strip is
+/// zero-padded). Strip s holds op(B)(k0..k1, s·NR..s·NR+NR) p-major.
+void pack_b(const Matrix& B, Op op, std::size_t n, std::size_t NR, std::size_t k0, std::size_t k1,
+            double* __restrict bp) {
+    const std::size_t kc = k1 - k0;
+    const std::size_t strips = (n + NR - 1) / NR;
+    const std::size_t ldb = B.cols();
+    if (op == Op::None) {
+        for (std::size_t s = 0; s < strips; ++s) {
+            const std::size_t j0 = s * NR;
+            const std::size_t w = std::min(NR, n - j0);
+            double* __restrict dst = bp + s * kc * NR;
+            for (std::size_t p = 0; p < kc; ++p) {
+                const double* __restrict src = B.data() + (k0 + p) * ldb + j0;
+                for (std::size_t j = 0; j < NR; ++j) dst[p * NR + j] = j < w ? src[j] : 0.0;
+            }
+        }
+    } else {
+        // op(B)(p, j) = B(j, p): the stored j-rows are contiguous in p.
+        for (std::size_t s = 0; s < strips; ++s) {
+            const std::size_t j0 = s * NR;
+            double* __restrict dst = bp + s * kc * NR;
+            for (std::size_t jj = 0; jj < NR; ++jj) {
+                const std::size_t j = j0 + jj;
+                if (j < n) {
+                    const double* __restrict src = B.data() + j * ldb + k0;
+                    for (std::size_t p = 0; p < kc; ++p) dst[p * NR + jj] = src[p];
+                } else {
+                    for (std::size_t p = 0; p < kc; ++p) dst[p * NR + jj] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the single (ragged) strip of an untransposed B starting at column
+/// j0 — the tail the direct-B path cannot read in place without running
+/// past the row end.
+void pack_b_strip(const Matrix& B, std::size_t n, std::size_t NR, std::size_t j0, std::size_t k0,
+                  std::size_t k1, double* __restrict bp) {
+    const std::size_t kc = k1 - k0;
+    const std::size_t ldb = B.cols();
+    const std::size_t w = n - j0;
+    for (std::size_t p = 0; p < kc; ++p) {
+        const double* __restrict src = B.data() + (k0 + p) * ldb + j0;
+        for (std::size_t j = 0; j < NR; ++j) bp[p * NR + j] = j < w ? src[j] : 0.0;
+    }
+}
+
+/// How the micro-kernel reads op(B)'s current k-block: either packed
+/// strips (strip s at `packed + s·kc·nr`, row stride nr), or — when the
+/// operand is untransposed and m is too small to amortise a full repack —
+/// the rows of B itself (row stride ldb), with only the zero-padded tail
+/// strip packed.
+struct BView {
+    const double* packed = nullptr;  ///< non-null ⇒ fully packed panel
+    const double* direct = nullptr;  ///< B.data() + k0·ldb (direct mode)
+    const double* tail = nullptr;    ///< packed tail strip (direct mode)
+    std::size_t ldb = 0;
+};
+
+/// Runs the micro-kernel over C rows [row0, row1) against one B k-block.
+/// Each worker packs its own A micro-panels (thread-local buffer); the B
+/// panel is shared read-only.
+void gemm_rows(const KernelConfig& cfg, double alpha, const Matrix& A, Op opA, const BView& bview,
+               std::size_t n, std::size_t k0, std::size_t k1, std::size_t row0, std::size_t row1,
+               Matrix& C) {
+    const std::size_t kc = k1 - k0;
+    const std::size_t strips = (n + cfg.nr - 1) / cfg.nr;
+    const std::size_t ldc = C.cols();
+
+    thread_local std::vector<double> apanel;
+    if (apanel.size() < kMaxMR * kc) apanel.resize(kMaxMR * kc);
+    double* const ap = apanel.data();
+
+    for (std::size_t i = row0; i < row1; i += cfg.mr) {
+        const std::size_t mr = std::min(cfg.mr, row1 - i);
+        pack_a(A, opA, alpha, i, mr, cfg.mr, k0, k1, ap);
+        for (std::size_t s = 0; s < strips; ++s) {
+            const std::size_t j0 = s * cfg.nr;
+            const double* bp;
+            std::size_t bs;
+            if (bview.packed != nullptr) {
+                bp = bview.packed + s * kc * cfg.nr;
+                bs = cfg.nr;
+            } else if (j0 + cfg.nr <= n) {
+                bp = bview.direct + j0;
+                bs = bview.ldb;
+            } else {
+                bp = bview.tail;
+                bs = cfg.nr;
+            }
+            cfg.tile(ap, bp, bs, kc, C.data() + i * ldc + j0, ldc, mr, std::min(cfg.nr, n - j0));
+        }
+    }
+}
+
+/// C += alpha·op(A)·op(B), shapes already validated, beta already applied.
+void gemm_dispatch(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, Matrix& C,
+                   std::size_t m, std::size_t n, std::size_t kA, ThreadPool* pool) {
+    const KernelConfig cfg = pick_kernel(n);
+
+    // Skip the full B repack when the operand is already row-major and m is
+    // too small to amortise it (the 10-output gradient GEMMs): the tiles
+    // read B's rows in place and only a ragged tail strip gets packed.
+    const bool direct_b = opB == Op::None && m <= 8 * cfg.mr;
+
+    thread_local std::vector<double> bpanel;
+    const std::size_t strips = (n + cfg.nr - 1) / cfg.nr;
+    const std::size_t kc_max = std::min(kBlockK, kA);
+    const std::size_t panel_doubles =
+        direct_b ? kc_max * kMaxNR : strips * kc_max * kMaxNR;
+    if (bpanel.size() < panel_doubles) bpanel.resize(panel_doubles);
+
+    const bool shard = pool != nullptr && m > kRowsPerPanel &&
+                       2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                               static_cast<double>(kA) >=
+                           kMinParallelFlops;
+    for (std::size_t k0 = 0; k0 < kA; k0 += kBlockK) {
+        const std::size_t k1 = std::min(k0 + kBlockK, kA);
+        BView bview;
+        if (direct_b) {
+            bview.direct = B.data() + k0 * B.cols();
+            bview.ldb = B.cols();
+            if (n % cfg.nr != 0) {
+                const std::size_t tail_j0 = (n / cfg.nr) * cfg.nr;
+                pack_b_strip(B, n, cfg.nr, tail_j0, k0, k1, bpanel.data());
+                bview.tail = bpanel.data();
+            }
+        } else {
+            pack_b(B, opB, n, cfg.nr, k0, k1, bpanel.data());
+            bview.packed = bpanel.data();
+        }
+        if (shard) {
+            const std::size_t panels = (m + kRowsPerPanel - 1) / kRowsPerPanel;
+            parallel_for(*pool, panels, [&](std::size_t t) {
+                const std::size_t r0 = t * kRowsPerPanel;
+                gemm_rows(cfg, alpha, A, opA, bview, n, k0, k1, r0,
+                          std::min(r0 + kRowsPerPanel, m), C);
+            });
+        } else {
+            gemm_rows(cfg, alpha, A, opA, bview, n, k0, k1, 0, m, C);
+        }
+    }
+}
+
 }  // namespace
 
-void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C) {
+void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C,
+          ThreadPool* pool) {
     const std::size_t m = opA == Op::None ? A.rows() : A.cols();
     const std::size_t kA = opA == Op::None ? A.cols() : A.rows();
     const std::size_t kB = opB == Op::None ? B.rows() : B.cols();
@@ -52,16 +379,27 @@ void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double
     }
     if (alpha == 0.0 || m == 0 || n == 0 || kA == 0) return;
 
-    // Pack transposed operands once; all inner loops then run row-major.
-    if (opA == Op::None && opB == Op::None) {
-        gemm_nn(alpha, A, B, C);
-    } else if (opA == Op::Transpose && opB == Op::None) {
-        gemm_nn(alpha, A.transposed(), B, C);
-    } else if (opA == Op::None && opB == Op::Transpose) {
-        gemm_nn(alpha, A, B.transposed(), C);
-    } else {
-        gemm_nn(alpha, A.transposed(), B.transposed(), C);
+    // Wide-and-flat products (the 10-output weight-gradient GEMMs) are
+    // packing-bound: the kc×n panel repack costs more than the arithmetic
+    // its few row blocks amortise. Computing the transpose instead puts
+    // the long dimension on the A side — micro-panels that are packed
+    // once, used, and discarded — and makes the small operand the packed
+    // panel that every row block reuses. The extra transpose-add touches
+    // only m·n elements.
+    if (m <= 2 * kMaxMR && n >= 64 && n >= 4 * m) {
+        Matrix ct(n, m, 0.0);
+        const Op opAt = opB == Op::None ? Op::Transpose : Op::None;
+        const Op opBt = opA == Op::None ? Op::Transpose : Op::None;
+        gemm_dispatch(alpha, B, opAt, A, opBt, ct, n, m, kA, pool);
+        for (std::size_t i = 0; i < m; ++i) {
+            double* __restrict crow = C.data() + i * n;
+            const double* __restrict src = ct.data() + i;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += src[j * m];
+        }
+        return;
     }
+
+    gemm_dispatch(alpha, A, opA, B, opB, C, m, n, kA, pool);
 }
 
 Matrix matmul(const Matrix& A, const Matrix& B) { return matmul(A, Op::None, B, Op::None); }

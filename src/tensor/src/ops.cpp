@@ -5,19 +5,68 @@
 
 namespace xbarsec::tensor {
 
+namespace {
+
+/// Four-chain inner product: partial sums break the single add-latency
+/// dependency chain so the loop pipelines (and vectorizes) instead of
+/// serialising on one accumulator.
+inline double dot_kernel(const double* __restrict pa, const double* __restrict pb, std::size_t n) {
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        a0 += pa[i] * pb[i];
+        a1 += pa[i + 1] * pb[i + 1];
+        a2 += pa[i + 2] * pb[i + 2];
+        a3 += pa[i + 3] * pb[i + 3];
+    }
+    double acc = (a0 + a1) + (a2 + a3);
+    for (; i < n; ++i) acc += pa[i] * pb[i];
+    return acc;
+}
+
+/// Four rows against one shared vector: every u load is amortised over
+/// four independent accumulator chains.
+inline void dot_rows4(const double* __restrict r0, const double* __restrict r1,
+                      const double* __restrict r2, const double* __restrict r3,
+                      const double* __restrict u, std::size_t n, double* __restrict out) {
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+        const double u0 = u[j], u1 = u[j + 1];
+        a0 += r0[j] * u0;
+        b0 += r0[j + 1] * u1;
+        a1 += r1[j] * u0;
+        b1 += r1[j + 1] * u1;
+        a2 += r2[j] * u0;
+        b2 += r2[j + 1] * u1;
+        a3 += r3[j] * u0;
+        b3 += r3[j + 1] * u1;
+    }
+    for (; j < n; ++j) {
+        const double u0 = u[j];
+        a0 += r0[j] * u0;
+        a1 += r1[j] * u0;
+        a2 += r2[j] * u0;
+        a3 += r3[j] * u0;
+    }
+    out[0] = a0 + b0;
+    out[1] = a1 + b1;
+    out[2] = a2 + b2;
+    out[3] = a3 + b3;
+}
+
+}  // namespace
+
 double dot(const Vector& a, const Vector& b) {
     XS_EXPECTS(a.size() == b.size());
-    double acc = 0.0;
-    const double* pa = a.data();
-    const double* pb = b.data();
-    for (std::size_t i = 0; i < a.size(); ++i) acc += pa[i] * pb[i];
-    return acc;
+    return dot_kernel(a.data(), b.data(), a.size());
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {
     XS_EXPECTS(x.size() == y.size());
-    const double* px = x.data();
-    double* py = y.data();
+    const double* __restrict px = x.data();
+    double* __restrict py = y.data();
     for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
 }
 
@@ -104,15 +153,47 @@ bool all_finite(const Vector& v) {
     return true;
 }
 
-Vector matvec(const Matrix& W, const Vector& u) {
+namespace {
+
+/// Row-range worker for matvec: 4-row blocks share u loads; tail rows run
+/// the plain four-chain dot. Rows are independent, so any row partition
+/// that starts blocks at multiples of 4 gives bit-identical results.
+void matvec_rows(const Matrix& W, const double* __restrict pu, std::size_t i0, std::size_t i1,
+                 double* __restrict po) {
+    const std::size_t n = W.cols();
+    const double* const base = W.data();
+    std::size_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+        dot_rows4(base + i * n, base + (i + 1) * n, base + (i + 2) * n, base + (i + 3) * n, pu, n,
+                  po + i);
+    }
+    for (; i < i1; ++i) po[i] = dot_kernel(base + i * n, pu, n);
+}
+
+}  // namespace
+
+Vector matvec(const Matrix& W, const Vector& u) { return matvec(W, u, nullptr); }
+
+Vector matvec(const Matrix& W, const Vector& u, ThreadPool* pool) {
     XS_EXPECTS(W.cols() == u.size());
     Vector out(W.rows());
-    const double* pu = u.data();
-    for (std::size_t i = 0; i < W.rows(); ++i) {
-        const auto row = W.row_span(i);
-        double acc = 0.0;
-        for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * pu[j];
-        out[i] = acc;
+    const std::size_t m = W.rows(), n = W.cols();
+
+    // Tile the rows so each task's slice of W stays cache-resident while
+    // it is consumed; multiples of 4 keep the row blocking — and thus the
+    // floating-point result — identical to the serial pass.
+    constexpr std::size_t kTileBytes = 1u << 20;
+    std::size_t rows_per_tile = kTileBytes / (8 * std::max<std::size_t>(n, 1));
+    rows_per_tile = std::max<std::size_t>(64, (rows_per_tile / 4) * 4);
+
+    if (pool != nullptr && m >= 2 * rows_per_tile) {
+        const std::size_t tiles = (m + rows_per_tile - 1) / rows_per_tile;
+        parallel_for(*pool, tiles, [&](std::size_t t) {
+            const std::size_t r0 = t * rows_per_tile;
+            matvec_rows(W, u.data(), r0, std::min(r0 + rows_per_tile, m), out.data());
+        });
+    } else {
+        matvec_rows(W, u.data(), 0, m, out.data());
     }
     return out;
 }
@@ -120,24 +201,22 @@ Vector matvec(const Matrix& W, const Vector& u) {
 Vector matvec_transposed(const Matrix& W, const Vector& v) {
     XS_EXPECTS(W.rows() == v.size());
     Vector out(W.cols(), 0.0);
-    double* po = out.data();
+    double* __restrict po = out.data();
     for (std::size_t i = 0; i < W.rows(); ++i) {
-        const auto row = W.row_span(i);
+        const double* __restrict row = W.data() + i * W.cols();
         const double vi = v[i];
-        if (vi == 0.0) continue;
-        for (std::size_t j = 0; j < row.size(); ++j) po[j] += vi * row[j];
+        for (std::size_t j = 0; j < W.cols(); ++j) po[j] += vi * row[j];
     }
     return out;
 }
 
 void ger(double alpha, const Vector& u, const Vector& v, Matrix& A) {
     XS_EXPECTS(A.rows() == u.size() && A.cols() == v.size());
+    const double* __restrict pv = v.data();
     for (std::size_t i = 0; i < u.size(); ++i) {
         const double aui = alpha * u[i];
-        if (aui == 0.0) continue;
-        auto row = A.row_span(i);
-        const double* pv = v.data();
-        for (std::size_t j = 0; j < row.size(); ++j) row[j] += aui * pv[j];
+        double* __restrict row = A.data() + i * A.cols();
+        for (std::size_t j = 0; j < A.cols(); ++j) row[j] += aui * pv[j];
     }
 }
 
@@ -149,10 +228,23 @@ Matrix outer(const Vector& u, const Vector& v) {
 
 Vector column_abs_sums(const Matrix& W) {
     Vector out(W.cols(), 0.0);
-    double* po = out.data();
-    for (std::size_t i = 0; i < W.rows(); ++i) {
-        const auto row = W.row_span(i);
-        for (std::size_t j = 0; j < row.size(); ++j) po[j] += std::abs(row[j]);
+    double* __restrict po = out.data();
+    const std::size_t n = W.cols();
+    const double* const base = W.data();
+    // Four rows per pass quarters the traffic through the accumulator row.
+    std::size_t i = 0;
+    for (; i + 4 <= W.rows(); i += 4) {
+        const double* __restrict r0 = base + i * n;
+        const double* __restrict r1 = base + (i + 1) * n;
+        const double* __restrict r2 = base + (i + 2) * n;
+        const double* __restrict r3 = base + (i + 3) * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            po[j] += (std::abs(r0[j]) + std::abs(r1[j])) + (std::abs(r2[j]) + std::abs(r3[j]));
+        }
+    }
+    for (; i < W.rows(); ++i) {
+        const double* __restrict row = base + i * n;
+        for (std::size_t j = 0; j < n; ++j) po[j] += std::abs(row[j]);
     }
     return out;
 }

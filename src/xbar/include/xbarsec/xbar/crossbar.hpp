@@ -78,8 +78,9 @@ public:
 
     /// Batched inference: row r of the result is output_currents(V.row(r)).
     /// Without IR drop the arithmetic runs as one dense GEMM against the
-    /// cached differential conductance matrix (optionally sharded over
-    /// `pool`; the row partition does not change the result). Read noise,
+    /// cached differential conductance matrix; the kernel layer blocks the
+    /// product into cache-resident tiles and optionally shards row panels
+    /// over `pool` (the partition does not change the result). Read noise,
     /// when enabled, is drawn serially in the same element order as the
     /// per-vector calls, so batched and scalar measurements consume the
     /// same noise stream.
@@ -124,11 +125,13 @@ private:
 
     CrossbarProgram program_;
     NonIdealityConfig nonideal_;
-    /// Post-fault caches for the batched fast path: (G⁺ − G⁻) and the
-    /// per-column conductance sums G_j. Invalid under IR drop (the cell
-    /// current is no longer linear in g), so the batch methods fall back
-    /// to the per-vector simulation there.
+    /// Post-fault caches for the batched fast path: (G⁺ − G⁻), its
+    /// transpose (the GEMM operand — batched inference is V·(G⁺−G⁻)ᵀ),
+    /// and the per-column conductance sums G_j. Invalid under IR drop
+    /// (the cell current is no longer linear in g), so the batch methods
+    /// fall back to the per-vector simulation there.
     tensor::Matrix g_diff_;
+    tensor::Matrix g_diff_t_;
     tensor::Vector g_col_;
     mutable Rng read_rng_;
     mutable std::uint64_t measurements_ = 0;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "xbarsec/common/error.hpp"
+#include "xbarsec/tensor/gemm.hpp"
+#include "xbarsec/tensor/ops.hpp"
 
 namespace xbarsec::xbar {
 
@@ -25,6 +27,7 @@ Crossbar::Crossbar(CrossbarProgram program, NonIdealityConfig nonideal)
     }
     g_diff_ = program_.g_plus;
     g_diff_ -= program_.g_minus;
+    g_diff_t_ = g_diff_.transposed();
     g_col_ = column_conductance_sums(program_);
 }
 
@@ -115,36 +118,16 @@ tensor::Matrix Crossbar::output_currents_batch(const tensor::Matrix& V, ThreadPo
     }
     measurements_ += batch;
 
-    // Dense fast path: out = V · (G⁺ − G⁻)ᵀ. The whole G row set stays
-    // cache-resident (the paper's arrays have ~10 outputs), each batch row
-    // reduces to a handful of contiguous dot products, and the per-row
-    // accumulation order is fixed, so any row partition over the pool is
-    // bit-identical to the serial product.
-    const std::size_t m = rows(), n = cols();
-    auto row_block_dot = [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t r = r0; r < r1; ++r) {
-            const double* vrow = V.data() + r * n;
-            double* orow = out.data() + r * m;
-            for (std::size_t i = 0; i < m; ++i) {
-                const double* grow = g_diff_.data() + i * n;
-                double acc = 0.0;
-                for (std::size_t j = 0; j < n; ++j) acc += vrow[j] * grow[j];
-                orow[i] = acc;
-            }
-        }
-    };
-    constexpr std::size_t kRowsPerTask = 64;
-    if (pool != nullptr && batch >= 2 * kRowsPerTask) {
-        const std::size_t tasks = (batch + kRowsPerTask - 1) / kRowsPerTask;
-        parallel_for(*pool, tasks, [&](std::size_t t) {
-            const std::size_t r0 = t * kRowsPerTask;
-            row_block_dot(r0, std::min(r0 + kRowsPerTask, batch));
-        });
-    } else {
-        row_block_dot(0, batch);
-    }
+    // Dense fast path: out = V · (G⁺ − G⁻)ᵀ as one GEMM against the cached
+    // transposed differential conductances. The kernel layer blocks the
+    // product into cache-resident panels and (given a pool) shards row
+    // panels across workers; the row partition does not change the result.
+    tensor::gemm(1.0, V, tensor::Op::None, g_diff_t_, tensor::Op::None, 0.0, out, pool);
 
     if (nonideal_.read_noise_std != 0.0) {
+        // Drawn serially in the same element order as the per-vector calls,
+        // so batched and scalar measurements consume the same noise stream.
+        const std::size_t m = rows();
         for (std::size_t r = 0; r < batch; ++r) {
             for (std::size_t i = 0; i < m; ++i) out(r, i) = noisy(out(r, i));
         }
@@ -170,25 +153,10 @@ tensor::Vector Crossbar::total_current_batch(const tensor::Matrix& V, ThreadPool
     }
     measurements_ += batch;
 
-    const std::size_t n = cols();
-    auto row_block = [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t r = r0; r < r1; ++r) {
-            const double* vrow = V.data() + r * n;
-            double acc = 0.0;
-            for (std::size_t j = 0; j < n; ++j) acc += vrow[j] * g_col_[j];
-            out[r] = acc;
-        }
-    };
-    constexpr std::size_t kRowsPerTask = 256;
-    if (pool != nullptr && batch >= 2 * kRowsPerTask) {
-        const std::size_t tasks = (batch + kRowsPerTask - 1) / kRowsPerTask;
-        parallel_for(*pool, tasks, [&](std::size_t t) {
-            const std::size_t r0 = t * kRowsPerTask;
-            row_block(r0, std::min(r0 + kRowsPerTask, batch));
-        });
-    } else {
-        row_block(0, batch);
-    }
+    // Eq. 5 for the whole batch is one matvec against the cached column
+    // conductance sums; the kernel tiles V's rows into cache-resident
+    // slices (sharded over the pool when present, same result).
+    out = tensor::matvec(V, g_col_, pool);
 
     if (nonideal_.read_noise_std != 0.0) {
         for (std::size_t r = 0; r < batch; ++r) out[r] = noisy(out[r]);

@@ -1,5 +1,6 @@
-// GEMM correctness against a reference triple loop, across shapes and
-// transpose combinations.
+// GEMM correctness against a reference triple loop, across shapes,
+// transpose combinations, and alpha/beta cases — plus bit-for-bit
+// equivalence of the ThreadPool-sharded kernel with the serial one.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -7,6 +8,7 @@
 #include <tuple>
 
 #include "xbarsec/common/contracts.hpp"
+#include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/tensor/gemm.hpp"
 
 namespace xbarsec::tensor {
@@ -100,6 +102,87 @@ TEST(Gemm, AccumulatesWithBetaOne) {
     Matrix expected = reference_matmul(A, B);
     expected *= 2.0;
     expect_near(C, expected);
+}
+
+// ---- alpha/beta property sweep across every transpose combination ----------
+
+class GemmAlphaBetaProperty : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmAlphaBetaProperty, GeneralUpdateMatchesReference) {
+    const auto [m, k, n, opA, opB] = GetParam();
+    Rng rng(m * 131 + k * 17 + n * 3 + static_cast<std::size_t>(opA) * 7 +
+            static_cast<std::size_t>(opB));
+    const Matrix A = opA == Op::None ? Matrix::random_normal(rng, m, k)
+                                     : Matrix::random_normal(rng, k, m);
+    const Matrix B = opB == Op::None ? Matrix::random_normal(rng, k, n)
+                                     : Matrix::random_normal(rng, n, k);
+    const Matrix C0 = Matrix::random_normal(rng, m, n);
+
+    for (const auto& [alpha, beta] :
+         {std::pair{1.0, 0.0}, {-1.0, 1.0}, {0.75, 0.5}, {2.5, -0.25}, {0.0, 0.5}}) {
+        Matrix C = C0;
+        gemm(alpha, A, opA, B, opB, beta, C);
+
+        const Matrix Aeff = opA == Op::None ? A : A.transposed();
+        const Matrix Beff = opB == Op::None ? B : B.transposed();
+        Matrix expected = reference_matmul(Aeff, Beff);
+        expected *= alpha;
+        for (std::size_t i = 0; i < m; ++i)
+            for (std::size_t j = 0; j < n; ++j) expected(i, j) += beta * C0(i, j);
+        expect_near(C, expected, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndOps, GemmAlphaBetaProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 6, 10, 70),
+                       ::testing::Values<std::size_t>(1, 13, 256),
+                       ::testing::Values<std::size_t>(1, 10, 97),
+                       ::testing::Values(Op::None, Op::Transpose),
+                       ::testing::Values(Op::None, Op::Transpose)));
+
+// ---- parallel kernel: bit-for-bit with serial -------------------------------
+
+TEST(Gemm, ParallelMatchesSerialBitForBit) {
+    ThreadPool pool(3);
+    Rng rng(17);
+    // Shapes chosen to exercise every dispatch path: the sharded row-panel
+    // path (large m), the transpose-swapped wide-and-flat path, tail
+    // panels (m % panel != 0), and every transpose combination.
+    const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+        {256, 300, 100},  // sharded, multiple k-blocks
+        {197, 64, 129},   // sharded with ragged row/strip tails
+        {10, 256, 784},   // wide-and-flat: transpose-swapped, shard inside
+        {512, 784, 10},   // the batched-inference shape
+    };
+    for (const auto& [m, k, n] : shapes) {
+        for (const Op opA : {Op::None, Op::Transpose}) {
+            for (const Op opB : {Op::None, Op::Transpose}) {
+                const Matrix A = opA == Op::None ? Matrix::random_normal(rng, m, k)
+                                                 : Matrix::random_normal(rng, k, m);
+                const Matrix B = opB == Op::None ? Matrix::random_normal(rng, k, n)
+                                                 : Matrix::random_normal(rng, n, k);
+                Matrix serial(m, n, 0.0), pooled(m, n, 0.0);
+                gemm(1.25, A, opA, B, opB, 0.0, serial);
+                gemm(1.25, A, opA, B, opB, 0.0, pooled, &pool);
+                ASSERT_EQ(serial, pooled) << "m=" << m << " k=" << k << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Gemm, ParallelRepeatsAreDeterministic) {
+    ThreadPool pool(4);
+    Rng rng(23);
+    const Matrix A = Matrix::random_normal(rng, 300, 200);
+    const Matrix B = Matrix::random_normal(rng, 200, 40);
+    Matrix first(300, 40, 0.0);
+    gemm(1.0, A, Op::None, B, Op::None, 0.0, first, &pool);
+    for (int rep = 0; rep < 5; ++rep) {
+        Matrix again(300, 40, 0.0);
+        gemm(1.0, A, Op::None, B, Op::None, 0.0, again, &pool);
+        ASSERT_EQ(first, again);
+    }
 }
 
 }  // namespace

@@ -149,5 +149,19 @@ TEST(Mlp, ManualSgdStepsReduceLossOnTinyProblem) {
     EXPECT_EQ(mlp.classify(tensor::Vector{0.95, 0.95}), 1);
 }
 
+
+TEST(Mlp, BatchedForwardMatchesPerSample) {
+    Rng rng(9);
+    const Mlp mlp(rng, small_config());
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 5, 6);
+    const tensor::Matrix Y = mlp.predict_batch(U);
+    const std::vector<int> labels = mlp.classify_batch(U);
+    for (std::size_t r = 0; r < U.rows(); ++r) {
+        const tensor::Vector y = mlp.predict(U.row(r));
+        for (std::size_t c = 0; c < y.size(); ++c) EXPECT_NEAR(Y(r, c), y[c], 1e-12);
+        EXPECT_EQ(labels[r], mlp.classify(U.row(r)));
+    }
+}
+
 }  // namespace
 }  // namespace xbarsec::nn

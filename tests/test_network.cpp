@@ -125,5 +125,28 @@ TEST(SingleLayerNet, InputGradientIsWTransposeDelta) {
     for (std::size_t j = 0; j < got.size(); ++j) EXPECT_NEAR(got[j], expected[j], 1e-12);
 }
 
+TEST(SingleLayerNet, BatchedInputGradientMatchesPerSample) {
+    // The batched GEMM gradient path must agree with the per-sample
+    // matvec path for both paper configurations.
+    for (const auto& [act, loss] :
+         {std::pair{Activation::Linear, Loss::Mse},
+          {Activation::Softmax, Loss::CategoricalCrossentropy}}) {
+        Rng rng(11);
+        SingleLayerNet net(rng, 9, 4, act, loss);
+        const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 7, 9);
+        tensor::Matrix T(7, 4, 0.0);
+        for (std::size_t r = 0; r < 7; ++r) T(r, r % 4) = 1.0;
+
+        const tensor::Matrix G = net.input_gradient_batch(U, T);
+        const tensor::Matrix D = net.preactivation_delta_batch(U, T);
+        for (std::size_t r = 0; r < U.rows(); ++r) {
+            const tensor::Vector g = net.input_gradient(U.row(r), T.row(r));
+            const tensor::Vector d = net.preactivation_delta(U.row(r), T.row(r));
+            for (std::size_t j = 0; j < g.size(); ++j) EXPECT_NEAR(G(r, j), g[j], 1e-12);
+            for (std::size_t c = 0; c < d.size(); ++c) EXPECT_NEAR(D(r, c), d[c], 1e-12);
+        }
+    }
+}
+
 }  // namespace
 }  // namespace xbarsec::nn
