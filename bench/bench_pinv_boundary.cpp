@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     cli.flag("epochs", "10", "oracle training epochs");
     cli.flag("seed", "2022", "base seed");
     cli.flag("data-dir", "", "directory with real MNIST files (optional)");
+    cli.flag("threads", "0", "worker threads for queries and the normal-equations solve (0 = hardware)");
     cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
     try {
         if (!cli.parse(argc, argv)) return 0;
@@ -52,6 +53,10 @@ int main(int argc, char** argv) {
         config.train.epochs = epochs;
         const core::TrainedVictim victim = core::train_victim(split, config);
         core::CrossbarOracle oracle = core::deploy_victim(victim.net, config);
+        // One shared pool: batched query collection and the blocked
+        // normal-equations GEMMs of the closed-form fit both shard on it.
+        ThreadPool pool(static_cast<std::size_t>(cli.integer("threads")));
+        oracle.set_thread_pool(&pool);
         const std::size_t N = oracle.inputs();
 
         Table table({"Q", "Q/N", "pinv ||W-Ŵ||F/||W||F", "pinv acc", "SGD λ=0 acc",
@@ -69,9 +74,10 @@ int main(int argc, char** argv) {
             const bool exact = Q >= N && split.train.size() >= N;
             const nn::SingleLayerNet pinv_fit = [&] {
                 try {
-                    return attack::fit_least_squares_surrogate(queries, exact ? 0.0 : 1e-6);
+                    return attack::fit_least_squares_surrogate(queries, exact ? 0.0 : 1e-6,
+                                                               &pool);
                 } catch (const Error&) {
-                    return attack::fit_least_squares_surrogate(queries, 1e-6);
+                    return attack::fit_least_squares_surrogate(queries, 1e-6, &pool);
                 }
             }();
             tensor::Matrix diff = pinv_fit.weights();

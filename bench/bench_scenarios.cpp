@@ -44,11 +44,8 @@ int main(int argc, char** argv) {
         ThreadPool pool(static_cast<std::size_t>(cli.integer("threads")));
         core::ScenarioRunner runner(&pool);
         WallTimer timer;
-        for (const std::string& name : names) {
-            core::ScenarioSpec spec = registry.get(name);
-            benchscenario::apply_overrides(spec, cli);
-            benchscenario::print_outcome(runner.run(spec), cli.boolean("ascii"));
-        }
+        const int rc = benchscenario::run_scenarios("scenarios", names, cli, pool, runner);
+        if (rc != 0) return rc;
         log::info("bench_scenarios finished ", names.size(), " scenario(s) in ", timer.seconds(),
                   " s");
         return 0;

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "record.hpp"
 #include "xbarsec/common/cli.hpp"
 #include "xbarsec/common/log.hpp"
 #include "xbarsec/common/threadpool.hpp"
@@ -18,6 +19,7 @@
 namespace xbarsec::benchscenario {
 
 inline void register_standard_flags(Cli& cli) {
+    cli.flag("out", "", "JSON results path (default BENCH_<bench>.json)");
     cli.flag("train", "", "override training samples");
     cli.flag("test", "", "override test samples");
     cli.flag("epochs", "", "override victim training epochs");
@@ -91,6 +93,38 @@ inline void print_outcome(const core::ScenarioOutcome& outcome, bool ascii) {
     }
 }
 
+/// Runs the named scenarios through one shared runner pool, printing each
+/// outcome and recording every metric — plus the pool's thread count and
+/// per-scenario wall time — to BENCH_<bench_name>.json via the shared
+/// recorder (override the path with --out).
+inline int run_scenarios(const std::string& bench_name, const std::vector<std::string>& names,
+                         const Cli& cli, ThreadPool& pool, core::ScenarioRunner& runner) {
+    bench::BenchRecorder rec(bench_name,
+                             std::to_string(pool.thread_count()) + " worker threads, " +
+                                 std::to_string(names.size()) + " scenario(s)" +
+                                 (cli.boolean("smoke") ? ", smoke" : ""));
+    for (const std::string& name : names) {
+        core::ScenarioSpec spec = core::builtin_scenarios().get(name);
+        apply_overrides(spec, cli);
+        WallTimer scenario_timer;
+        const core::ScenarioOutcome outcome = runner.run(spec);
+        const double seconds = scenario_timer.seconds();
+        print_outcome(outcome, cli.boolean("ascii"));
+        rec.begin(name);
+        rec.add("threads", pool.thread_count());
+        rec.add("seconds", seconds);
+        for (const auto& [key, value] : outcome.metrics) rec.add(key, value);
+    }
+    const std::string out_path =
+        cli.provided("out") ? cli.str("out") : "BENCH_" + bench_name + ".json";
+    if (!rec.write(out_path)) {
+        std::fprintf(stderr, "%s: cannot write %s\n", bench_name.c_str(), out_path.c_str());
+        return 1;
+    }
+    std::cout << "\nResults written to " << out_path << "\n";
+    return 0;
+}
+
 /// Runs every registry scenario whose name starts with `prefix`.
 inline int run_prefix(const char* summary, const std::string& prefix, int argc, char** argv,
                       const char* shape_note) {
@@ -99,6 +133,9 @@ inline int run_prefix(const char* summary, const std::string& prefix, int argc, 
     try {
         if (!cli.parse(argc, argv)) return 0;
 
+        // The one pool of the whole bench: the runner threads it through
+        // every deployment's oracle, collect_queries, and the fig5
+        // run-level parallel_for (no per-scenario throwaway pools).
         ThreadPool pool(static_cast<std::size_t>(cli.integer("threads")));
         core::ScenarioRunner runner(&pool);
         const std::vector<std::string> names = core::builtin_scenarios().names(prefix);
@@ -107,12 +144,15 @@ inline int run_prefix(const char* summary, const std::string& prefix, int argc, 
             return 1;
         }
 
-        WallTimer timer;
-        for (const std::string& name : names) {
-            core::ScenarioSpec spec = core::builtin_scenarios().get(name);
-            apply_overrides(spec, cli);
-            print_outcome(runner.run(spec), cli.boolean("ascii"));
+        std::string bench_name = prefix;
+        while (!bench_name.empty() && bench_name.back() == '/') bench_name.pop_back();
+        for (char& c : bench_name) {
+            if (c == '/') c = '_';
         }
+
+        WallTimer timer;
+        const int rc = run_scenarios(bench_name, names, cli, pool, runner);
+        if (rc != 0) return rc;
         if (shape_note != nullptr) std::cout << "\n" << shape_note << "\n";
         std::cout << "\nCSV outputs written to " << core::results_dir() << "/\n";
         log::info(summary, " finished in ", timer.seconds(), " s");

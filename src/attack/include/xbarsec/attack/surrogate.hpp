@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/nn/network.hpp"
 #include "xbarsec/nn/trainer.hpp"
 
@@ -60,8 +61,11 @@ SurrogateTrainResult train_surrogate(const QueryDataset& queries, const Surrogat
 
 /// Closed-form baseline for the Q ≥ N regime (Section IV's observation
 /// that W = U†·Ŷ): least-squares fit, ignoring the power channel. Ridge
-/// regularisation `lambda_ridge` handles Q < N or rank deficiency.
+/// regularisation `lambda_ridge` handles Q < N or rank deficiency. The
+/// normal-equations GEMMs block over the kernel layer and shard across
+/// `pool` when given, so surrogate-extraction sweeps parallelize.
 nn::SingleLayerNet fit_least_squares_surrogate(const QueryDataset& queries,
-                                               double lambda_ridge = 0.0);
+                                               double lambda_ridge = 0.0,
+                                               ThreadPool* pool = nullptr);
 
 }  // namespace xbarsec::attack

@@ -149,7 +149,8 @@ SurrogateTrainResult train_surrogate(const QueryDataset& queries, const Surrogat
     return result;
 }
 
-nn::SingleLayerNet fit_least_squares_surrogate(const QueryDataset& queries, double lambda_ridge) {
+nn::SingleLayerNet fit_least_squares_surrogate(const QueryDataset& queries, double lambda_ridge,
+                                               ThreadPool* pool) {
     validate(queries);
     const std::size_t n_inputs = queries.inputs.cols();
     const std::size_t n_outputs = queries.outputs.cols();
@@ -158,7 +159,7 @@ nn::SingleLayerNet fit_least_squares_surrogate(const QueryDataset& queries, doub
         Wt = tensor::lstsq(queries.inputs, queries.outputs);
     } else {
         Wt = tensor::ridge_solve(queries.inputs, queries.outputs,
-                                 lambda_ridge > 0.0 ? lambda_ridge : 1e-8);
+                                 lambda_ridge > 0.0 ? lambda_ridge : 1e-8, pool);
     }
     nn::DenseLayer layer(n_outputs, n_inputs, /*with_bias=*/false);
     layer.weights() = Wt.transposed();

@@ -146,6 +146,11 @@ public:
     /// task its own decorrelated stream.
     Rng split() { return Rng(next() ^ 0x9E3779B97F4A7C15ull); }
 
+    /// Counter-based standard normal deviate: a pure function of
+    /// (seed, ctr, idx) with no generator state. See counter_rng below —
+    /// this alias exists so call sites read Rng::normal_at(seed, r, i).
+    static double normal_at(std::uint64_t seed, std::uint64_t ctr, std::uint64_t idx);
+
 private:
     static std::uint64_t rotl(std::uint64_t x, int k) {
         return (x << k) | (x >> (64 - k));
@@ -155,6 +160,56 @@ private:
     bool has_spare_ = false;
     double spare_ = 0.0;
 };
+
+// ---- counter-based (stateless) streams --------------------------------------
+//
+// Some consumers cannot use a sequential generator: the crossbar's read
+// noise, for example, must be a pure function of (seed, measurement, element)
+// so that batched measurements can shard across a ThreadPool — or be split
+// into sub-batches — and still reproduce the serial stream bit for bit.
+// These helpers hash the three coordinates through SplitMix64 finalisation
+// steps (each input word goes through a full avalanche before the next is
+// mixed in), then derive the deviate with a fixed algorithm.
+
+namespace counter_rng {
+
+/// Avalanching mix of (seed, ctr, idx) into one 64-bit word.
+inline std::uint64_t hash_at(std::uint64_t seed, std::uint64_t ctr, std::uint64_t idx) {
+    auto mix = [](std::uint64_t z) {
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    };
+    std::uint64_t h = mix(seed + 0x9E3779B97F4A7C15ull);
+    h = mix(h ^ (ctr + 0x9E3779B97F4A7C15ull));
+    h = mix(h ^ (idx + 0x9E3779B97F4A7C15ull));
+    return h;
+}
+
+/// Uniform double in (0, 1] at coordinate (seed, ctr, idx) — the half-open
+/// end excludes 0 so log() below is always finite.
+inline double uniform_at(std::uint64_t seed, std::uint64_t ctr, std::uint64_t idx) {
+    return (static_cast<double>(hash_at(seed, ctr, idx) >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// Standard normal deviate at coordinate (seed, ctr, idx) via Box-Muller
+/// (no rejection loop, so exactly one deviate per coordinate). Independent
+/// coordinates give independent deviates; the same coordinate always gives
+/// the same value.
+inline double normal_at(std::uint64_t seed, std::uint64_t ctr, std::uint64_t idx) {
+    const double u1 = uniform_at(seed, ctr, idx);
+    // A decorrelated second uniform from the same coordinate: re-hash with
+    // a fixed tweak on the seed word.
+    const double u2 = uniform_at(seed ^ 0xA5A5A5A55A5A5A5Aull, ctr, idx);
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+}  // namespace counter_rng
+
+inline double Rng::normal_at(std::uint64_t seed, std::uint64_t ctr, std::uint64_t idx) {
+    return counter_rng::normal_at(seed, ctr, idx);
+}
 
 /// Returns `k` distinct indices drawn uniformly from [0, n) in random order
 /// (partial Fisher-Yates). Requires k <= n.

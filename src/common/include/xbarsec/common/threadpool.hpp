@@ -52,6 +52,12 @@ private:
 /// calling thread. Blocks until all iterations are done. If any invocation
 /// throws, the first exception is rethrown after all iterations complete
 /// or are abandoned.
+///
+/// Nesting-safe: completion is tracked per call (not via pool-wide
+/// idleness), and the calling thread participates, so a parallel_for
+/// issued from inside another parallel_for's body — e.g. a pooled GEMM
+/// inside a pooled fig5 run — always makes progress and never deadlocks;
+/// it merely degrades toward serial when all workers are busy.
 void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& body);
 
 /// Convenience overload: runs on an internal pool sized to the hardware.

@@ -24,6 +24,10 @@ struct Table1Options {
     std::size_t runs = 5;
     VictimConfig victim = VictimConfig::defaults(OutputConfig::softmax_ce());
     std::uint64_t seed = 2022;
+
+    /// Optional pool for each run's batched probe queries (runs stay
+    /// serial: the row accumulates across them in run order).
+    ThreadPool* pool = nullptr;
 };
 
 /// One row of Table I (already averaged over runs).

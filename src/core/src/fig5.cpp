@@ -58,6 +58,11 @@ RunOutput execute_run(std::size_t run, const data::DataSplit& split, const Outpu
 
     const TrainedVictim victim = train_victim(split, config);
     CrossbarOracle backend = deploy_victim(victim.net, config);
+    // The shared pool also serves each run's batched oracle queries: the
+    // kernel layer is bit-identical under any partition, and nested
+    // parallel_for is safe (the calling thread drains tasks), so this
+    // composes with the run-level parallel_for below.
+    backend.set_thread_pool(options.pool);
     DecoratorStack stack(backend);
     if (options.defense) options.defense(stack, backend);
     Oracle& oracle = stack.top();  // what the attacker sees

@@ -410,7 +410,7 @@ ScenarioOutcome run_fig5_scenario(const ScenarioSpec& spec, ThreadPool* pool) {
     return outcome;
 }
 
-ScenarioOutcome run_table1_scenario(const ScenarioSpec& spec) {
+ScenarioOutcome run_table1_scenario(const ScenarioSpec& spec, ThreadPool* pool) {
     if (!spec.defenses.empty()) {
         throw ConfigError("table1 scenarios do not support defense stacks (the probe is the "
                           "measurement itself; use a probe scenario to study defenses)");
@@ -419,6 +419,7 @@ ScenarioOutcome run_table1_scenario(const ScenarioSpec& spec) {
     const data::DataSplit split = load_split(spec);
     Table1Options options = spec.table1;
     options.victim = spec.victim;
+    options.pool = pool;
     const Table1Row row = run_table1_config(split, to_string(spec.dataset), spec.output, options);
     outcome.label = row.dataset + "/" + row.activation;
     outcome.tables.emplace_back("table1", render_table1({row}));
@@ -466,7 +467,7 @@ ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
         case ExperimentKind::Fig3: outcome = run_fig3_scenario(*this, spec); break;
         case ExperimentKind::Fig4: outcome = run_fig4_scenario(*this, spec); break;
         case ExperimentKind::Fig5: outcome = run_fig5_scenario(spec, pool_); break;
-        case ExperimentKind::Table1: outcome = run_table1_scenario(spec); break;
+        case ExperimentKind::Table1: outcome = run_table1_scenario(spec, pool_); break;
         case ExperimentKind::Probe: outcome = run_probe_scenario(*this, spec); break;
     }
     outcome.name = spec.name;

@@ -21,6 +21,7 @@ Table1Row run_table1_config(const data::DataSplit& split, const std::string& dat
 
         const TrainedVictim victim = train_victim(split, config);
         CrossbarOracle oracle = deploy_victim(victim.net, config);
+        oracle.set_thread_pool(options.pool);
 
         // The attacker's view of the 1-norms: probe the deployed array.
         const sidechannel::ProbeResult probe = probe_columns(oracle);

@@ -37,6 +37,15 @@ enum class Op { None, Transpose };
 void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C,
           ThreadPool* pool = nullptr);
 
+/// gemm without the wide-and-flat transpose-swap heuristic. Guarantees
+/// that each row of C is produced by an accumulation chain that depends
+/// only on (k, n) and that row of op(A) — never on m or the pool — so any
+/// row partition of the batch yields bit-identical rows. The crossbar's
+/// batched measurement paths use this for split-invariant reproducibility;
+/// prefer plain gemm() everywhere throughput is the only requirement.
+void gemm_rowstable(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta,
+                    Matrix& C, ThreadPool* pool = nullptr);
+
 /// Convenience: returns A·B.
 Matrix matmul(const Matrix& A, const Matrix& B);
 

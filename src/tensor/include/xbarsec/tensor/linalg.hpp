@@ -8,6 +8,7 @@
 // benchmarked by bench_pinv_boundary).
 #pragma once
 
+#include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/tensor/matrix.hpp"
 #include "xbarsec/tensor/vector.hpp"
 
@@ -59,7 +60,9 @@ Matrix solve_spd(const Matrix& A, const Matrix& B);
 
 /// Ridge regression solve: returns argmin_X ‖A·X − B‖² + λ‖X‖², i.e.
 /// X = (AᵀA + λI)⁻¹ AᵀB. λ must be ≥ 0; with λ = 0 A must have full
-/// column rank.
-Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda);
+/// column rank. The normal-equations products AᵀA and AᵀB run as blocked
+/// kernel-layer GEMMs, sharded over `pool` when given (the dominant cost
+/// for Q×N query matrices; the N×N Cholesky solve stays serial).
+Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda, ThreadPool* pool = nullptr);
 
 }  // namespace xbarsec::tensor

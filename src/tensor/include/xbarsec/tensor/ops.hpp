@@ -73,9 +73,17 @@ Vector matvec(const Matrix& W, const Vector& u);
 
 /// Pool-sharded matvec: W's rows are processed in cache-resident tiles on
 /// the pool's workers. Bit-identical to the serial overload for any tile
-/// partition (rows are independent). This is the batched power-channel
-/// kernel: total_current_batch(V) is matvec(V, G_col).
+/// partition (rows are independent).
 Vector matvec(const Matrix& W, const Vector& u, ThreadPool* pool);
+
+/// Per-row dots: out[r] = dot(V.row(r), g), every row computed with
+/// exactly the accumulation chain of the scalar dot() — unlike matvec(),
+/// whose 4-row blocking makes a row's rounding depend on its position in
+/// the batch. Row results are therefore bit-identical across batch
+/// splits, pool sizes, and against scalar dot() calls. This is the
+/// batched power-channel kernel: total_current_batch(V) is
+/// rowwise_dot(V, G_col).
+Vector rowwise_dot(const Matrix& V, const Vector& g, ThreadPool* pool = nullptr);
 
 /// Returns Wᵀ·v without forming the transpose. W is (M×N), v is (M);
 /// result is (N).

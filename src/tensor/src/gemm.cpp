@@ -362,8 +362,8 @@ void gemm_dispatch(double alpha, const Matrix& A, Op opA, const Matrix& B, Op op
 
 }  // namespace
 
-void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C,
-          ThreadPool* pool) {
+static void gemm_impl(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta,
+                      Matrix& C, ThreadPool* pool, bool allow_swap) {
     const std::size_t m = opA == Op::None ? A.rows() : A.cols();
     const std::size_t kA = opA == Op::None ? A.cols() : A.rows();
     const std::size_t kB = opB == Op::None ? B.rows() : B.cols();
@@ -386,7 +386,7 @@ void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double
     // once, used, and discarded — and makes the small operand the packed
     // panel that every row block reuses. The extra transpose-add touches
     // only m·n elements.
-    if (m <= 2 * kMaxMR && n >= 64 && n >= 4 * m) {
+    if (allow_swap && m <= 2 * kMaxMR && n >= 64 && n >= 4 * m) {
         Matrix ct(n, m, 0.0);
         const Op opAt = opB == Op::None ? Op::Transpose : Op::None;
         const Op opBt = opA == Op::None ? Op::Transpose : Op::None;
@@ -400,6 +400,22 @@ void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double
     }
 
     gemm_dispatch(alpha, A, opA, B, opB, C, m, n, kA, pool);
+}
+
+void gemm(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta, Matrix& C,
+          ThreadPool* pool) {
+    gemm_impl(alpha, A, opA, B, opB, beta, C, pool, /*allow_swap=*/true);
+}
+
+void gemm_rowstable(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta,
+                    Matrix& C, ThreadPool* pool) {
+    // Same kernel, minus the wide-and-flat transpose-swap heuristic: the
+    // swap reorders the accumulation of every C element, and whether it
+    // fires depends on m — so a caller that chops its row batch into
+    // sub-batches could change results bitwise. With the swap disabled,
+    // each C row's accumulation chain depends only on (k, n) and row
+    // content, never on m or the pool partition (pinned by test_gemm).
+    gemm_impl(alpha, A, opA, B, opB, beta, C, pool, /*allow_swap=*/false);
 }
 
 Matrix matmul(const Matrix& A, const Matrix& B) { return matmul(A, Op::None, B, Op::None); }

@@ -153,17 +153,18 @@ Matrix solve_spd(const Matrix& A, const Matrix& B) {
     return X;
 }
 
-Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda) {
+Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda, ThreadPool* pool) {
     XS_EXPECTS(lambda >= 0.0);
     XS_EXPECTS(A.rows() == B.rows());
     // Normal equations (AᵀA + λI) X = AᵀB. Fine for the modest condition
     // numbers of this library's workloads; lstsq() is the stable path for
-    // λ = 0 when m ≥ n.
+    // λ = 0 when m ≥ n. Both products are blocked over the kernel layer
+    // and shard across `pool` (AᵀA is the O(Q·N²) bulk of the solve).
     Matrix AtA(A.cols(), A.cols(), 0.0);
-    gemm(1.0, A, Op::Transpose, A, Op::None, 0.0, AtA);
+    gemm(1.0, A, Op::Transpose, A, Op::None, 0.0, AtA, pool);
     for (std::size_t i = 0; i < AtA.rows(); ++i) AtA(i, i) += lambda;
     Matrix AtB(A.cols(), B.cols(), 0.0);
-    gemm(1.0, A, Op::Transpose, B, Op::None, 0.0, AtB);
+    gemm(1.0, A, Op::Transpose, B, Op::None, 0.0, AtB, pool);
     return solve_spd(AtA, AtB);
 }
 

@@ -198,6 +198,33 @@ Vector matvec(const Matrix& W, const Vector& u, ThreadPool* pool) {
     return out;
 }
 
+Vector rowwise_dot(const Matrix& V, const Vector& g, ThreadPool* pool) {
+    XS_EXPECTS(V.cols() == g.size());
+    const std::size_t m = V.rows(), n = V.cols();
+    Vector out(m, 0.0);
+    const double* const base = V.data();
+    const double* const pg = g.data();
+    double* const po = out.data();
+
+    // One dot_kernel chain per row: the per-row result is a pure function
+    // of that row, so any partition of the rows — serial, pooled, or a
+    // caller-side batch split — produces identical bits.
+    auto run_rows = [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) po[r] = dot_kernel(base + r * n, pg, n);
+    };
+    constexpr std::size_t kRowsPerTask = 64;
+    if (pool != nullptr && m >= 2 * kRowsPerTask) {
+        const std::size_t tasks = (m + kRowsPerTask - 1) / kRowsPerTask;
+        parallel_for(*pool, tasks, [&](std::size_t t) {
+            const std::size_t r0 = t * kRowsPerTask;
+            run_rows(r0, std::min(r0 + kRowsPerTask, m));
+        });
+    } else {
+        run_rows(0, m);
+    }
+    return out;
+}
+
 Vector matvec_transposed(const Matrix& W, const Vector& v) {
     XS_EXPECTS(W.rows() == v.size());
     Vector out(W.cols(), 0.0);

@@ -7,6 +7,16 @@
 // with optional measurement-time non-idealities: relative read noise,
 // stuck-at device faults (applied to the program at construction), and a
 // first-order interconnect IR-drop attenuation.
+//
+// Every configuration — including line resistance — runs on the dense
+// batched path. The first-order IR-drop model keeps each cell linear in
+// its drive voltage (i = g·v/(1 + r_wire·g) = a·v), so the per-cell
+// attenuation is folded into the programmed-conductance caches once at
+// construction and batched inference stays one GEMM. Read noise is a
+// counter-based stream, Rng::normal_at(seed, measurement, element): a pure
+// function of its coordinates, with no serial generator state. That is
+// what lets batches shard across a ThreadPool — or be split into
+// sub-batches — and still reproduce the same stream bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -53,9 +63,20 @@ struct PowerReading {
     double power = 0.0;          ///< watts (Σ v²G, outputs at virtual ground)
 };
 
-/// Simulated M×N crossbar. Measurement methods are const but advance an
-/// internal noise stream (mutable Rng) when read noise is enabled —
-/// repeated measurements of the same input differ, as on real hardware.
+/// Simulated M×N crossbar.
+///
+/// Measurement methods are const but advance an internal measurement
+/// counter — with read noise enabled, repeated measurements of the same
+/// input differ, as on real hardware. The noise value of measurement m,
+/// element e is Rng::normal_at(seed, m, e): a batch of B measurements
+/// reserves counters [m, m+B) for its rows, so
+///   * a batched read equals the same B per-vector reads issued in order,
+///   * splitting a batch into sub-batches (processed in order) reproduces
+///     the unsplit outputs bit for bit, and
+///   * the ThreadPool partition never changes any output bit
+/// (all three are pinned by tests/test_nonideal_determinism.cpp). This
+/// counter-based contract intentionally replaced the pre-PR-3 serial draw
+/// order: seeds produce different noise streams than they did then.
 class Crossbar {
 public:
     /// Takes ownership of the program; applies stuck faults immediately.
@@ -67,6 +88,8 @@ public:
     const NonIdealityConfig& nonideality() const { return nonideal_; }
 
     /// Output currents i_s for input voltages v (Eq. 3), amperes.
+    /// Runs as a one-row batch so the result is bit-identical to the
+    /// corresponding row of any output_currents_batch call.
     tensor::Vector output_currents(const tensor::Vector& v) const;
 
     /// Normalised matrix-vector product: output_currents / weight_scale,
@@ -77,21 +100,21 @@ public:
     double total_current(const tensor::Vector& v) const;
 
     /// Batched inference: row r of the result is output_currents(V.row(r)).
-    /// Without IR drop the arithmetic runs as one dense GEMM against the
-    /// cached differential conductance matrix; the kernel layer blocks the
-    /// product into cache-resident tiles and optionally shards row panels
-    /// over `pool` (the partition does not change the result). Read noise,
-    /// when enabled, is drawn serially in the same element order as the
-    /// per-vector calls, so batched and scalar measurements consume the
-    /// same noise stream.
+    /// One dense GEMM against the cached (IR-drop-attenuated) differential
+    /// conductance matrix for every configuration — there is no per-vector
+    /// fallback. The kernel layer blocks the product into cache-resident
+    /// tiles and optionally shards row panels over `pool`; read noise is a
+    /// per-element counter stream, so neither the partition nor a batch
+    /// split changes any bit of the result.
     tensor::Matrix output_currents_batch(const tensor::Matrix& V, ThreadPool* pool = nullptr) const;
 
     /// output_currents_batch / weight_scale: row r is Ŵ·V.row(r).
     tensor::Matrix mvm_batch(const tensor::Matrix& V, ThreadPool* pool = nullptr) const;
 
-    /// Batched Eq. 5: out[r] = total_current(V.row(r)). Without IR drop
-    /// each reading is a single dot against the cached per-column
-    /// conductance sums — O(N) per query instead of O(M·N).
+    /// Batched Eq. 5: out[r] = total_current(V.row(r)). Each reading is a
+    /// single dot against the cached attenuated per-column conductance
+    /// sums — O(N) per query instead of O(M·N) — using the same
+    /// accumulation chain for every row regardless of pool or batch split.
     tensor::Vector total_current_batch(const tensor::Matrix& V, ThreadPool* pool = nullptr) const;
 
     /// Per-input-line supply currents: out[j] = v_j·G_j (amperes), the
@@ -107,33 +130,60 @@ public:
     /// draw pattern of separate calls).
     PowerReading read_power(const tensor::Vector& v) const;
 
-    /// Ground-truth per-column conductance sums G_j (no noise) — for
-    /// tests and for computing probe estimation error.
+    /// Ground-truth per-column conductance sums G_j (no noise, no IR
+    /// drop) — for tests and for computing probe estimation error.
     tensor::Vector column_conductances() const { return column_conductance_sums(program_); }
 
     /// Ground-truth effective weight matrix (no read noise).
     tensor::Matrix effective_weights() const { return xbar::effective_weights(program_); }
 
     /// Number of current measurements taken so far (each output-current
-    /// vector read or total-current read counts as one).
+    /// vector read or total-current read counts as one). Also the base of
+    /// the read-noise counter stream.
     std::uint64_t measurement_count() const { return measurements_; }
+
+    // ---- reference implementations -----------------------------------------
+    //
+    // The faithful per-cell simulation the vectorized paths replaced:
+    // nested loops over every (i, j) device evaluating the IR-drop divider
+    // directly. They consume measurement counters exactly like the fast
+    // paths, so a fresh crossbar driven through these reproduces the fast
+    // paths' noise coordinates. Retained as the ground truth for the
+    // equivalence suite (tests/test_nonideal_equivalence.cpp) and as the
+    // per-vector fallback baseline the benches measure speedups against —
+    // not for production use.
+
+    /// Per-cell reference for output_currents().
+    tensor::Vector output_currents_reference(const tensor::Vector& v) const;
+
+    /// Per-cell reference for total_current().
+    double total_current_reference(const tensor::Vector& v) const;
+
+    /// Per-cell reference for static_power().
+    double static_power_reference(const tensor::Vector& v) const;
 
 private:
     void apply_stuck_faults(Rng& rng);
+    void build_caches();
     double cell_current(std::size_t i, std::size_t j, double g, double v) const;
-    double noisy(double value) const;
+
+    /// Multiplicative read-noise factor of measurement `meas`, element
+    /// `idx` — 1.0 when noise is disabled.
+    double noise_factor(std::uint64_t meas, std::uint64_t idx) const;
+
+    /// Reserves `n` measurement counters and returns the first.
+    std::uint64_t reserve_measurements(std::uint64_t n) const;
 
     CrossbarProgram program_;
     NonIdealityConfig nonideal_;
-    /// Post-fault caches for the batched fast path: (G⁺ − G⁻), its
-    /// transpose (the GEMM operand — batched inference is V·(G⁺−G⁻)ᵀ),
-    /// and the per-column conductance sums G_j. Invalid under IR drop
-    /// (the cell current is no longer linear in g), so the batch methods
-    /// fall back to the per-vector simulation there.
+    /// Post-fault, post-attenuation caches for the batched paths: with
+    /// a±(i,j) = g±/(1 + r_line·(i+j+2)·g±) (= g± when r_line is 0),
+    /// g_diff_ = A⁺ − A⁻ (and its transpose, the GEMM operand — batched
+    /// inference is V·(A⁺−A⁻)ᵀ) and g_col_[j] = Σ_i (A⁺+A⁻)(i,j), the
+    /// attenuated Eq. 5 column sums.
     tensor::Matrix g_diff_;
     tensor::Matrix g_diff_t_;
     tensor::Vector g_col_;
-    mutable Rng read_rng_;
     mutable std::uint64_t measurements_ = 0;
 };
 

@@ -18,17 +18,14 @@ void NonIdealityConfig::validate() const {
 }
 
 Crossbar::Crossbar(CrossbarProgram program, NonIdealityConfig nonideal)
-    : program_(std::move(program)), nonideal_(nonideal), read_rng_(nonideal.seed ^ 0x11C0FFEEull) {
+    : program_(std::move(program)), nonideal_(nonideal) {
     nonideal_.validate();
     XS_EXPECTS(program_.rows() > 0 && program_.cols() > 0);
     if (nonideal_.stuck_on_fraction > 0.0 || nonideal_.stuck_off_fraction > 0.0) {
         Rng fault_rng(nonideal_.seed);
         apply_stuck_faults(fault_rng);
     }
-    g_diff_ = program_.g_plus;
-    g_diff_ -= program_.g_minus;
-    g_diff_t_ = g_diff_.transposed();
-    g_col_ = column_conductance_sums(program_);
+    build_caches();
 }
 
 void Crossbar::apply_stuck_faults(Rng& rng) {
@@ -49,6 +46,33 @@ void Crossbar::apply_stuck_faults(Rng& rng) {
     afflict(program_.g_minus);
 }
 
+void Crossbar::build_caches() {
+    // The IR-drop divider i = g·v/(1 + r_wire·g) is linear in v, so the
+    // whole non-ideality is an elementwise conductance attenuation
+    // a = g/(1 + r_line·(i+j+2)·g), computed once over the post-fault
+    // program (r_line = 0 leaves a = g). Every measurement path reads
+    // these caches; the per-cell physics survives only in cell_current()
+    // for the retained reference implementations.
+    const std::size_t m = rows(), n = cols();
+    const double r_line = nonideal_.line_resistance;
+    g_diff_ = tensor::Matrix(m, n, 0.0);
+    g_col_ = tensor::Vector(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double a_plus = program_.g_plus(i, j);
+            double a_minus = program_.g_minus(i, j);
+            if (r_line != 0.0) {
+                const double r_wire = r_line * static_cast<double>(i + j + 2);
+                a_plus /= 1.0 + r_wire * a_plus;
+                a_minus /= 1.0 + r_wire * a_minus;
+            }
+            g_diff_(i, j) = a_plus - a_minus;
+            g_col_[j] += a_plus + a_minus;
+        }
+    }
+    g_diff_t_ = g_diff_.transposed();
+}
+
 double Crossbar::cell_current(std::size_t i, std::size_t j, double g, double v) const {
     if (g == 0.0 || v == 0.0) return 0.0;
     if (nonideal_.line_resistance == 0.0) return g * v;
@@ -60,26 +84,26 @@ double Crossbar::cell_current(std::size_t i, std::size_t j, double g, double v) 
     return g * v / (1.0 + r_wire * g);
 }
 
-double Crossbar::noisy(double value) const {
-    if (nonideal_.read_noise_std == 0.0) return value;
-    return value * (1.0 + read_rng_.normal(0.0, nonideal_.read_noise_std));
+double Crossbar::noise_factor(std::uint64_t meas, std::uint64_t idx) const {
+    if (nonideal_.read_noise_std == 0.0) return 1.0;
+    return 1.0 + nonideal_.read_noise_std * Rng::normal_at(nonideal_.seed, meas, idx);
+}
+
+std::uint64_t Crossbar::reserve_measurements(std::uint64_t n) const {
+    const std::uint64_t base = measurements_;
+    measurements_ += n;
+    return base;
 }
 
 tensor::Vector Crossbar::output_currents(const tensor::Vector& v) const {
     XS_EXPECTS(v.size() == cols());
-    tensor::Vector out(rows(), 0.0);
-    for (std::size_t i = 0; i < rows(); ++i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < cols(); ++j) {
-            const double vj = v[j];
-            if (vj == 0.0) continue;
-            acc += cell_current(i, j, program_.g_plus(i, j), vj);
-            acc -= cell_current(i, j, program_.g_minus(i, j), vj);
-        }
-        out[i] = noisy(acc);
-    }
-    ++measurements_;
-    return out;
+    // One-row batch through the same row-stable GEMM as the batched path,
+    // so a scalar read is bit-identical to the matching batch row.
+    tensor::Matrix V(1, cols());
+    auto dst = V.row_span(0);
+    for (std::size_t j = 0; j < cols(); ++j) dst[j] = v[j];
+    tensor::Matrix out = output_currents_batch(V, nullptr);
+    return out.row(0);
 }
 
 tensor::Vector Crossbar::mvm(const tensor::Vector& v) const {
@@ -91,17 +115,8 @@ tensor::Vector Crossbar::mvm(const tensor::Vector& v) const {
 double Crossbar::total_current(const tensor::Vector& v) const {
     XS_EXPECTS(v.size() == cols());
     // Eq. 5: both G⁺ and G⁻ draw supply current regardless of weight sign.
-    double acc = 0.0;
-    for (std::size_t j = 0; j < cols(); ++j) {
-        const double vj = v[j];
-        if (vj == 0.0) continue;
-        for (std::size_t i = 0; i < rows(); ++i) {
-            acc += cell_current(i, j, program_.g_plus(i, j), vj);
-            acc += cell_current(i, j, program_.g_minus(i, j), vj);
-        }
-    }
-    ++measurements_;
-    return noisy(acc);
+    const std::uint64_t meas = reserve_measurements(1);
+    return tensor::dot(v, g_col_) * noise_factor(meas, 0);
 }
 
 tensor::Matrix Crossbar::output_currents_batch(const tensor::Matrix& V, ThreadPool* pool) const {
@@ -109,27 +124,22 @@ tensor::Matrix Crossbar::output_currents_batch(const tensor::Matrix& V, ThreadPo
     const std::size_t batch = V.rows();
     tensor::Matrix out(batch, rows(), 0.0);
     if (batch == 0) return out;
+    const std::uint64_t base = reserve_measurements(batch);
 
-    if (nonideal_.line_resistance != 0.0) {
-        // IR drop makes the cell current nonlinear in conductance; run the
-        // faithful per-vector simulation (serially: it shares read_rng_).
-        for (std::size_t r = 0; r < batch; ++r) out.set_row(r, output_currents(V.row(r)));
-        return out;
-    }
-    measurements_ += batch;
-
-    // Dense fast path: out = V · (G⁺ − G⁻)ᵀ as one GEMM against the cached
-    // transposed differential conductances. The kernel layer blocks the
-    // product into cache-resident panels and (given a pool) shards row
-    // panels across workers; the row partition does not change the result.
-    tensor::gemm(1.0, V, tensor::Op::None, g_diff_t_, tensor::Op::None, 0.0, out, pool);
+    // Dense path for every configuration: out = V · (A⁺ − A⁻)ᵀ as one
+    // GEMM against the cached attenuated differential conductances. The
+    // row-stable variant guarantees each output row's accumulation chain
+    // is independent of the batch size and the pool partition.
+    tensor::gemm_rowstable(1.0, V, tensor::Op::None, g_diff_t_, tensor::Op::None, 0.0, out, pool);
 
     if (nonideal_.read_noise_std != 0.0) {
-        // Drawn serially in the same element order as the per-vector calls,
-        // so batched and scalar measurements consume the same noise stream.
+        // Counter-based stream: row r of this batch is measurement
+        // base + r, element i is coordinate i — a pure function, so any
+        // batch split or pool partition reproduces it.
         const std::size_t m = rows();
         for (std::size_t r = 0; r < batch; ++r) {
-            for (std::size_t i = 0; i < m; ++i) out(r, i) = noisy(out(r, i));
+            auto row = out.row_span(r);
+            for (std::size_t i = 0; i < m; ++i) row[i] *= noise_factor(base + r, i);
         }
     }
     return out;
@@ -146,55 +156,41 @@ tensor::Vector Crossbar::total_current_batch(const tensor::Matrix& V, ThreadPool
     const std::size_t batch = V.rows();
     tensor::Vector out(batch, 0.0);
     if (batch == 0) return out;
+    const std::uint64_t base = reserve_measurements(batch);
 
-    if (nonideal_.line_resistance != 0.0) {
-        for (std::size_t r = 0; r < batch; ++r) out[r] = total_current(V.row(r));
-        return out;
-    }
-    measurements_ += batch;
-
-    // Eq. 5 for the whole batch is one matvec against the cached column
-    // conductance sums; the kernel tiles V's rows into cache-resident
-    // slices (sharded over the pool when present, same result).
-    out = tensor::matvec(V, g_col_, pool);
+    // Eq. 5 for the whole batch: one dot per row against the cached
+    // attenuated column sums, each row using the exact accumulation chain
+    // of the scalar total_current() path (rowwise_dot), so scalar, batch,
+    // split-batch, and pooled reads agree bit for bit.
+    out = tensor::rowwise_dot(V, g_col_, pool);
 
     if (nonideal_.read_noise_std != 0.0) {
-        for (std::size_t r = 0; r < batch; ++r) out[r] = noisy(out[r]);
+        for (std::size_t r = 0; r < batch; ++r) out[r] *= noise_factor(base + r, 0);
     }
     return out;
 }
 
 tensor::Vector Crossbar::input_line_currents(const tensor::Vector& v) const {
     XS_EXPECTS(v.size() == cols());
+    const std::uint64_t meas = reserve_measurements(1);
     tensor::Vector out(cols(), 0.0);
     for (std::size_t j = 0; j < cols(); ++j) {
         const double vj = v[j];
         if (vj == 0.0) continue;
-        double acc = 0.0;
-        for (std::size_t i = 0; i < rows(); ++i) {
-            acc += cell_current(i, j, program_.g_plus(i, j), vj);
-            acc += cell_current(i, j, program_.g_minus(i, j), vj);
-        }
-        out[j] = noisy(acc);
+        out[j] = vj * g_col_[j] * noise_factor(meas, j);
     }
-    ++measurements_;
     return out;
 }
 
 double Crossbar::static_power(const tensor::Vector& v) const {
     XS_EXPECTS(v.size() == cols());
+    const std::uint64_t meas = reserve_measurements(1);
     double acc = 0.0;
     for (std::size_t j = 0; j < cols(); ++j) {
-        const double vj = v[j];
-        if (vj == 0.0) continue;
-        for (std::size_t i = 0; i < rows(); ++i) {
-            // P = V·I per cell with the output rail at virtual ground.
-            acc += vj * cell_current(i, j, program_.g_plus(i, j), vj);
-            acc += vj * cell_current(i, j, program_.g_minus(i, j), vj);
-        }
+        // P = V·I per cell with the output rail at virtual ground.
+        acc += v[j] * v[j] * g_col_[j];
     }
-    ++measurements_;
-    return noisy(acc);
+    return acc * noise_factor(meas, 0);
 }
 
 PowerReading Crossbar::read_power(const tensor::Vector& v) const {
@@ -202,6 +198,55 @@ PowerReading Crossbar::read_power(const tensor::Vector& v) const {
     r.total_current = total_current(v);
     r.power = static_power(v);
     return r;
+}
+
+// ---- reference implementations ----------------------------------------------
+
+tensor::Vector Crossbar::output_currents_reference(const tensor::Vector& v) const {
+    XS_EXPECTS(v.size() == cols());
+    const std::uint64_t meas = reserve_measurements(1);
+    tensor::Vector out(rows(), 0.0);
+    for (std::size_t i = 0; i < rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols(); ++j) {
+            const double vj = v[j];
+            if (vj == 0.0) continue;
+            acc += cell_current(i, j, program_.g_plus(i, j), vj);
+            acc -= cell_current(i, j, program_.g_minus(i, j), vj);
+        }
+        out[i] = acc * noise_factor(meas, i);
+    }
+    return out;
+}
+
+double Crossbar::total_current_reference(const tensor::Vector& v) const {
+    XS_EXPECTS(v.size() == cols());
+    const std::uint64_t meas = reserve_measurements(1);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols(); ++j) {
+        const double vj = v[j];
+        if (vj == 0.0) continue;
+        for (std::size_t i = 0; i < rows(); ++i) {
+            acc += cell_current(i, j, program_.g_plus(i, j), vj);
+            acc += cell_current(i, j, program_.g_minus(i, j), vj);
+        }
+    }
+    return acc * noise_factor(meas, 0);
+}
+
+double Crossbar::static_power_reference(const tensor::Vector& v) const {
+    XS_EXPECTS(v.size() == cols());
+    const std::uint64_t meas = reserve_measurements(1);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols(); ++j) {
+        const double vj = v[j];
+        if (vj == 0.0) continue;
+        for (std::size_t i = 0; i < rows(); ++i) {
+            acc += vj * cell_current(i, j, program_.g_plus(i, j), vj);
+            acc += vj * cell_current(i, j, program_.g_minus(i, j), vj);
+        }
+    }
+    return acc * noise_factor(meas, 0);
 }
 
 }  // namespace xbarsec::xbar

@@ -171,6 +171,65 @@ TEST(Gemm, ParallelMatchesSerialBitForBit) {
     }
 }
 
+TEST(Gemm, RowStableVariantIsBitExactAcrossRowPartitions) {
+    // gemm_rowstable's contract: a row of C depends only on (k, n) and
+    // that row of A — so computing any sub-range of rows reproduces the
+    // full product's bits. Shapes include n >= 64 outputs, where plain
+    // gemm() would transpose-swap small batches and break this.
+    ThreadPool pool(4);
+    Rng rng(31);
+    const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+        {256, 784, 10},   // the batched-inference shape
+        {256, 8, 64},     // many outputs: swap territory for small m
+        {100, 3072, 10},  // CIFAR-width inputs
+        {97, 33, 100},    // ragged everything
+    };
+    for (const auto& [m, k, n] : shapes) {
+        const Matrix A = Matrix::random_normal(rng, m, k);
+        const Matrix B = Matrix::random_normal(rng, k, n);
+        Matrix full(m, n, 0.0);
+        gemm_rowstable(1.0, A, Op::None, B, Op::None, 0.0, full);
+        Matrix pooled(m, n, 0.0);
+        gemm_rowstable(1.0, A, Op::None, B, Op::None, 0.0, pooled, &pool);
+        ASSERT_EQ(full, pooled) << "m=" << m << " k=" << k << " n=" << n;
+
+        for (const std::size_t step : {std::size_t{1}, std::size_t{3}, std::size_t{37}}) {
+            for (std::size_t lo = 0; lo < m; lo += step) {
+                const std::size_t hi = std::min(lo + step, m);
+                Matrix sub(hi - lo, k);
+                for (std::size_t r = lo; r < hi; ++r) {
+                    const auto src = A.row_span(r);
+                    auto dst = sub.row_span(r - lo);
+                    std::copy(src.begin(), src.end(), dst.begin());
+                }
+                Matrix part(hi - lo, n, 0.0);
+                gemm_rowstable(1.0, sub, Op::None, B, Op::None, 0.0, part);
+                for (std::size_t r = lo; r < hi; ++r) {
+                    for (std::size_t j = 0; j < n; ++j) {
+                        ASSERT_EQ(part(r - lo, j), full(r, j))
+                            << "m=" << m << " n=" << n << " step=" << step << " row " << r;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Gemm, RowStableMatchesGemmNumerically) {
+    // Same arithmetic, different dispatch: values agree to rounding.
+    Rng rng(37);
+    const Matrix A = Matrix::random_normal(rng, 8, 100);
+    const Matrix B = Matrix::random_normal(rng, 100, 96);
+    Matrix swapped(8, 96, 0.0), stable(8, 96, 0.0);
+    gemm(1.0, A, Op::None, B, Op::None, 0.0, swapped);
+    gemm_rowstable(1.0, A, Op::None, B, Op::None, 0.0, stable);
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (std::size_t j = 0; j < 96; ++j) {
+            EXPECT_NEAR(swapped(i, j), stable(i, j), 1e-10);
+        }
+    }
+}
+
 TEST(Gemm, ParallelRepeatsAreDeterministic) {
     ThreadPool pool(4);
     Rng rng(23);
