@@ -18,6 +18,7 @@
 #include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/nn/network.hpp"
 #include "xbarsec/nn/trainer.hpp"
+#include "xbarsec/tensor/workspace.hpp"
 
 namespace xbarsec::attack {
 
@@ -63,9 +64,12 @@ SurrogateTrainResult train_surrogate(const QueryDataset& queries, const Surrogat
 /// that W = U†·Ŷ): least-squares fit, ignoring the power channel. Ridge
 /// regularisation `lambda_ridge` handles Q < N or rank deficiency. The
 /// normal-equations GEMMs block over the kernel layer and shard across
-/// `pool` when given, so surrogate-extraction sweeps parallelize.
+/// `pool` when given, so surrogate-extraction sweeps parallelize. A
+/// caller that fits repeatedly (query-budget sweeps) can pass a Workspace
+/// so the N×N normal-equations temporaries are reused across fits.
 nn::SingleLayerNet fit_least_squares_surrogate(const QueryDataset& queries,
                                                double lambda_ridge = 0.0,
-                                               ThreadPool* pool = nullptr);
+                                               ThreadPool* pool = nullptr,
+                                               tensor::Workspace* ws = nullptr);
 
 }  // namespace xbarsec::attack

@@ -34,17 +34,6 @@ void validate(const QueryDataset& q) {
     }
 }
 
-tensor::Matrix gather_rows(const tensor::Matrix& src, const std::vector<std::size_t>& idx,
-                           std::size_t lo, std::size_t hi) {
-    tensor::Matrix out(hi - lo, src.cols());
-    for (std::size_t r = lo; r < hi; ++r) {
-        const auto s = src.row_span(idx[r]);
-        auto d = out.row_span(r - lo);
-        std::copy(s.begin(), s.end(), d.begin());
-    }
-    return out;
-}
-
 }  // namespace
 
 SurrogateTrainResult train_surrogate(const QueryDataset& queries, const SurrogateConfig& config) {
@@ -78,6 +67,11 @@ SurrogateTrainResult train_surrogate(const QueryDataset& queries, const Surrogat
     const double lambda = config.power_loss_weight;
     tensor::Matrix grad_w(n_outputs, n_inputs, 0.0);
 
+    // Minibatch temporaries draw from one reused Workspace when the train
+    // config's arena flag is on (see trainer.cpp — same pattern, same
+    // bit-identical-either-way contract).
+    tensor::Workspace arena_ws;
+
     for (std::size_t epoch = 0; epoch < tc.epochs; ++epoch) {
         shuffle_rng.shuffle(order);
         double out_loss_acc = 0.0, power_loss_acc = 0.0;
@@ -87,14 +81,20 @@ SurrogateTrainResult train_surrogate(const QueryDataset& queries, const Surrogat
             const std::size_t hi = std::min(lo + tc.batch_size, Q);
             const std::size_t b = hi - lo;
             const double inv_b = 1.0 / static_cast<double>(b);
-            const tensor::Matrix xb = gather_rows(queries.inputs, order, lo, hi);
-            const tensor::Matrix tb = gather_rows(queries.outputs, order, lo, hi);
+            tensor::Workspace fresh_ws;
+            tensor::Workspace& ws = tc.arena ? arena_ws : fresh_ws;
+            ws.reset();
+
+            tensor::Matrix& xb = ws.matrix(b, queries.inputs.cols());
+            tensor::gather_rows(queries.inputs, order, lo, hi, xb);
+            tensor::Matrix& tb = ws.matrix(b, queries.outputs.cols());
+            tensor::gather_rows(queries.outputs, order, lo, hi, tb);
 
             // ---- output term: linear activation, MSE over outputs -------
-            tensor::Matrix sb(b, n_outputs, 0.0);
+            tensor::Matrix& sb = ws.matrix(b, n_outputs);
             tensor::gemm(1.0, xb, tensor::Op::None, net.weights(), tensor::Op::Transpose, 0.0, sb);
             // δ = 2/M (ŷ − t); accumulate the loss from the same residuals.
-            tensor::Matrix delta(b, n_outputs);
+            tensor::Matrix& delta = ws.matrix(b, n_outputs);
             const double out_scale = 2.0 / static_cast<double>(n_outputs);
             for (std::size_t r = 0; r < b; ++r) {
                 const auto srow = sb.row_span(r);
@@ -112,17 +112,17 @@ SurrogateTrainResult train_surrogate(const QueryDataset& queries, const Surrogat
 
             // ---- power term (Eq. 9): p̂ = X·colabs(W) -------------------
             if (lambda > 0.0) {
-                tensor::Vector p_hat = surrogate_power_batch(net.weights(), xb);
-                tensor::Vector e(b);
+                const tensor::Vector p_hat = surrogate_power_batch(net.weights(), xb);
+                tensor::Vector& e = ws.vector(b);
                 for (std::size_t r = 0; r < b; ++r) {
                     e[r] = p_hat[r] - queries.power[order[lo + r]];
                     power_loss_acc += e[r] * e[r];
                 }
-                // q_j = (2/b) Σ_r e_r x_rj = Xᵀ·(2/b·e);
+                // q_j = (2/b) Σ_r e_r x_rj = Xᵀ·(2/b·e), scaled in place
+                // once the loss has been accumulated from the residuals;
                 // ∂L_power/∂w_ij = λ·sign(w_ij)·q_j.
-                tensor::Vector e_scaled = e;
-                e_scaled *= 2.0 * inv_b;
-                const tensor::Vector q = tensor::matvec_transposed(xb, e_scaled);
+                e *= 2.0 * inv_b;
+                const tensor::Vector q = tensor::matvec_transposed(xb, e);
                 tensor::Matrix& W = net.weights();
                 for (std::size_t i = 0; i < n_outputs; ++i) {
                     auto wrow = W.row_span(i);
@@ -150,7 +150,7 @@ SurrogateTrainResult train_surrogate(const QueryDataset& queries, const Surrogat
 }
 
 nn::SingleLayerNet fit_least_squares_surrogate(const QueryDataset& queries, double lambda_ridge,
-                                               ThreadPool* pool) {
+                                               ThreadPool* pool, tensor::Workspace* ws) {
     validate(queries);
     const std::size_t n_inputs = queries.inputs.cols();
     const std::size_t n_outputs = queries.outputs.cols();
@@ -159,7 +159,7 @@ nn::SingleLayerNet fit_least_squares_surrogate(const QueryDataset& queries, doub
         Wt = tensor::lstsq(queries.inputs, queries.outputs);
     } else {
         Wt = tensor::ridge_solve(queries.inputs, queries.outputs,
-                                 lambda_ridge > 0.0 ? lambda_ridge : 1e-8, pool);
+                                 lambda_ridge > 0.0 ? lambda_ridge : 1e-8, pool, ws);
     }
     nn::DenseLayer layer(n_outputs, n_inputs, /*with_bias=*/false);
     layer.weights() = Wt.transposed();

@@ -1,0 +1,102 @@
+// Arena allocator for hot-loop scratch memory.
+//
+// The kernel layer's pack panels and the trainers' per-minibatch
+// temporaries are allocated, used for microseconds, and thrown away —
+// exactly the pattern a general-purpose heap is worst at (a 200 KB gather
+// buffer is above glibc's mmap threshold, so a fresh allocation every
+// minibatch is an mmap/munmap pair plus page faults). An Arena is a bump
+// pointer over cache-line-aligned chunks: allocation is a pointer add,
+// reset() makes the memory reusable without returning it to the OS, and
+// Scope gives stack-discipline (LIFO) reclamation for nested callers.
+//
+// An Arena is NOT thread-safe — it is meant to be thread-private. Code
+// running on ThreadPool workers uses thread_arena(), one arena per thread,
+// so nested parallel_for bodies can allocate freely without overlapping
+// (tested by tests/test_arena.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "xbarsec/common/contracts.hpp"
+
+namespace xbarsec {
+
+/// Bump allocator over a growable list of aligned chunks. Pointers stay
+/// valid until the enclosing Scope ends (or reset() is called): growth
+/// appends a chunk, it never moves existing ones.
+class Arena {
+public:
+    /// Every allocation is aligned to at least this (one cache line, and
+    /// enough for any SIMD load the kernels issue).
+    static constexpr std::size_t kAlign = 64;
+
+    /// `initial_bytes` sizes the first chunk, allocated lazily on first use.
+    explicit Arena(std::size_t initial_bytes = 1 << 16) : next_chunk_bytes_(initial_bytes) {
+        XS_EXPECTS(initial_bytes > 0);
+    }
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// Returns `bytes` of kAlign-aligned storage (uninitialized).
+    void* allocate(std::size_t bytes);
+
+    /// Typed convenience: `count` trivially-destructible T's, uninitialized.
+    template <typename T>
+    std::span<T> alloc(std::size_t count) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena never runs destructors — only trivial T's allowed");
+        static_assert(alignof(T) <= kAlign);
+        return {static_cast<T*>(allocate(count * sizeof(T))), count};
+    }
+
+    /// Rewinds every chunk to empty. Capacity is retained; previously
+    /// returned pointers become dangling.
+    void reset();
+
+    std::size_t bytes_in_use() const;
+    std::size_t bytes_reserved() const;
+
+    /// LIFO mark/rewind: everything allocated while a Scope is alive is
+    /// reclaimed when it is destroyed. Scopes on one arena must nest.
+    class Scope {
+    public:
+        explicit Scope(Arena& arena)
+            : arena_(arena), chunk_(arena.active_), used_(arena.active_used()) {}
+        ~Scope() { arena_.rewind(chunk_, used_); }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        Arena& arena_;
+        std::size_t chunk_;
+        std::size_t used_;
+    };
+
+private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> storage;  ///< raw block, over-allocated
+        std::byte* base = nullptr;             ///< kAlign-aligned start
+        std::size_t size = 0;                  ///< usable bytes from base
+        std::size_t used = 0;
+    };
+
+    std::size_t active_used() const { return active_ < chunks_.size() ? chunks_[active_].used : 0; }
+    void rewind(std::size_t chunk, std::size_t used);
+
+    std::vector<Chunk> chunks_;
+    std::size_t active_ = 0;  ///< index of the chunk currently bumping
+    std::size_t next_chunk_bytes_;
+};
+
+/// The calling thread's private arena (thread_local). The kernel layer's
+/// pack buffers draw from it under a Scope, so concurrent GEMMs on
+/// different pool workers never share scratch memory.
+Arena& thread_arena();
+
+}  // namespace xbarsec

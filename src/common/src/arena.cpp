@@ -1,0 +1,66 @@
+#include "xbarsec/common/arena.hpp"
+
+#include <algorithm>
+
+namespace xbarsec {
+
+void* Arena::allocate(std::size_t bytes) {
+    // Zero-byte requests still return a unique, aligned, dereferenceable
+    // pointer so callers never need a special case.
+    const std::size_t rounded = std::max<std::size_t>((bytes + kAlign - 1) & ~(kAlign - 1), kAlign);
+
+    // Advance through (possibly pre-existing, rewound) chunks until one fits.
+    while (active_ < chunks_.size()) {
+        Chunk& c = chunks_[active_];
+        if (c.size - c.used >= rounded) {
+            void* p = c.base + c.used;
+            c.used += rounded;
+            return p;
+        }
+        ++active_;
+    }
+
+    // Nothing fits: append a chunk, at least doubling the reservation cadence.
+    Chunk c;
+    c.size = std::max(rounded, next_chunk_bytes_);
+    next_chunk_bytes_ = c.size * 2;
+    c.storage = std::make_unique<std::byte[]>(c.size + kAlign);
+    const auto raw = reinterpret_cast<std::uintptr_t>(c.storage.get());
+    c.base = c.storage.get() + (kAlign - raw % kAlign) % kAlign;
+    c.used = rounded;
+    active_ = chunks_.size();
+    chunks_.push_back(std::move(c));
+    return chunks_.back().base;
+}
+
+void Arena::reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    active_ = 0;
+}
+
+std::size_t Arena::bytes_in_use() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.used;
+    return total;
+}
+
+std::size_t Arena::bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+}
+
+void Arena::rewind(std::size_t chunk, std::size_t used) {
+    // Chunks past the mark were filled (or appended) after the Scope
+    // opened; empty them without releasing their storage.
+    for (std::size_t i = chunk; i < chunks_.size(); ++i) chunks_[i].used = 0;
+    if (chunk < chunks_.size()) chunks_[chunk].used = used;
+    active_ = chunk;
+}
+
+Arena& thread_arena() {
+    static thread_local Arena arena;
+    return arena;
+}
+
+}  // namespace xbarsec

@@ -28,6 +28,12 @@ tensor::Vector apply_activation(Activation a, const tensor::Vector& s);
 /// pre-activation).
 tensor::Matrix apply_activation_rows(Activation a, const tensor::Matrix& S);
 
+/// Same computation into a caller-provided workspace (resized to S's
+/// shape, prior contents discarded). `out` must not alias S. The trainers
+/// use this with Workspace slots so the per-minibatch hot loop performs no
+/// allocation; results are bit-identical to apply_activation_rows.
+void apply_activation_rows_into(Activation a, const tensor::Matrix& S, tensor::Matrix& out);
+
 /// Elementwise derivative f'(s) evaluated from the pre-activation value.
 /// Not defined for Softmax (its Jacobian is not elementwise) — throws
 /// ConfigError; softmax gradients are fused with crossentropy in loss.hpp.
@@ -37,6 +43,10 @@ tensor::Vector activation_derivative(Activation a, const tensor::Vector& s);
 /// activation_derivative). The batched-backprop companion of
 /// apply_activation_rows.
 tensor::Matrix activation_derivative_rows(Activation a, const tensor::Matrix& S);
+
+/// Workspace form of activation_derivative_rows (same contract as
+/// apply_activation_rows_into).
+void activation_derivative_rows_into(Activation a, const tensor::Matrix& S, tensor::Matrix& out);
 
 /// Numerically stable softmax of one vector.
 tensor::Vector softmax(const tensor::Vector& s);

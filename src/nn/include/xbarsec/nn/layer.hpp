@@ -41,6 +41,11 @@ public:
     /// Batch pre-activation: S = U·Wᵀ (+ b per row); U is (batch × inputs).
     tensor::Matrix forward_batch(const tensor::Matrix& U) const;
 
+    /// Same computation into a caller-provided workspace (resized, prior
+    /// contents discarded; must not alias U or the weights). Bit-identical
+    /// to forward_batch — the trainers use it with Workspace slots.
+    void forward_batch_into(const tensor::Matrix& U, tensor::Matrix& S) const;
+
 private:
     tensor::Matrix weights_;
     tensor::Vector bias_;

@@ -51,4 +51,12 @@ tensor::Matrix loss_gradient_preactivation_batch(Activation activation, Loss los
                                                  const tensor::Matrix& S,
                                                  const tensor::Matrix& T);
 
+/// Same δ into a caller-provided workspace (resized, contents discarded;
+/// must alias neither S nor T). Bit-identical to the returning form — the
+/// trainers use it with Workspace slots to keep the minibatch loop
+/// allocation-free.
+void loss_gradient_preactivation_batch_into(Activation activation, Loss loss,
+                                            const tensor::Matrix& S, const tensor::Matrix& T,
+                                            tensor::Matrix& delta);
+
 }  // namespace xbarsec::nn

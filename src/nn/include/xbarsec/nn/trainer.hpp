@@ -26,6 +26,11 @@ struct TrainConfig {
     /// learning_rate · final_lr_fraction across epochs (Sgd only).
     double final_lr_fraction = 0.0;
     bool verbose = false;
+    /// Draw per-minibatch temporaries (gathers, pre-activations, deltas)
+    /// from a reused Workspace arena instead of allocating fresh each
+    /// iteration. Purely a performance toggle: the trained weights are
+    /// bit-identical either way (tested by test_arena.cpp).
+    bool arena = true;
 };
 
 /// Per-epoch trace returned by the trainers.

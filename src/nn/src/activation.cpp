@@ -73,14 +73,25 @@ tensor::Vector apply_activation(Activation a, const tensor::Vector& s) {
 tensor::Matrix apply_activation_rows(Activation a, const tensor::Matrix& S) {
     if (a == Activation::Linear) return S;
     tensor::Matrix out(S.rows(), S.cols());
+    apply_activation_rows_into(a, S, out);
+    return out;
+}
+
+void apply_activation_rows_into(Activation a, const tensor::Matrix& S, tensor::Matrix& out) {
+    XS_EXPECTS(&out != &S);
+    out.resize(S.rows(), S.cols());
     const std::size_t n = S.cols();
+    if (a == Activation::Linear) {
+        std::copy(S.data(), S.data() + S.size(), out.data());
+        return;
+    }
     if (a == Activation::Softmax) {
         // Per-row stable softmax (the normalisation is per sample, so
         // rows are independent).
         for (std::size_t r = 0; r < S.rows(); ++r) {
             softmax_row(S.data() + r * n, out.data() + r * n, n);
         }
-        return out;
+        return;
     }
     // Elementwise activations: one pass over the whole batch.
     const std::size_t total = S.rows() * n;
@@ -100,16 +111,22 @@ tensor::Matrix apply_activation_rows(Activation a, const tensor::Matrix& S) {
         case Activation::Softmax:
             break;  // handled above
     }
-    return out;
 }
 
 tensor::Matrix activation_derivative_rows(Activation a, const tensor::Matrix& S) {
+    tensor::Matrix out;
+    activation_derivative_rows_into(a, S, out);
+    return out;
+}
+
+void activation_derivative_rows_into(Activation a, const tensor::Matrix& S, tensor::Matrix& out) {
+    XS_EXPECTS(&out != &S);
     if (a == Activation::Softmax) {
         throw ConfigError(
             "softmax has no elementwise derivative; use the fused softmax+crossentropy "
             "gradient in loss.hpp");
     }
-    tensor::Matrix out(S.rows(), S.cols());
+    out.resize(S.rows(), S.cols());
     const std::size_t total = S.rows() * S.cols();
     const double* __restrict s = S.data();
     double* __restrict o = out.data();
@@ -135,7 +152,6 @@ tensor::Matrix activation_derivative_rows(Activation a, const tensor::Matrix& S)
         case Activation::Softmax:
             break;  // unreachable
     }
-    return out;
 }
 
 tensor::Vector activation_derivative(Activation a, const tensor::Vector& s) {

@@ -26,8 +26,15 @@ tensor::Vector DenseLayer::forward(const tensor::Vector& u) const {
 }
 
 tensor::Matrix DenseLayer::forward_batch(const tensor::Matrix& U) const {
+    tensor::Matrix S;
+    forward_batch_into(U, S);
+    return S;
+}
+
+void DenseLayer::forward_batch_into(const tensor::Matrix& U, tensor::Matrix& S) const {
     XS_EXPECTS(U.cols() == inputs());
-    tensor::Matrix S(U.rows(), outputs(), 0.0);
+    XS_EXPECTS(&S != &U && &S != &weights_);
+    S.resize(U.rows(), outputs());
     tensor::gemm(1.0, U, tensor::Op::None, weights_, tensor::Op::Transpose, 0.0, S);
     if (has_bias_) {
         for (std::size_t i = 0; i < S.rows(); ++i) {
@@ -35,7 +42,6 @@ tensor::Matrix DenseLayer::forward_batch(const tensor::Matrix& U) const {
             for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias_[j];
         }
     }
-    return S;
 }
 
 }  // namespace xbarsec::nn

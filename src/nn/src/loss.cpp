@@ -115,14 +115,23 @@ double loss_value_batch_sum(Loss loss, const tensor::Matrix& Y, const tensor::Ma
 tensor::Matrix loss_gradient_preactivation_batch(Activation activation, Loss loss,
                                                  const tensor::Matrix& S,
                                                  const tensor::Matrix& T) {
+    tensor::Matrix delta;
+    loss_gradient_preactivation_batch_into(activation, loss, S, T, delta);
+    return delta;
+}
+
+void loss_gradient_preactivation_batch_into(Activation activation, Loss loss,
+                                            const tensor::Matrix& S, const tensor::Matrix& T,
+                                            tensor::Matrix& delta) {
     XS_EXPECTS(S.rows() == T.rows() && S.cols() == T.cols());
     XS_EXPECTS(S.cols() > 0);
+    XS_EXPECTS(&delta != &S && &delta != &T);
     if (!pairing_supported(activation, loss)) {
         throw ConfigError("unsupported activation/loss pairing: " + to_string(activation) + "+" +
                           to_string(loss));
     }
     const std::size_t n = S.cols();
-    tensor::Matrix delta(S.rows(), n);
+    delta.resize(S.rows(), n);
 
     if (loss == Loss::CategoricalCrossentropy) {
         // Fused softmax + crossentropy: δ row = softmax(s) − t, through
@@ -133,7 +142,7 @@ tensor::Matrix loss_gradient_preactivation_batch(Activation activation, Loss los
             softmax_row(S.data() + r * n, d, n);
             for (std::size_t i = 0; i < n; ++i) d[i] -= t[i];
         }
-        return delta;
+        return;
     }
 
     // MSE with an elementwise activation: δ = 2/M·(f(s) − t)·f'(s),
@@ -168,7 +177,6 @@ tensor::Matrix loss_gradient_preactivation_batch(Activation activation, Loss los
         case Activation::Softmax:
             throw ConfigError("unreachable: softmax+mse rejected above");
     }
-    return delta;
 }
 
 }  // namespace xbarsec::nn

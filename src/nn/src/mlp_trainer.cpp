@@ -6,24 +6,9 @@
 #include "xbarsec/common/rng.hpp"
 #include "xbarsec/tensor/gemm.hpp"
 #include "xbarsec/tensor/ops.hpp"
+#include "xbarsec/tensor/workspace.hpp"
 
 namespace xbarsec::nn {
-
-namespace {
-
-/// Extracts the rows of `src` at `idx[lo, hi)` into a dense batch.
-tensor::Matrix gather_rows(const tensor::Matrix& src, const std::vector<std::size_t>& idx,
-                           std::size_t lo, std::size_t hi) {
-    tensor::Matrix out(hi - lo, src.cols());
-    for (std::size_t r = lo; r < hi; ++r) {
-        const auto s = src.row_span(idx[r]);
-        auto d = out.row_span(r - lo);
-        std::copy(s.begin(), s.end(), d.begin());
-    }
-    return out;
-}
-
-}  // namespace
 
 TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig& config) {
     XS_EXPECTS(dataset.size() > 0);
@@ -66,49 +51,67 @@ TrainHistory train_mlp(Mlp& mlp, const data::Dataset& dataset, const TrainConfig
     }
 
     // Forward caches: inputs[l] feeds layer l, pre[l] = S_l (batch rows).
-    std::vector<tensor::Matrix> inputs(L), pre(L);
+    // The matrices themselves are Workspace slots; the pointer vectors are
+    // reused across batches.
+    std::vector<tensor::Matrix*> inputs(L), pre(L);
+
+    // Workspace arena for the per-minibatch temporaries (see trainer.cpp:
+    // arena off falls back to a fresh Workspace per batch, same code path,
+    // bit-identical results). The bias-gradient buffers are hoisted too —
+    // column_sums_into reuses them across batches.
+    tensor::Workspace arena_ws;
+    std::vector<tensor::Vector> grad_b(L);
 
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
         rng.shuffle(order);
         double loss_acc = 0.0;
         for (std::size_t lo = 0; lo < dataset.size(); lo += config.batch_size) {
             const std::size_t hi = std::min(lo + config.batch_size, dataset.size());
-            const double inv_b = 1.0 / static_cast<double>(hi - lo);
-            const tensor::Matrix tb = gather_rows(dataset.targets(), order, lo, hi);
+            const std::size_t b = hi - lo;
+            const double inv_b = 1.0 / static_cast<double>(b);
+            tensor::Workspace fresh_ws;
+            tensor::Workspace& ws = config.arena ? arena_ws : fresh_ws;
+            ws.reset();
+
+            tensor::Matrix& tb = ws.matrix(b, dataset.targets().cols());
+            tensor::gather_rows(dataset.targets(), order, lo, hi, tb);
 
             // ---- batched forward with caches --------------------------------
-            tensor::Matrix x = gather_rows(dataset.inputs(), order, lo, hi);
+            tensor::Matrix* x = &ws.matrix(b, dataset.inputs().cols());
+            tensor::gather_rows(dataset.inputs(), order, lo, hi, *x);
             for (std::size_t l = 0; l < L; ++l) {
-                inputs[l] = std::move(x);
-                pre[l] = mlp.layers()[l].forward_batch(inputs[l]);
-                x = apply_activation_rows(l + 1 == L ? out_act : hid_act, pre[l]);
+                inputs[l] = x;
+                pre[l] = &ws.matrix(b, mlp.layers()[l].outputs());
+                mlp.layers()[l].forward_batch_into(*inputs[l], *pre[l]);
+                x = &ws.matrix(b, mlp.layers()[l].outputs());
+                apply_activation_rows_into(l + 1 == L ? out_act : hid_act, *pre[l], *x);
             }
-            loss_acc += loss_value_batch_sum(loss, x, tb);
+            loss_acc += loss_value_batch_sum(loss, *x, tb);
 
             // ---- batched backward: Δ walks the layers in reverse ------------
-            std::vector<tensor::Vector> grad_b(L);
-            tensor::Matrix delta =
-                loss_gradient_preactivation_batch(out_act, loss, pre[L - 1], tb);
+            tensor::Matrix* delta = &ws.matrix(b, mlp.layers()[L - 1].outputs());
+            loss_gradient_preactivation_batch_into(out_act, loss, *pre[L - 1], tb, *delta);
             for (std::size_t lrev = 0; lrev < L; ++lrev) {
                 const std::size_t l = L - 1 - lrev;
                 // grad_W = 1/b · Δᵀ·X_l (the mean of the per-sample outer
                 // products, as one GEMM).
-                tensor::gemm(inv_b, delta, tensor::Op::Transpose, inputs[l], tensor::Op::None,
+                tensor::gemm(inv_b, *delta, tensor::Op::Transpose, *inputs[l], tensor::Op::None,
                              0.0, grad_w[l]);
                 if (mlp.layers()[l].has_bias()) {
-                    grad_b[l] = tensor::column_sums(delta);
+                    tensor::column_sums_into(*delta, grad_b[l]);
                     grad_b[l] *= inv_b;
                 }
                 if (l > 0) {
                     // Upstream = Δ·W_l, gated by f'(S_{l-1}).
-                    tensor::Matrix upstream(delta.rows(), mlp.layers()[l].weights().cols(), 0.0);
-                    tensor::gemm(1.0, delta, tensor::Op::None, mlp.layers()[l].weights(),
+                    tensor::Matrix& upstream = ws.matrix(b, mlp.layers()[l].weights().cols());
+                    tensor::gemm(1.0, *delta, tensor::Op::None, mlp.layers()[l].weights(),
                                  tensor::Op::None, 0.0, upstream);
-                    const tensor::Matrix fprime = activation_derivative_rows(hid_act, pre[l - 1]);
+                    tensor::Matrix& fprime = ws.matrix(b, mlp.layers()[l - 1].outputs());
+                    activation_derivative_rows_into(hid_act, *pre[l - 1], fprime);
                     double* __restrict up = upstream.data();
                     const double* __restrict fp = fprime.data();
                     for (std::size_t i = 0; i < upstream.size(); ++i) up[i] *= fp[i];
-                    delta = std::move(upstream);
+                    delta = &upstream;
                 }
             }
 

@@ -7,6 +7,7 @@
 #include "xbarsec/common/rng.hpp"
 #include "xbarsec/tensor/gemm.hpp"
 #include "xbarsec/tensor/ops.hpp"
+#include "xbarsec/tensor/workspace.hpp"
 
 namespace xbarsec::nn {
 
@@ -24,18 +25,6 @@ double mean_loss_regression(const SingleLayerNet& net, const tensor::Matrix& X,
 }
 
 namespace {
-
-/// Extracts the rows of `src` at `idx[lo, hi)` into a dense batch.
-tensor::Matrix gather_rows(const tensor::Matrix& src, const std::vector<std::size_t>& idx,
-                           std::size_t lo, std::size_t hi) {
-    tensor::Matrix out(hi - lo, src.cols());
-    for (std::size_t r = lo; r < hi; ++r) {
-        const auto s = src.row_span(idx[r]);
-        auto d = out.row_span(r - lo);
-        std::copy(s.begin(), s.end(), d.begin());
-    }
-    return out;
-}
 
 TrainHistory train_impl(SingleLayerNet& net, const tensor::Matrix& X, const tensor::Matrix& Y,
                         const TrainConfig& config) {
@@ -67,21 +56,37 @@ TrainHistory train_impl(SingleLayerNet& net, const tensor::Matrix& X, const tens
     history.epoch_loss.reserve(config.epochs);
     tensor::Matrix grad_w(net.outputs(), net.inputs(), 0.0);
 
+    // With config.arena the minibatch temporaries live in one Workspace
+    // that is reset (not freed) every iteration; arena off keeps the old
+    // allocate-per-batch behaviour by constructing a fresh Workspace each
+    // time. Same code path, so the arithmetic is identical bit for bit.
+    tensor::Workspace arena_ws;
+    tensor::Vector grad_b;  // bias gradient, reused across batches
+
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
         rng.shuffle(order);
         double loss_acc = 0.0;
         std::size_t loss_count = 0;
         for (std::size_t lo = 0; lo < n; lo += config.batch_size) {
             const std::size_t hi = std::min(lo + config.batch_size, n);
-            const tensor::Matrix xb = gather_rows(X, order, lo, hi);
-            const tensor::Matrix tb = gather_rows(Y, order, lo, hi);
-            const tensor::Matrix sb = net.layer().forward_batch(xb);
-            const tensor::Matrix delta =
-                batch_preactivation_delta(net.activation(), net.loss_kind(), sb, tb);
+            tensor::Workspace fresh_ws;
+            tensor::Workspace& ws = config.arena ? arena_ws : fresh_ws;
+            ws.reset();
+
+            tensor::Matrix& xb = ws.matrix(hi - lo, X.cols());
+            tensor::gather_rows(X, order, lo, hi, xb);
+            tensor::Matrix& tb = ws.matrix(hi - lo, Y.cols());
+            tensor::gather_rows(Y, order, lo, hi, tb);
+            tensor::Matrix& sb = ws.matrix(hi - lo, net.outputs());
+            net.layer().forward_batch_into(xb, sb);
+            tensor::Matrix& delta = ws.matrix(hi - lo, net.outputs());
+            loss_gradient_preactivation_batch_into(net.activation(), net.loss_kind(), sb, tb,
+                                                   delta);
 
             // Accumulate the epoch's training loss from the same forward pass.
-            loss_acc += loss_value_batch_sum(net.loss_kind(),
-                                             apply_activation_rows(net.activation(), sb), tb);
+            tensor::Matrix& yb = ws.matrix(hi - lo, net.outputs());
+            apply_activation_rows_into(net.activation(), sb, yb);
+            loss_acc += loss_value_batch_sum(net.loss_kind(), yb, tb);
             loss_count += sb.rows();
 
             // grad_W = deltaᵀ · X_batch / batch.
@@ -91,7 +96,8 @@ TrainHistory train_impl(SingleLayerNet& net, const tensor::Matrix& X, const tens
                             {grad_w.data(), grad_w.size()});
 
             if (net.layer().has_bias()) {
-                tensor::Vector grad_b(net.outputs(), 0.0);
+                grad_b.resize(net.outputs());
+                grad_b.fill(0.0);
                 for (std::size_t r = 0; r < delta.rows(); ++r) {
                     const auto drow = delta.row_span(r);
                     for (std::size_t j = 0; j < drow.size(); ++j) grad_b[j] += inv_b * drow[j];

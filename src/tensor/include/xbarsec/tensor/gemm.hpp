@@ -28,6 +28,38 @@ namespace xbarsec::tensor {
 /// Whether an operand participates as itself or its transpose.
 enum class Op { None, Transpose };
 
+// ---- kernel-variant dispatch ------------------------------------------------
+//
+// The register-tile micro-kernel is compiled at three ISA levels and picked
+// at runtime: portable 4×4 (plain C++), AVX2+FMA 6×8 / 6×4, and AVX-512F
+// 12×8 / 8×8. `Auto` (the default) selects the widest arm the CPU supports
+// per product shape. The other values force one arm — for conformance
+// testing (ctest -L kernel runs the GEMM property suites once per variant)
+// and for benchmarking the arms against each other. Forcing is also
+// available without code via the XBARSEC_FORCE_KERNEL environment variable
+// (auto | portable | avx2 | avx512), read once at first use; a
+// set_kernel_variant() call overrides the environment.
+
+enum class KernelVariant { Auto, Portable, Avx2, Avx512 };
+
+/// Forces every subsequent gemm onto one kernel arm (process-wide).
+/// Throws ConfigError when the CPU lacks the requested ISA.
+void set_kernel_variant(KernelVariant v);
+
+/// The forced variant currently in effect: a set_kernel_variant() override,
+/// else XBARSEC_FORCE_KERNEL, else Auto. Throws ConfigError when the
+/// environment variable is unparseable or names an unsupported ISA.
+KernelVariant forced_kernel_variant();
+
+/// Whether this CPU can run `v` (Auto and Portable are always available).
+bool kernel_variant_available(KernelVariant v);
+
+/// Lower-case name, matching the XBARSEC_FORCE_KERNEL spelling.
+const char* to_string(KernelVariant v);
+
+/// Inverse of to_string(); throws ConfigError on unknown names.
+KernelVariant parse_kernel_variant(const std::string& name);
+
 /// C = alpha * op(A) · op(B) + beta * C.
 ///
 /// Shapes (after applying ops): op(A) is (m×k), op(B) is (k×n), C must be

@@ -11,6 +11,7 @@
 #include "xbarsec/common/threadpool.hpp"
 #include "xbarsec/tensor/matrix.hpp"
 #include "xbarsec/tensor/vector.hpp"
+#include "xbarsec/tensor/workspace.hpp"
 
 namespace xbarsec::tensor {
 
@@ -62,7 +63,11 @@ Matrix solve_spd(const Matrix& A, const Matrix& B);
 /// X = (AᵀA + λI)⁻¹ AᵀB. λ must be ≥ 0; with λ = 0 A must have full
 /// column rank. The normal-equations products AᵀA and AᵀB run as blocked
 /// kernel-layer GEMMs, sharded over `pool` when given (the dominant cost
-/// for Q×N query matrices; the N×N Cholesky solve stays serial).
-Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda, ThreadPool* pool = nullptr);
+/// for Q×N query matrices; the N×N Cholesky solve stays serial). When a
+/// Workspace is given, the N×N / N×M normal-equations temporaries are
+/// drawn from it under a Workspace::Scope — reused across calls, without
+/// touching slots the caller still holds.
+Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda, ThreadPool* pool = nullptr,
+                   Workspace* ws = nullptr);
 
 }  // namespace xbarsec::tensor

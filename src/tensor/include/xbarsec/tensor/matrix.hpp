@@ -102,6 +102,16 @@ public:
     /// the same element count.
     Matrix reshaped(std::size_t rows, std::size_t cols) const;
 
+    /// Destructive in-place reshape to rows×cols, reusing the existing
+    /// heap capacity when it suffices. Element values are unspecified
+    /// afterwards — this exists for workspace reuse (Workspace), where the
+    /// caller overwrites the whole matrix anyway.
+    void resize(std::size_t rows, std::size_t cols) {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
     Matrix& operator+=(const Matrix& rhs);
     Matrix& operator-=(const Matrix& rhs);
     Matrix& operator*=(double s);

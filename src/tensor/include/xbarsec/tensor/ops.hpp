@@ -95,6 +95,15 @@ void ger(double alpha, const Vector& u, const Vector& v, Matrix& A);
 /// Outer product u·vᵀ as a new matrix.
 Matrix outer(const Vector& u, const Vector& v);
 
+// ---- row gathers -------------------------------------------------------------
+
+/// Copies rows src[idx[lo]], …, src[idx[hi-1]] into `out` (resized to
+/// (hi−lo)×src.cols(), prior contents discarded; must not alias src).
+/// This is the minibatch gather every trainer runs per iteration — callers
+/// pass a Workspace slot so the steady-state loop performs no allocation.
+void gather_rows(const Matrix& src, const std::vector<std::size_t>& idx, std::size_t lo,
+                 std::size_t hi, Matrix& out);
+
 // ---- matrix reductions -------------------------------------------------------
 
 /// Column-wise 1-norms: out[j] = Σᵢ |W(i,j)|. Under the paper's one-sided
@@ -107,6 +116,11 @@ Vector row_abs_sums(const Matrix& W);
 
 /// Column-wise sums (signed).
 Vector column_sums(const Matrix& W);
+
+/// column_sums into a caller-provided vector (resized, zero-filled
+/// first). The trainers' bias-gradient path uses this with a hoisted
+/// buffer so the minibatch loop stays allocation-free.
+void column_sums_into(const Matrix& W, Vector& out);
 
 /// Row-wise argmax as integer labels: out[r] = argmax of row r (first on
 /// ties). The batched classification reduction shared by the software

@@ -1,0 +1,101 @@
+// Workspace: an arena of Matrix / Vector temporaries for training loops.
+//
+// The trainers gather every minibatch into dense buffers, run a handful of
+// GEMMs, and discard the lot — thousands of times per fit. Allocating those
+// buffers fresh each iteration costs an mmap/munmap round trip per gather
+// at MNIST/CIFAR widths (the buffers are above glibc's mmap threshold).
+// A Workspace is the Matrix-shaped tier of the arena layer (common/arena.hpp
+// is the raw-bytes tier used by the GEMM pack buffers): acquire() hands out
+// slots in order, reset() makes every slot reusable while keeping its heap
+// capacity, so the minibatch-sized matrix and vector temporaries that
+// dominate the trainers' allocation traffic are reused across iterations
+// (a few small BLAS-2 return vectors remain, O(outputs) per batch).
+//
+// Slots are stable: growth never moves previously returned objects, so
+// references stay valid until reset(). Contents of a reused slot are
+// unspecified — callers overwrite (gemm with beta=0, gather_rows, the
+// _into helpers). Like Arena, a Workspace is thread-private by design.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "xbarsec/tensor/matrix.hpp"
+#include "xbarsec/tensor/vector.hpp"
+
+namespace xbarsec::tensor {
+
+class Workspace {
+public:
+    Workspace() = default;
+    Workspace(const Workspace&) = delete;
+    Workspace& operator=(const Workspace&) = delete;
+
+    /// A rows×cols matrix slot with unspecified contents.
+    Matrix& matrix(std::size_t rows, std::size_t cols) {
+        Matrix& m = next_matrix();
+        m.resize(rows, cols);
+        return m;
+    }
+
+    /// A rows×cols matrix slot, zero-filled.
+    Matrix& zeros(std::size_t rows, std::size_t cols) {
+        Matrix& m = matrix(rows, cols);
+        m.fill(0.0);
+        return m;
+    }
+
+    /// An n-element vector slot with unspecified contents.
+    Vector& vector(std::size_t n) {
+        if (vecs_live_ == vecs_.size()) vecs_.push_back(std::make_unique<Vector>());
+        Vector& v = *vecs_[vecs_live_++];
+        v.resize(n);
+        return v;
+    }
+
+    /// Returns every slot to the pool. References handed out before the
+    /// reset are reusable storage afterwards — treat them as dangling.
+    void reset() {
+        mats_live_ = 0;
+        vecs_live_ = 0;
+    }
+
+    /// LIFO mark/rewind, mirroring Arena::Scope: slots acquired while a
+    /// Scope is alive return to the pool when it is destroyed, while
+    /// slots the caller already held stay live. Lets a callee (e.g.
+    /// ridge_solve) borrow a caller's workspace — with per-call reuse of
+    /// its own slots — without clobbering the caller's.
+    class Scope {
+    public:
+        explicit Scope(Workspace& ws)
+            : ws_(ws), mats_(ws.mats_live_), vecs_(ws.vecs_live_) {}
+        ~Scope() {
+            ws_.mats_live_ = mats_;
+            ws_.vecs_live_ = vecs_;
+        }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        Workspace& ws_;
+        std::size_t mats_;
+        std::size_t vecs_;
+    };
+
+    std::size_t live_slots() const { return mats_live_ + vecs_live_; }
+    std::size_t pooled_slots() const { return mats_.size() + vecs_.size(); }
+
+private:
+    Matrix& next_matrix() {
+        if (mats_live_ == mats_.size()) mats_.push_back(std::make_unique<Matrix>());
+        return *mats_[mats_live_++];
+    }
+
+    // unique_ptr slots so vector growth never relocates a handed-out object.
+    std::vector<std::unique_ptr<Matrix>> mats_;
+    std::vector<std::unique_ptr<Vector>> vecs_;
+    std::size_t mats_live_ = 0;
+    std::size_t vecs_live_ = 0;
+};
+
+}  // namespace xbarsec::tensor

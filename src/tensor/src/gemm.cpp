@@ -1,8 +1,14 @@
 #include "xbarsec/tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <string>
 #include <vector>
+
+#include "xbarsec/common/arena.hpp"
+#include "xbarsec/common/error.hpp"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
@@ -14,13 +20,9 @@ namespace {
 
 // ---- kernel geometry --------------------------------------------------------
 
-/// Depth of the packed panels. One micro-panel of A (≤ 6 rows × kBlockK)
+/// Depth of the packed panels. One micro-panel of A (≤ 12 rows × kBlockK)
 /// and one B strip (kBlockK × ≤ 8) sit comfortably in L1 while a tile runs.
 constexpr std::size_t kBlockK = 256;
-
-/// Upper bounds on the register-tile geometry (sizing for pack buffers).
-constexpr std::size_t kMaxMR = 6;
-constexpr std::size_t kMaxNR = 8;
 
 /// Rows per parallel task. Each C row accumulates its k-terms in p-ascending
 /// order in its own registers, independent of which rows share a tile, so
@@ -144,6 +146,73 @@ __attribute__((target("avx2,fma"))) void tile_avx2_6x8(const double* __restrict 
     }
 }
 
+// The AVX-512 tiles follow the same pattern one register width up: one
+// 8-wide zmm load of the B strip per k-step, one broadcast-FMA per row.
+// Per output element the FMA chain over p is identical to the AVX2 6×8
+// tile's (each lane is an independent fused chain), so switching between
+// the 8-row and 12-row geometry — or between the AVX2 and AVX-512 arms on
+// NR=8 strips — never changes a result bit. The 12×8 tile holds 12
+// accumulators plus loads in the 32 zmm registers and amortises each B
+// strip load over half again as many rows as 8×8.
+
+__attribute__((target("avx512f"))) void tile_avx512_8x8(const double* __restrict ap,
+                                                        const double* __restrict bp, std::size_t bs,
+                                                        std::size_t kc, double* __restrict c,
+                                                        std::size_t ldc, std::size_t mr,
+                                                        std::size_t nr) {
+    __m512d acc[8];
+    for (auto& v : acc) v = _mm512_setzero_pd();
+    for (std::size_t p = 0; p < kc; ++p) {
+        const double* a = ap + p * 8;
+        const __m512d b = _mm512_loadu_pd(bp + p * bs);
+        acc[0] = _mm512_fmadd_pd(_mm512_set1_pd(a[0]), b, acc[0]);
+        acc[1] = _mm512_fmadd_pd(_mm512_set1_pd(a[1]), b, acc[1]);
+        acc[2] = _mm512_fmadd_pd(_mm512_set1_pd(a[2]), b, acc[2]);
+        acc[3] = _mm512_fmadd_pd(_mm512_set1_pd(a[3]), b, acc[3]);
+        acc[4] = _mm512_fmadd_pd(_mm512_set1_pd(a[4]), b, acc[4]);
+        acc[5] = _mm512_fmadd_pd(_mm512_set1_pd(a[5]), b, acc[5]);
+        acc[6] = _mm512_fmadd_pd(_mm512_set1_pd(a[6]), b, acc[6]);
+        acc[7] = _mm512_fmadd_pd(_mm512_set1_pd(a[7]), b, acc[7]);
+    }
+    double out[8 * 8];
+    for (std::size_t r = 0; r < 8; ++r) _mm512_storeu_pd(out + r * 8, acc[r]);
+    for (std::size_t r = 0; r < mr; ++r) {
+        double* __restrict crow = c + r * ldc;
+        for (std::size_t j = 0; j < nr; ++j) crow[j] += out[r * 8 + j];
+    }
+}
+
+__attribute__((target("avx512f"))) void tile_avx512_12x8(const double* __restrict ap,
+                                                         const double* __restrict bp,
+                                                         std::size_t bs, std::size_t kc,
+                                                         double* __restrict c, std::size_t ldc,
+                                                         std::size_t mr, std::size_t nr) {
+    __m512d acc[12];
+    for (auto& v : acc) v = _mm512_setzero_pd();
+    for (std::size_t p = 0; p < kc; ++p) {
+        const double* a = ap + p * 12;
+        const __m512d b = _mm512_loadu_pd(bp + p * bs);
+        acc[0] = _mm512_fmadd_pd(_mm512_set1_pd(a[0]), b, acc[0]);
+        acc[1] = _mm512_fmadd_pd(_mm512_set1_pd(a[1]), b, acc[1]);
+        acc[2] = _mm512_fmadd_pd(_mm512_set1_pd(a[2]), b, acc[2]);
+        acc[3] = _mm512_fmadd_pd(_mm512_set1_pd(a[3]), b, acc[3]);
+        acc[4] = _mm512_fmadd_pd(_mm512_set1_pd(a[4]), b, acc[4]);
+        acc[5] = _mm512_fmadd_pd(_mm512_set1_pd(a[5]), b, acc[5]);
+        acc[6] = _mm512_fmadd_pd(_mm512_set1_pd(a[6]), b, acc[6]);
+        acc[7] = _mm512_fmadd_pd(_mm512_set1_pd(a[7]), b, acc[7]);
+        acc[8] = _mm512_fmadd_pd(_mm512_set1_pd(a[8]), b, acc[8]);
+        acc[9] = _mm512_fmadd_pd(_mm512_set1_pd(a[9]), b, acc[9]);
+        acc[10] = _mm512_fmadd_pd(_mm512_set1_pd(a[10]), b, acc[10]);
+        acc[11] = _mm512_fmadd_pd(_mm512_set1_pd(a[11]), b, acc[11]);
+    }
+    double out[12 * 8];
+    for (std::size_t r = 0; r < 12; ++r) _mm512_storeu_pd(out + r * 8, acc[r]);
+    for (std::size_t r = 0; r < mr; ++r) {
+        double* __restrict crow = c + r * ldc;
+        for (std::size_t j = 0; j < nr; ++j) crow[j] += out[r * 8 + j];
+    }
+}
+
 bool avx2_available() {
     static const bool available = [] {
         __builtin_cpu_init();
@@ -151,8 +220,18 @@ bool avx2_available() {
     }();
     return available;
 }
+
+bool avx512_available() {
+    static const bool available = [] {
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
+    }();
+    return available;
+}
 #else
 bool avx2_available() { return false; }
+bool avx512_available() { return false; }
 #endif
 
 #undef XS_GEMM_TILE_BODY
@@ -164,19 +243,76 @@ struct KernelConfig {
     std::size_t nr;
 };
 
-/// Picks the widest kernel the CPU supports, with a narrow-NR variant for
-/// skinny outputs (the paper's 10-class heads) where an 8-wide strip would
-/// waste most of its lanes on padding.
-KernelConfig pick_kernel(std::size_t n) {
+/// A set_kernel_variant() override; kVariantUnset defers to the
+/// environment (read once, below), which defers to Auto.
+constexpr int kVariantUnset = -1;
+std::atomic<int> g_variant_override{kVariantUnset};
+
+KernelVariant env_variant() {
+    static const KernelVariant parsed = [] {
+        const char* e = std::getenv("XBARSEC_FORCE_KERNEL");
+        if (e == nullptr || *e == '\0') return KernelVariant::Auto;
+        const KernelVariant v = parse_kernel_variant(e);
+        if (!kernel_variant_available(v)) {
+            throw ConfigError(std::string("XBARSEC_FORCE_KERNEL=") + e +
+                              ": this CPU does not support that kernel variant");
+        }
+        return v;
+    }();
+    return parsed;
+}
+
+KernelConfig pick_avx2(std::size_t n);
+KernelConfig pick_avx512(std::size_t m);
+
+/// Picks the register tile for one product. Auto takes the widest arm the
+/// CPU supports, with narrower-NR geometry for skinny outputs (the paper's
+/// 10-class heads) where a wide strip would waste most of its lanes on
+/// padding; a forced variant stays inside its own arm at every shape.
+///
+/// The choice between same-arm geometries depends on m only through the
+/// row count a tile covers — never through the per-row accumulation chain —
+/// so gemm_rowstable's partition invariance survives the m-dependent pick.
+KernelConfig pick_kernel(std::size_t m, std::size_t n) {
+    switch (forced_kernel_variant()) {
+        case KernelVariant::Portable:
+            return {tile_portable_4x4, 4, 4};
 #ifdef XS_GEMM_HAVE_AVX2_VARIANT
-    if (avx2_available()) {
-        if (n >= 12) return {tile_avx2_6x8, 6, 8};
-        return {tile_avx2_6x4, 6, 4};
-    }
+        case KernelVariant::Avx2:
+            return pick_avx2(n);
+        case KernelVariant::Avx512:
+            return pick_avx512(m);
 #endif
+        default:
+            break;
+    }
+#ifdef XS_GEMM_HAVE_AVX2_VARIANT
+    // The 8-wide AVX-512 strips only pay for themselves when the output
+    // fills them (n ≥ 12, the same threshold as the AVX2 narrow/wide
+    // split) — at the paper's 10-class heads a 16-lane strip pair is 62%
+    // padding and the AVX2 6×4 tile measures ~15% faster for minibatch
+    // row counts. Tall outputs are the exception: with m ≥ 64 the 12-row
+    // tile amortises each padded strip load over twice the rows and wins
+    // ~20% even at n = 10 (the transpose-swapped gradient GEMMs).
+    if (avx512_available() && (n >= 12 || (n >= 8 && m >= 64))) return pick_avx512(m);
+    if (avx2_available()) return pick_avx2(n);
+#endif
+    (void)m;
     (void)n;
     return {tile_portable_4x4, 4, 4};
 }
+
+#ifdef XS_GEMM_HAVE_AVX2_VARIANT
+KernelConfig pick_avx2(std::size_t n) {
+    if (n >= 12) return {tile_avx2_6x8, 6, 8};
+    return {tile_avx2_6x4, 6, 4};
+}
+
+KernelConfig pick_avx512(std::size_t m) {
+    if (m >= 12) return {tile_avx512_12x8, 12, 8};
+    return {tile_avx512_8x8, 8, 8};
+}
+#endif
 
 // ---- panel packing ----------------------------------------------------------
 
@@ -285,9 +421,12 @@ void gemm_rows(const KernelConfig& cfg, double alpha, const Matrix& A, Op opA, c
     const std::size_t strips = (n + cfg.nr - 1) / cfg.nr;
     const std::size_t ldc = C.cols();
 
-    thread_local std::vector<double> apanel;
-    if (apanel.size() < kMaxMR * kc) apanel.resize(kMaxMR * kc);
-    double* const ap = apanel.data();
+    // The A micro-panel is per-worker scratch: each worker bumps its own
+    // thread arena, and the Scope rewinds it on exit, so nested pooled
+    // GEMMs interleave cleanly on one thread (LIFO) and never on two.
+    Arena& arena = thread_arena();
+    const Arena::Scope scratch(arena);
+    double* const ap = arena.alloc<double>(cfg.mr * kc).data();
 
     for (std::size_t i = row0; i < row1; i += cfg.mr) {
         const std::size_t mr = std::min(cfg.mr, row1 - i);
@@ -314,19 +453,23 @@ void gemm_rows(const KernelConfig& cfg, double alpha, const Matrix& A, Op opA, c
 /// C += alpha·op(A)·op(B), shapes already validated, beta already applied.
 void gemm_dispatch(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, Matrix& C,
                    std::size_t m, std::size_t n, std::size_t kA, ThreadPool* pool) {
-    const KernelConfig cfg = pick_kernel(n);
+    const KernelConfig cfg = pick_kernel(m, n);
 
     // Skip the full B repack when the operand is already row-major and m is
     // too small to amortise it (the 10-output gradient GEMMs): the tiles
     // read B's rows in place and only a ragged tail strip gets packed.
     const bool direct_b = opB == Op::None && m <= 8 * cfg.mr;
 
-    thread_local std::vector<double> bpanel;
+    // The B panel comes off the dispatching thread's arena and is shared
+    // read-only with the workers; it outlives every parallel_for below and
+    // is reclaimed by the Scope when the product completes.
+    Arena& arena = thread_arena();
+    const Arena::Scope scratch(arena);
     const std::size_t strips = (n + cfg.nr - 1) / cfg.nr;
     const std::size_t kc_max = std::min(kBlockK, kA);
     const std::size_t panel_doubles =
-        direct_b ? kc_max * kMaxNR : strips * kc_max * kMaxNR;
-    if (bpanel.size() < panel_doubles) bpanel.resize(panel_doubles);
+        direct_b ? kc_max * cfg.nr : strips * kc_max * cfg.nr;
+    const std::span<double> bpanel = arena.alloc<double>(panel_doubles);
 
     const bool shard = pool != nullptr && m > kRowsPerPanel &&
                        2.0 * static_cast<double>(m) * static_cast<double>(n) *
@@ -362,6 +505,56 @@ void gemm_dispatch(double alpha, const Matrix& A, Op opA, const Matrix& B, Op op
 
 }  // namespace
 
+void set_kernel_variant(KernelVariant v) {
+    if (!kernel_variant_available(v)) {
+        throw ConfigError(std::string("set_kernel_variant(") + to_string(v) +
+                          "): this CPU does not support that kernel variant");
+    }
+    g_variant_override.store(static_cast<int>(v), std::memory_order_relaxed);
+}
+
+KernelVariant forced_kernel_variant() {
+    const int forced = g_variant_override.load(std::memory_order_relaxed);
+    if (forced != kVariantUnset) return static_cast<KernelVariant>(forced);
+    return env_variant();
+}
+
+bool kernel_variant_available(KernelVariant v) {
+    switch (v) {
+        case KernelVariant::Avx2:
+            return avx2_available();
+        case KernelVariant::Avx512:
+            return avx512_available();
+        case KernelVariant::Auto:
+        case KernelVariant::Portable:
+            return true;
+    }
+    return false;
+}
+
+const char* to_string(KernelVariant v) {
+    switch (v) {
+        case KernelVariant::Auto:
+            return "auto";
+        case KernelVariant::Portable:
+            return "portable";
+        case KernelVariant::Avx2:
+            return "avx2";
+        case KernelVariant::Avx512:
+            return "avx512";
+    }
+    return "?";
+}
+
+KernelVariant parse_kernel_variant(const std::string& name) {
+    if (name == "auto") return KernelVariant::Auto;
+    if (name == "portable") return KernelVariant::Portable;
+    if (name == "avx2") return KernelVariant::Avx2;
+    if (name == "avx512") return KernelVariant::Avx512;
+    throw ConfigError("unknown kernel variant \"" + name +
+                      "\" (expected auto | portable | avx2 | avx512)");
+}
+
 static void gemm_impl(double alpha, const Matrix& A, Op opA, const Matrix& B, Op opB, double beta,
                       Matrix& C, ThreadPool* pool, bool allow_swap) {
     const std::size_t m = opA == Op::None ? A.rows() : A.cols();
@@ -386,7 +579,7 @@ static void gemm_impl(double alpha, const Matrix& A, Op opA, const Matrix& B, Op
     // once, used, and discarded — and makes the small operand the packed
     // panel that every row block reuses. The extra transpose-add touches
     // only m·n elements.
-    if (allow_swap && m <= 2 * kMaxMR && n >= 64 && n >= 4 * m) {
+    if (allow_swap && m <= 12 && n >= 64 && n >= 4 * m) {
         Matrix ct(n, m, 0.0);
         const Op opAt = opB == Op::None ? Op::Transpose : Op::None;
         const Op opBt = opA == Op::None ? Op::Transpose : Op::None;

@@ -153,17 +153,24 @@ Matrix solve_spd(const Matrix& A, const Matrix& B) {
     return X;
 }
 
-Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda, ThreadPool* pool) {
+Matrix ridge_solve(const Matrix& A, const Matrix& B, double lambda, ThreadPool* pool,
+                   Workspace* ws) {
     XS_EXPECTS(lambda >= 0.0);
     XS_EXPECTS(A.rows() == B.rows());
     // Normal equations (AᵀA + λI) X = AᵀB. Fine for the modest condition
     // numbers of this library's workloads; lstsq() is the stable path for
     // λ = 0 when m ≥ n. Both products are blocked over the kernel layer
     // and shard across `pool` (AᵀA is the O(Q·N²) bulk of the solve).
-    Matrix AtA(A.cols(), A.cols(), 0.0);
+    // The N×N / N×M temporaries draw from `ws` when given, so repeated
+    // fits (query-budget sweeps) stop reallocating them; the Scope
+    // rewind means slots the caller already holds stay untouched.
+    Workspace local_ws;
+    Workspace& scratch = ws != nullptr ? *ws : local_ws;
+    const Workspace::Scope scope(scratch);
+    Matrix& AtA = scratch.matrix(A.cols(), A.cols());
     gemm(1.0, A, Op::Transpose, A, Op::None, 0.0, AtA, pool);
     for (std::size_t i = 0; i < AtA.rows(); ++i) AtA(i, i) += lambda;
-    Matrix AtB(A.cols(), B.cols(), 0.0);
+    Matrix& AtB = scratch.matrix(A.cols(), B.cols());
     gemm(1.0, A, Op::Transpose, B, Op::None, 0.0, AtB, pool);
     return solve_spd(AtA, AtB);
 }

@@ -288,13 +288,19 @@ Vector row_abs_sums(const Matrix& W) {
 }
 
 Vector column_sums(const Matrix& W) {
-    Vector out(W.cols(), 0.0);
+    Vector out;
+    column_sums_into(W, out);
+    return out;
+}
+
+void column_sums_into(const Matrix& W, Vector& out) {
+    out.resize(W.cols());
+    out.fill(0.0);
     double* po = out.data();
     for (std::size_t i = 0; i < W.rows(); ++i) {
         const auto row = W.row_span(i);
         for (std::size_t j = 0; j < row.size(); ++j) po[j] += row[j];
     }
-    return out;
 }
 
 std::vector<int> argmax_rows(const Matrix& M) {
@@ -341,6 +347,19 @@ bool all_finite(const Matrix& W) {
     for (std::size_t i = 0; i < W.size(); ++i)
         if (!std::isfinite(p[i])) return false;
     return true;
+}
+
+void gather_rows(const Matrix& src, const std::vector<std::size_t>& idx, std::size_t lo,
+                 std::size_t hi, Matrix& out) {
+    XS_EXPECTS(lo <= hi && hi <= idx.size());
+    XS_EXPECTS(&out != &src);
+    out.resize(hi - lo, src.cols());
+    for (std::size_t r = lo; r < hi; ++r) {
+        XS_EXPECTS(idx[r] < src.rows());
+        const auto s = src.row_span(idx[r]);
+        auto d = out.row_span(r - lo);
+        std::copy(s.begin(), s.end(), d.begin());
+    }
 }
 
 }  // namespace xbarsec::tensor

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-
+#include <cstdlib>
 #include <tuple>
 
 #include "xbarsec/common/contracts.hpp"
@@ -228,6 +228,19 @@ TEST(Gemm, RowStableMatchesGemmNumerically) {
             EXPECT_NEAR(swapped(i, j), stable(i, j), 1e-10);
         }
     }
+}
+
+TEST(Gemm, ForcedVariantEnvIsHonored) {
+    // CMake registers this whole binary once per available kernel variant
+    // with XBARSEC_FORCE_KERNEL set (ctest -L kernel). When the variable
+    // is present, the dispatcher must actually be running that arm — so a
+    // mislabelled CI job can't silently test the wrong kernel.
+    const char* forced = std::getenv("XBARSEC_FORCE_KERNEL");
+    if (forced == nullptr || *forced == '\0') {
+        GTEST_SKIP() << "XBARSEC_FORCE_KERNEL not set";
+    }
+    EXPECT_EQ(forced_kernel_variant(), parse_kernel_variant(forced));
+    EXPECT_TRUE(kernel_variant_available(forced_kernel_variant()));
 }
 
 TEST(Gemm, ParallelRepeatsAreDeterministic) {

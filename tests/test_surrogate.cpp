@@ -155,5 +155,82 @@ TEST(TrainSurrogate, DeterministicGivenSeeds) {
     EXPECT_EQ(a.surrogate.weights(), b.surrogate.weights());
 }
 
+TEST(TrainSurrogate, MinibatchIterationOrderUnchangedByWorkspaceReuse) {
+    // Regression guard for the workspace-arena refactor: replay one epoch
+    // by hand — explicit row gathers in the documented shuffle order,
+    // ragged final batch included — and demand bit-identical weights. If
+    // the trainer's gather/batch iteration order ever drifted (e.g. a
+    // stale workspace row leaking into a batch), this breaks.
+    Rng rng(9);
+    const std::size_t N = 7, M = 3, Q = 23;  // 23 % 8 != 0: ragged tail
+    const tensor::Matrix W = tensor::Matrix::random_normal(rng, M, N);
+    const tensor::Matrix U = tensor::Matrix::random_uniform(rng, Q, N);
+    const QueryDataset q = make_queries(W, U);
+
+    SurrogateConfig c;
+    c.power_loss_weight = 0.0;
+    c.train.epochs = 1;
+    c.train.batch_size = 8;
+    c.train.learning_rate = 0.1;
+    c.train.momentum = 0.0;
+    c.train.optimizer = nn::OptimizerKind::Sgd;
+    const SurrogateTrainResult got = train_surrogate(q, c);
+
+    Rng init(c.init_seed);
+    nn::SingleLayerNet ref(init, N, M, nn::Activation::Linear, nn::Loss::Mse);
+    auto opt = nn::make_optimizer(c.train.optimizer, c.train.learning_rate, c.train.momentum);
+    const std::size_t slot = opt->register_parameter(ref.weights().size());
+
+    Rng shuffle(c.train.shuffle_seed);
+    std::vector<std::size_t> order(Q);
+    for (std::size_t i = 0; i < Q; ++i) order[i] = i;
+    shuffle.shuffle(order);
+
+    tensor::Matrix grad(M, N, 0.0);
+    for (std::size_t lo = 0; lo < Q; lo += c.train.batch_size) {
+        const std::size_t hi = std::min(lo + c.train.batch_size, Q);
+        const std::size_t b = hi - lo;
+        tensor::Matrix xb(b, N), tb(b, M);
+        for (std::size_t r = 0; r < b; ++r) {
+            for (std::size_t j = 0; j < N; ++j) xb(r, j) = q.inputs(order[lo + r], j);
+            for (std::size_t j = 0; j < M; ++j) tb(r, j) = q.outputs(order[lo + r], j);
+        }
+        tensor::Matrix sb(b, M, 0.0);
+        tensor::gemm(1.0, xb, tensor::Op::None, ref.weights(), tensor::Op::Transpose, 0.0, sb);
+        tensor::Matrix delta(b, M);
+        const double out_scale = 2.0 / static_cast<double>(M);
+        for (std::size_t r = 0; r < b; ++r) {
+            for (std::size_t j = 0; j < M; ++j) delta(r, j) = out_scale * (sb(r, j) - tb(r, j));
+        }
+        tensor::gemm(1.0 / static_cast<double>(b), delta, tensor::Op::Transpose, xb,
+                     tensor::Op::None, 0.0, grad);
+        opt->step(slot, {ref.weights().data(), ref.weights().size()},
+                  {grad.data(), grad.size()});
+    }
+    EXPECT_EQ(got.surrogate.weights(), ref.weights());
+}
+
+TEST(LeastSquaresSurrogate, CallerProvidedWorkspaceIsBitIdenticalAcrossFits) {
+    // fit_least_squares_surrogate with a shared Workspace must reproduce
+    // the workspace-free fit exactly, including when consecutive fits
+    // reshape the normal-equations temporaries (different N between fits).
+    Rng rng(21);
+    tensor::Workspace ws;
+    // A slot the caller still holds must survive the callee's borrowing
+    // of the same workspace (ridge_solve uses a Workspace::Scope).
+    tensor::Matrix& held = ws.matrix(2, 2);
+    held.fill(7.0);
+    for (const std::size_t N : {12ul, 20ul, 12ul}) {
+        const tensor::Matrix W = tensor::Matrix::random_normal(rng, 3, N);
+        const tensor::Matrix U = tensor::Matrix::random_uniform(rng, 40, N);
+        const QueryDataset q = make_queries(W, U);
+        const nn::SingleLayerNet plain = fit_least_squares_surrogate(q, 1e-6);
+        const nn::SingleLayerNet pooled = fit_least_squares_surrogate(q, 1e-6, nullptr, &ws);
+        EXPECT_EQ(plain.weights(), pooled.weights()) << "N=" << N;
+    }
+    EXPECT_EQ(held.rows(), 2u);
+    EXPECT_EQ(held(1, 1), 7.0);
+}
+
 }  // namespace
 }  // namespace xbarsec::attack
