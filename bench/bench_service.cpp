@@ -1,0 +1,366 @@
+// Multi-tenant serving throughput: many concurrent clients issuing
+// individual label queries against one deployment, with and without the
+// OracleService coalescing queue.
+//
+// Three paths per client count, all driving the same 784×10
+// synthetic-MNIST victim:
+//   * direct-scalar       — C threads calling query_label straight on the
+//                           shared backend, one vector at a time (what the
+//                           pre-service Oracle API forced on every client);
+//   * service-uncoalesced — the same per-vector stream through the
+//                           service with coalescing disabled (max_batch=1:
+//                           every submission is its own backend call);
+//   * service-coalesced   — the coalescing queue on: concurrently
+//                           submitted vectors are gathered into one
+//                           query_labels GEMM batch per flush.
+// A second series fixes 8 clients and sweeps max_batch, recording
+// throughput against the *realised* mean coalesced batch size.
+//
+// Results go to BENCH_service.json through the shared recorder. The
+// acceptance gate (full runs): coalesced >= 3x uncoalesced per-vector
+// issue at 8 concurrent clients.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "record.hpp"
+#include "xbarsec/common/cli.hpp"
+#include "xbarsec/common/error.hpp"
+#include "xbarsec/common/table.hpp"
+#include "xbarsec/common/timer.hpp"
+#include "xbarsec/core/service.hpp"
+#include "xbarsec/core/victim.hpp"
+#include "xbarsec/data/loaders.hpp"
+
+using namespace xbarsec;
+
+namespace {
+
+/// In-flight futures per client before draining: deep enough to keep the
+/// coalescer fed, small enough to stay realistic for an online client.
+constexpr std::size_t kPipeline = 64;
+
+/// Client-side batching for the batched-submission series: each client
+/// packs 32 queries per submit_labels call, 4 batches in flight.
+constexpr std::size_t kClientBatch = 32;
+constexpr std::size_t kBatchWindow = 4;
+
+double run_direct_scalar(core::CrossbarOracle& oracle, const tensor::Matrix& pool,
+                         std::size_t clients, std::size_t per_client) {
+    WallTimer timer;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            for (std::size_t q = 0; q < per_client; ++q) {
+                (void)oracle.query_label(pool.row((c * per_client + q) % pool.rows()));
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    return timer.seconds();
+}
+
+/// Per-vector request-response issue through the service: each client
+/// waits for every answer before sending the next query — the usage
+/// pattern the pre-service Oracle& API forced on concurrent clients.
+/// With max_batch = 1 this is the uncoalesced baseline of the
+/// acceptance gate.
+double run_request_response(core::OracleService& service, const tensor::Matrix& pool,
+                            std::size_t clients, std::size_t per_client) {
+    std::vector<core::Session> sessions;
+    sessions.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) sessions.push_back(service.open_session());
+    WallTimer timer;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            core::Oracle& oracle = sessions[c].oracle();
+            for (std::size_t q = 0; q < per_client; ++q) {
+                (void)oracle.query_label(pool.row((c * per_client + q) % pool.rows()));
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    return timer.seconds();
+}
+
+/// Async batched submission: each client packs kClientBatch queries per
+/// submit_labels call and keeps kBatchWindow batches in flight; the
+/// coalescer merges batches from all clients into max_batch-row GEMMs.
+double run_batched_clients(core::OracleService& service, const tensor::Matrix& pool,
+                           std::size_t clients, std::size_t per_client) {
+    std::vector<core::Session> sessions;
+    sessions.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) sessions.push_back(service.open_session());
+    WallTimer timer;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::vector<std::future<std::vector<int>>> window;
+            window.reserve(kBatchWindow);
+            for (std::size_t q = 0; q < per_client; q += kClientBatch) {
+                const std::size_t rows = std::min(kClientBatch, per_client - q);
+                tensor::Matrix U(rows, pool.cols());
+                for (std::size_t r = 0; r < rows; ++r) {
+                    const auto src = pool.row_span((c * per_client + q + r) % pool.rows());
+                    auto dst = U.row_span(r);
+                    std::copy(src.begin(), src.end(), dst.begin());
+                }
+                window.push_back(sessions[c].submit_labels(std::move(U)));
+                if (window.size() == kBatchWindow) {
+                    for (auto& f : window) (void)f.get();
+                    window.clear();
+                }
+            }
+            for (auto& f : window) (void)f.get();
+        });
+    }
+    for (auto& t : threads) t.join();
+    return timer.seconds();
+}
+
+double run_service_clients(core::OracleService& service, const tensor::Matrix& pool,
+                           std::size_t clients, std::size_t per_client) {
+    std::vector<core::Session> sessions;
+    sessions.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) sessions.push_back(service.open_session());
+    WallTimer timer;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::vector<std::future<int>> window;
+            window.reserve(kPipeline);
+            for (std::size_t q = 0; q < per_client; ++q) {
+                window.push_back(
+                    sessions[c].submit_label(pool.row((c * per_client + q) % pool.rows())));
+                if (window.size() == kPipeline) {
+                    for (auto& f : window) (void)f.get();
+                    window.clear();
+                }
+            }
+            for (auto& f : window) (void)f.get();
+        });
+    }
+    for (auto& t : threads) t.join();
+    return timer.seconds();
+}
+
+struct ServiceRun {
+    double qps = 0.0;
+    double mean_batch = 0.0;  ///< realised rows per backend call
+};
+
+ServiceRun measure_service(core::CrossbarOracle& backend, ThreadPool* pool,
+                           const tensor::Matrix& query_pool, std::size_t clients,
+                           std::size_t per_client, std::size_t max_batch) {
+    core::ServiceConfig config;
+    config.pool = pool;
+    config.max_batch = max_batch;
+    core::OracleService service(backend, config);
+    // Untimed warm-up pass (first-touch faults, cache fills), matching
+    // the other benches' measurement protocol.
+    (void)run_service_clients(service, query_pool, clients, per_client / 4 + 1);
+    const std::uint64_t batches0 = service.flushed_batches();
+    const std::uint64_t rows0 = service.flushed_rows();
+    const double secs = run_service_clients(service, query_pool, clients, per_client);
+    ServiceRun run;
+    run.qps = static_cast<double>(clients * per_client) / secs;
+    const std::uint64_t batches = service.flushed_batches() - batches0;
+    const std::uint64_t rows = service.flushed_rows() - rows0;
+    run.mean_batch = batches > 0 ? static_cast<double>(rows) / static_cast<double>(batches) : 0.0;
+    return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("bench_service — multi-client serving throughput with and without coalescing");
+    cli.flag("clients", "1,2,4,8", "concurrent client counts to measure");
+    cli.flag("queries", "8192", "label queries per client per measurement");
+    cli.flag("max-batches", "16,64,256,1024", "coalescing max_batch sweep (at the most clients)");
+    cli.flag("pool", "4096", "rows in the shared query pool");
+    cli.flag("train", "2000", "victim training samples");
+    cli.flag("epochs", "6", "victim training epochs");
+    cli.flag("threads", "0", "backend worker threads (0 = hardware concurrency)");
+    cli.flag("out", "BENCH_service.json", "JSON results path");
+    cli.flag("smoke", "false", "tiny configuration for CI smoke runs");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        data::LoadOptions load;
+        load.train_count = static_cast<std::size_t>(cli.integer("train"));
+        load.test_count = 400;
+        std::vector<long long> client_counts = cli.integer_list("clients");
+        std::vector<long long> batch_sweep = cli.integer_list("max-batches");
+        std::size_t per_client = static_cast<std::size_t>(cli.integer("queries"));
+        std::size_t pool_rows = static_cast<std::size_t>(cli.integer("pool"));
+        core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
+        config.train.epochs = static_cast<std::size_t>(cli.integer("epochs"));
+        const bool smoke = cli.boolean("smoke");
+        if (smoke) {
+            load.train_count = 400;
+            load.test_count = 120;
+            client_counts = {2, 8};
+            batch_sweep = {16, 256};
+            per_client = 1024;
+            pool_rows = 1024;
+            config.train.epochs = 2;
+        }
+
+        const data::DataSplit split = data::load_mnist_like(load);
+        const core::TrainedVictim victim = core::train_victim(split, config);
+        core::CrossbarOracle backend = core::deploy_victim(victim.net, config);
+
+        // A one-worker pool is pure scheduling overhead — run the backend
+        // GEMMs inline on the flusher thread instead on such hosts.
+        const std::size_t workers = cli.integer("threads") > 0
+                                        ? static_cast<std::size_t>(cli.integer("threads"))
+                                        : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+        std::unique_ptr<ThreadPool> pool;
+        if (workers > 1) {
+            pool = std::make_unique<ThreadPool>(workers);
+            backend.set_thread_pool(pool.get());
+        }
+
+        Rng rng(7);
+        const tensor::Matrix query_pool =
+            tensor::Matrix::random_uniform(rng, pool_rows, backend.inputs());
+
+        bench::BenchRecorder rec(
+            "service", "synthetic-mnist-784x10 victim, " + std::to_string(workers) +
+                           " backend workers, " + std::to_string(per_client) +
+                           " label queries per client, pipeline depth " +
+                           std::to_string(kPipeline));
+
+        // -- series 1: throughput vs client count --------------------------------
+        //
+        // Per-vector baselines: "direct" calls the backend with no
+        // service at all; "uncoalesced" issues one query at a time
+        // through a session and waits for each answer, with coalescing
+        // disabled (max_batch = 1: every vector is its own backend call
+        // — the gate's uncoalesced per-vector reference). Coalesced
+        // paths: scalar async submissions (pipelined), and client-side
+        // batches of kClientBatch (the designed high-throughput usage).
+        Table table({"Clients", "Direct q/s", "Uncoalesced q/s", "Coal. scalar q/s",
+                     "Coal. batch q/s", "Mean batch", "Scalar speedup", "Batch speedup"});
+        double gate_speedup = 0.0;
+        std::size_t gate_clients = 0;
+        for (const long long cc : client_counts) {
+            const std::size_t clients = static_cast<std::size_t>(cc);
+            if (clients < 1) throw ConfigError("--clients entries must be >= 1");
+            const double total = static_cast<double>(clients * per_client);
+
+            (void)run_direct_scalar(backend, query_pool, clients, per_client / 4 + 1);  // warm
+            const double direct_qps =
+                total / run_direct_scalar(backend, query_pool, clients, per_client);
+            double uncoalesced_qps = 0.0;
+            {
+                core::ServiceConfig config;
+                config.pool = pool.get();
+                config.max_batch = 1;  // per-vector: no coalescing anywhere
+                core::OracleService service(backend, config);
+                (void)run_request_response(service, query_pool, clients, per_client / 4 + 1);
+                uncoalesced_qps =
+                    total / run_request_response(service, query_pool, clients, per_client);
+            }
+            const ServiceRun coalesced =
+                measure_service(backend, pool.get(), query_pool, clients, per_client, 256);
+            double batched_qps = 0.0;
+            double batched_mean_batch = 0.0;
+            {
+                core::ServiceConfig config;
+                config.pool = pool.get();
+                core::OracleService service(backend, config);
+                (void)run_batched_clients(service, query_pool, clients, per_client / 4 + 1);
+                const std::uint64_t batches0 = service.flushed_batches();
+                const std::uint64_t rows0 = service.flushed_rows();
+                batched_qps =
+                    total / run_batched_clients(service, query_pool, clients, per_client);
+                const std::uint64_t batches = service.flushed_batches() - batches0;
+                batched_mean_batch =
+                    batches > 0 ? static_cast<double>(service.flushed_rows() - rows0) /
+                                      static_cast<double>(batches)
+                                : 0.0;
+            }
+
+            const double scalar_speedup = coalesced.qps / uncoalesced_qps;
+            const double batch_speedup = batched_qps / uncoalesced_qps;
+            if (clients >= gate_clients) {
+                gate_clients = clients;
+                gate_speedup = batch_speedup;
+            }
+
+            table.begin_row();
+            table.add(static_cast<long long>(clients));
+            table.add(direct_qps, 0);
+            table.add(uncoalesced_qps, 0);
+            table.add(coalesced.qps, 0);
+            table.add(batched_qps, 0);
+            table.add(batched_mean_batch, 1);
+            table.add(scalar_speedup, 2);
+            table.add(batch_speedup, 2);
+
+            rec.begin("clients@" + std::to_string(clients));
+            rec.add("clients", static_cast<long long>(clients));
+            rec.add("direct_scalar_qps", direct_qps);
+            rec.add("uncoalesced_qps", uncoalesced_qps);
+            rec.add("coalesced_scalar_qps", coalesced.qps);
+            rec.add("coalesced_batch_qps", batched_qps);
+            rec.add("mean_coalesced_batch", batched_mean_batch);
+            rec.add("scalar_speedup_vs_uncoalesced", scalar_speedup);
+            rec.add("batch_speedup_vs_uncoalesced", batch_speedup);
+        }
+
+        // -- series 2: throughput vs coalesced-batch size ------------------------
+        const std::size_t sweep_clients =
+            static_cast<std::size_t>(client_counts.back());
+        Table sweep_table({"max_batch", "Coalesced q/s", "Mean batch"});
+        for (const long long mb : batch_sweep) {
+            if (mb < 1) throw ConfigError("--max-batches entries must be >= 1");
+            const ServiceRun run = measure_service(backend, pool.get(), query_pool, sweep_clients,
+                                                   per_client, static_cast<std::size_t>(mb));
+            sweep_table.begin_row();
+            sweep_table.add(mb);
+            sweep_table.add(run.qps, 0);
+            sweep_table.add(run.mean_batch, 1);
+            rec.begin("max_batch@" + std::to_string(mb));
+            rec.add("clients", static_cast<long long>(sweep_clients));
+            rec.add("max_batch", mb);
+            rec.add("coalesced_qps", run.qps);
+            rec.add("mean_coalesced_batch", run.mean_batch);
+        }
+
+        std::cout << "\n## Multi-client label-query throughput (784×10 victim, "
+                  << workers << " backend workers)\n\n"
+                  << table << "\n## Throughput vs coalescing max_batch ("
+                  << sweep_clients << " clients)\n\n"
+                  << sweep_table;
+
+        const std::string out_path = cli.str("out");
+        if (!rec.write(out_path)) {
+            std::fprintf(stderr, "bench_service: cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        std::cout << "\nResults written to " << out_path << "\n";
+
+        // Acceptance gate (full runs): coalesced async submission must
+        // buy >= 3x over uncoalesced per-vector (request-response) issue
+        // at the highest client count. Smoke runs are milliseconds of
+        // wall time and not gated.
+        int exit_code = 0;
+        if (!smoke) {
+            const bool pass = gate_speedup >= 3.0;
+            std::cout << "coalesced vs uncoalesced per-vector issue at " << gate_clients
+                      << " clients: " << Table::format_number(gate_speedup, 2)
+                      << (pass ? " (PASS, >= 3x)" : " (FAIL, below the 3x target)") << "\n";
+            if (!pass) exit_code = 1;
+        }
+        return exit_code;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_service: %s\n", e.what());
+        return 1;
+    }
+}

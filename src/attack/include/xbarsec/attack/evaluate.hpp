@@ -15,6 +15,7 @@
 #include "xbarsec/attack/pgd.hpp"
 #include "xbarsec/attack/single_pixel.hpp"
 #include "xbarsec/core/oracle.hpp"
+#include "xbarsec/core/service.hpp"
 #include "xbarsec/data/dataset.hpp"
 
 namespace xbarsec::attack {
@@ -62,6 +63,25 @@ double evaluate_fgsm_attack(core::Oracle& oracle, const nn::SingleLayerNet& surr
 /// Victim (oracle) accuracy under PGD crafted against `surrogate` —
 /// batched gradient steps, one batched label query to score.
 double evaluate_pgd_attack(core::Oracle& oracle, const nn::SingleLayerNet& surrogate,
+                           const data::Dataset& test, const PgdConfig& config);
+
+// ---- session-based evaluation -----------------------------------------------
+//
+// The same black-box scoring driven through an OracleService session:
+// crafting is unchanged, and the scoring queries ride the session's
+// coalesced submit path under that tenant's policy (budget charged,
+// detector screened, session noise applied). Convenience wrappers over
+// Session::oracle().
+
+double oracle_accuracy(core::Session& session, const tensor::Matrix& X,
+                       const std::vector<int>& labels);
+double oracle_accuracy(core::Session& session, const data::Dataset& dataset);
+
+double evaluate_fgsm_attack(core::Session& session, const nn::SingleLayerNet& surrogate,
+                            const data::Dataset& test, double epsilon,
+                            const PerturbationBudget& budget = {});
+
+double evaluate_pgd_attack(core::Session& session, const nn::SingleLayerNet& surrogate,
                            const data::Dataset& test, const PgdConfig& config);
 
 }  // namespace xbarsec::attack

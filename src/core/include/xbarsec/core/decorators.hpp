@@ -23,6 +23,7 @@
 // data).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -136,6 +137,8 @@ struct QueryBudget {
     std::uint64_t max_inference = 0;
     std::uint64_t max_power = 0;
     std::uint64_t max_total = 0;
+
+    bool unlimited() const { return max_inference == 0 && max_power == 0 && max_total == 0; }
 };
 
 /// Thrown by QueryBudgetOracle when a query would exceed the budget.
@@ -145,9 +148,49 @@ public:
         : Error("query budget exceeded: " + what) {}
 };
 
+/// Per-client budget *policy state*, split from the serving stack so one
+/// shared backend can enforce a different ledger per tenant
+/// (OracleService sessions) while the whole-deployment QueryBudgetOracle
+/// remains the single-client special case. Thread-safe: concurrent
+/// callers (thread-pool workers, service submitters) charge atomically
+/// under one mutex, and charging is all-or-nothing — a batch that would
+/// cross the cap throws before any of it is charged.
+class BudgetLedger {
+public:
+    explicit BudgetLedger(QueryBudget budget) : budget_(budget) {}
+
+    /// Charges n inference / power queries; throws QueryBudgetExceeded
+    /// (charging nothing) when the charge would cross a cap.
+    void charge_inference(std::uint64_t n);
+    void charge_power(std::uint64_t n);
+
+    /// Returns previously-charged queries to the budget — admission
+    /// rollback for a submission that was charged but could not be
+    /// enqueued (e.g. the service shut down between the charge and the
+    /// queue push).
+    void refund_inference(std::uint64_t n);
+    void refund_power(std::uint64_t n);
+
+    /// Queries charged so far (this ledger's own view of the client).
+    QueryCounters spent() const;
+
+    /// Forgets everything charged; the budget caps stay in force.
+    void reset();
+
+    const QueryBudget& budget() const { return budget_; }
+
+private:
+    QueryBudget budget_;
+    mutable std::mutex mutex_;
+    std::uint64_t spent_inference_ = 0;
+    std::uint64_t spent_power_ = 0;
+};
+
 /// Enforces a hard query budget on everything passing through. Charging
 /// is all-or-nothing: a batch that would cross the cap throws before any
 /// of it reaches the backend, and a refused query is not charged.
+/// Policy state lives in a BudgetLedger — this decorator is the
+/// whole-deployment (single-session) composition of that policy.
 class QueryBudgetOracle : public OracleDecorator {
 public:
     QueryBudgetOracle(Oracle& inner, QueryBudget budget);
@@ -159,21 +202,15 @@ public:
     tensor::Matrix query_raw_batch(const tensor::Matrix& U) override;
     tensor::Vector query_power_batch(const tensor::Matrix& U) override;
 
-    const QueryBudget& budget() const { return budget_; }
+    const QueryBudget& budget() const { return ledger_.budget(); }
 
     /// Queries charged against the budget so far (this decorator's own
     /// ledger — backend counters may include queries made before the
     /// budget was imposed).
-    QueryCounters spent() const;
+    QueryCounters spent() const { return ledger_.spent(); }
 
 private:
-    void charge_inference(std::uint64_t n);
-    void charge_power(std::uint64_t n);
-
-    QueryBudget budget_;
-    mutable std::mutex mutex_;
-    std::uint64_t spent_inference_ = 0;
-    std::uint64_t spent_power_ = 0;
+    BudgetLedger ledger_;
 };
 
 // ---- inline detection -------------------------------------------------------
@@ -184,12 +221,49 @@ public:
     explicit QueryRefused(const std::string& what) : Error("query refused: " + what) {}
 };
 
+/// Per-client detection *policy state* over a shared (immutable, already
+/// enrolled) CurrentSignatureDetector: the screened/flagged window and
+/// the blocking decision belong to one client, the enrolled profiles to
+/// the deployment. OracleService sessions each own one of these, so one
+/// tenant's anomalous traffic never pollutes another tenant's detection
+/// statistics; DetectorOracle composes the same policy as the
+/// whole-deployment special case. Thread-safe (atomic counters; the
+/// shared detector is only read).
+class DetectorScreen {
+public:
+    DetectorScreen(const sidechannel::CurrentSignatureDetector& detector, bool block_flagged)
+        : detector_(&detector), block_flagged_(block_flagged) {}
+
+    /// Scores the input; counts it (and, when blocking, throws
+    /// QueryRefused) if the detector flags it.
+    void screen(const tensor::Vector& u);
+    void screen_batch(const tensor::Matrix& U);
+
+    std::uint64_t screened() const { return screened_.load(std::memory_order_relaxed); }
+    std::uint64_t flagged() const { return flagged_.load(std::memory_order_relaxed); }
+    double flagged_fraction() const;
+
+    /// Clears the screening window (counters); enrolment is untouched.
+    void reset();
+
+    bool blocking() const { return block_flagged_; }
+    const sidechannel::CurrentSignatureDetector& detector() const { return *detector_; }
+
+private:
+    const sidechannel::CurrentSignatureDetector* detector_;
+    bool block_flagged_;
+    std::atomic<std::uint64_t> screened_{0};
+    std::atomic<std::uint64_t> flagged_{0};
+};
+
 /// Screens every inference input through a current-signature detector
 /// before forwarding it. In log-only mode flagged queries are counted and
 /// still answered (measurement of detector coverage); in blocking mode
 /// they throw QueryRefused without reaching the backend. Power probes are
 /// not screened — the detector models DetectX-style inference-time
-/// sensing, and basis-vector probes are not inferences.
+/// sensing, and basis-vector probes are not inferences. Policy state
+/// lives in a DetectorScreen — this decorator is the whole-deployment
+/// (single-session) composition of that policy.
 class DetectorOracle : public OracleDecorator {
 public:
     DetectorOracle(Oracle& inner, const sidechannel::CurrentSignatureDetector& detector,
@@ -200,18 +274,12 @@ public:
     std::vector<int> query_labels(const tensor::Matrix& U) override;
     tensor::Matrix query_raw_batch(const tensor::Matrix& U) override;
 
-    std::uint64_t screened() const { return screened_.load(std::memory_order_relaxed); }
-    std::uint64_t flagged() const { return flagged_.load(std::memory_order_relaxed); }
-    double flagged_fraction() const;
+    std::uint64_t screened() const { return screen_.screened(); }
+    std::uint64_t flagged() const { return screen_.flagged(); }
+    double flagged_fraction() const { return screen_.flagged_fraction(); }
 
 private:
-    void screen(const tensor::Vector& u);
-    void screen_batch(const tensor::Matrix& U);
-
-    const sidechannel::CurrentSignatureDetector& detector_;
-    bool block_flagged_;
-    std::atomic<std::uint64_t> screened_{0};
-    std::atomic<std::uint64_t> flagged_{0};
+    DetectorScreen screen_;
 };
 
 // ---- owned stacks -----------------------------------------------------------

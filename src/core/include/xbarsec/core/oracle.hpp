@@ -50,13 +50,22 @@ public:
 };
 
 /// Query counters (attacker cost accounting). A snapshot — the live
-/// counters inside a backend are atomic so batched queries may be issued
-/// from thread-pool workers.
+/// counters inside a backend (or an OracleService session) are atomic,
+/// so batched queries may be issued from thread-pool workers and
+/// snapshots taken concurrently are always monotone per bucket between
+/// resets.
 struct QueryCounters {
     std::uint64_t inference = 0;  ///< label or raw-output queries
     std::uint64_t power = 0;      ///< total-current measurements
 
-    std::uint64_t total() const { return inference + power; }
+    /// Saturating sum: the buckets are independently monotone and on a
+    /// long-lived multi-tenant service their sum could in principle
+    /// exceed 2^64 − 1; saturation keeps total() monotone instead of
+    /// wrapping.
+    std::uint64_t total() const {
+        const std::uint64_t t = inference + power;
+        return t < inference ? ~std::uint64_t{0} : t;
+    }
 };
 
 /// Abstract attacker-facing query interface. Attack and side-channel code

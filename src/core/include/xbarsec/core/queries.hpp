@@ -6,6 +6,7 @@
 
 #include "xbarsec/attack/surrogate.hpp"
 #include "xbarsec/core/oracle.hpp"
+#include "xbarsec/core/service.hpp"
 #include "xbarsec/data/dataset.hpp"
 #include "xbarsec/sidechannel/search.hpp"
 
@@ -43,6 +44,24 @@ sidechannel::ProbeResult probe_columns(Oracle& oracle,
 /// Query-efficient search for the largest probed column 1-norm, driving
 /// sidechannel::find_argmax through the oracle's power channel.
 sidechannel::SearchResult find_argmax(Oracle& oracle, const data::ImageShape& shape,
+                                      sidechannel::SearchStrategy strategy,
+                                      const sidechannel::SearchOptions& options = {});
+
+// ---- session-based entry points ---------------------------------------------
+//
+// The same attacker pipelines driven through an OracleService session:
+// queries route submit → coalesce → batched backend call, so one
+// tenant's collection rides the shared GEMM path while other tenants'
+// traffic interleaves. Results are bit-identical to the Oracle&
+// overloads on the session's own stream (per-session policy applies).
+
+attack::QueryDataset collect_queries(Session& session, const data::Dataset& pool,
+                                     const QueryPlan& plan);
+
+sidechannel::ProbeResult probe_columns(Session& session,
+                                       const sidechannel::ProbeOptions& options = {});
+
+sidechannel::SearchResult find_argmax(Session& session, const data::ImageShape& shape,
                                       sidechannel::SearchStrategy strategy,
                                       const sidechannel::SearchOptions& options = {});
 

@@ -19,13 +19,14 @@
 #include "xbarsec/core/fig3.hpp"
 #include "xbarsec/core/fig4.hpp"
 #include "xbarsec/core/fig5.hpp"
+#include "xbarsec/core/service.hpp"
 #include "xbarsec/core/table1.hpp"
 #include "xbarsec/data/loaders.hpp"
 
 namespace xbarsec::core {
 
 enum class DatasetKind { MnistLike, Cifar10Like };
-enum class ExperimentKind { Fig3, Fig4, Fig5, Table1, Probe };
+enum class ExperimentKind { Fig3, Fig4, Fig5, Table1, Probe, MultiClient };
 
 std::string to_string(DatasetKind kind);
 std::string to_string(ExperimentKind kind);
@@ -60,6 +61,40 @@ struct DefenseSpec {
     std::size_t detector_enrollment = 256;  ///< clean train samples enrolled
 };
 
+/// A multi-tenant serving workload: several clients drive one deployment
+/// through concurrent OracleService sessions, each under its own policy.
+struct MultiClientOptions {
+    enum class Mode {
+        HiddenAttacker,    ///< one attacker probing + attacking among benign tenants
+        BudgetExhaustion,  ///< per-tenant budgets: the attacker exhausts its own, others run on
+        DetectorIsolation, ///< per-session detection windows must not bleed between tenants
+    };
+
+    Mode mode = Mode::HiddenAttacker;
+
+    std::size_t benign_clients = 4;    ///< concurrent benign sessions
+    std::size_t benign_queries = 256;  ///< clean label queries per benign client
+
+    /// Single-pixel attack strength for the attacker's inference queries
+    /// (relative to the clean input maximum, as in Fig. 4's sweeps).
+    double attack_strength = 10.0;
+    std::size_t attack_queries = 64;  ///< adversarial queries the attacker issues
+
+    /// Per-tenant budget for Mode::BudgetExhaustion (applied to every
+    /// session; sized so the attacker's probe exhausts it but benign
+    /// traffic fits).
+    QueryBudget tenant_budget{};
+
+    /// Detector config for the per-session screens (HiddenAttacker and
+    /// DetectorIsolation enrol one shared detector, screened per session).
+    sidechannel::DetectorConfig detector{};
+    std::size_t detector_enrollment = 256;
+
+    std::uint64_t seed = 7;
+};
+
+std::string to_string(MultiClientOptions::Mode mode);
+
 /// A complete named workload.
 struct ScenarioSpec {
     std::string name;         ///< registry key, e.g. "fig4/mnist/softmax"
@@ -77,6 +112,7 @@ struct ScenarioSpec {
     Table1Options table1;
     sidechannel::ProbeOptions probe;
     std::size_t probe_topk = 16;  ///< ranking-agreement k for Probe reports
+    MultiClientOptions multiclient;
 };
 
 /// Shrinks a spec to CI-smoke size (tiny datasets, minimal sweeps).
@@ -105,7 +141,12 @@ private:
 ScenarioRegistry& builtin_scenarios();
 
 /// A trained victim deployed on the crossbar with its decorator stack
-/// built — ready for an attacker. Owns everything it references.
+/// built and fronted by an OracleService — ready for an attacker. Owns
+/// everything it references. Every experiment drives the deployment
+/// through a service session: the single-session case is the exact
+/// pre-service behaviour (the coalescer passes sync submissions through
+/// to the stack top, bit for bit), and multi-client experiments open
+/// further sessions on the same service.
 class DeployedScenario {
 public:
     const ScenarioSpec& spec() const { return spec_; }
@@ -115,8 +156,25 @@ public:
     /// The physical deployment (evaluation-side access).
     CrossbarOracle& backend() { return *backend_; }
 
-    /// The attacker-facing top of the decorator stack.
-    Oracle& oracle() { return stack_->top(); }
+    /// The attacker-facing top of the decorator stack (what the
+    /// service's sessions serve; direct use bypasses the service).
+    Oracle& stack_top() { return stack_->top(); }
+
+    /// The serving front-end over the stack (open more sessions here).
+    OracleService& service() { return *service_; }
+
+    /// The attacker-facing oracle: the default session's synchronous
+    /// view onto the service. Existing attack code runs unchanged.
+    Oracle& oracle() { return session_.oracle(); }
+
+    /// The default session every single-client experiment runs through.
+    Session& session() { return session_; }
+
+    /// The enrolled detector (non-null when the spec asked for one or a
+    /// multi-client experiment enrolled one); shared, read-only.
+    const sidechannel::CurrentSignatureDetector* enrolled_detector() const {
+        return detector_.get();
+    }
 
     /// Non-null when the stack contains a Detector layer.
     const DetectorOracle* detector_layer() const { return detector_layer_; }
@@ -132,6 +190,11 @@ private:
     std::unique_ptr<sidechannel::CurrentSignatureDetector> detector_;
     std::unique_ptr<DecoratorStack> stack_;
     DetectorOracle* detector_layer_ = nullptr;
+    // Declared after the stack (and destroyed before it): the session
+    // must close before the service joins its flusher, which must happen
+    // before the backend it serves goes away.
+    std::unique_ptr<OracleService> service_;
+    Session session_;
 };
 
 /// Everything a scenario produced, in renderable form.

@@ -1,0 +1,238 @@
+// Multi-tenant serving front-end over the attacker-facing Oracle stack.
+//
+// The paper's threat model is a *deployed* accelerator answering queries
+// from many clients at once — one attacker hiding among benign tenants,
+// each tenant under its own query budget and detection window. The bare
+// `Oracle` API cannot express that: its decorators keep one global
+// policy state for the whole deployment. `OracleService` redesigns the
+// serving surface around **sessions**:
+//
+//   OracleService service(stack.top(), config);   // shared deployment
+//   Session alice = service.open_session(per_tenant_policy);
+//   Session eve   = service.open_session(attacker_policy);
+//   auto label    = alice.submit_label(u);         // std::future<int>
+//
+// Per-session policy (BudgetLedger, DetectorScreen, deterministic
+// sensing-noise stream, exposure options) is enforced at submission, on
+// the submitting thread, before anything reaches the shared backend —
+// so one tenant exhausting its budget or tripping the detector never
+// perturbs another tenant's service. The whole-deployment decorators
+// (QueryBudgetOracle, DetectorOracle, …) remain the single-session
+// special case and still compose *below* the service as shared
+// infrastructure defenses.
+//
+// Submissions are asynchronous (futures) and **coalesced**: a flusher
+// thread gathers individually-submitted vectors from all sessions into
+// `query_*_batch` calls against the backend — the one-GEMM fast path the
+// kernel layer provides — flushing when `max_batch` rows are pending or
+// after `max_wait`. Coalescing preserves submission order and groups
+// only *consecutive* same-kind submissions into one backend batch, so a
+// coalesced stream is bit-identical to the same queries issued serially
+// (the backend's batched paths already guarantee batch = in-order
+// scalars; see crossbar.hpp). Per-session sensing noise is drawn from a
+// counter-based stream indexed by the session's own query ordinal, so it
+// too is independent of how submissions were packed into batches.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "xbarsec/core/decorators.hpp"
+#include "xbarsec/core/oracle.hpp"
+
+namespace xbarsec::core {
+
+/// Thrown when a session is used after it (or its service) was closed.
+class SessionClosed : public Error {
+public:
+    explicit SessionClosed(const std::string& what) : Error("session closed: " + what) {}
+};
+
+/// Service-wide knobs: the worker pool behind the backend's batched
+/// query paths and the coalescing-queue flush policy.
+struct ServiceConfig {
+    /// Workers for a service-owned ThreadPool (0 = none: the backend
+    /// runs its batched paths serially unless it already carries a
+    /// pool). Ignored when `pool` is set.
+    std::size_t workers = 0;
+
+    /// External pool to use instead of owning one (not owned; must
+    /// outlive the service). The scenario benches pass their shared pool
+    /// through here.
+    ThreadPool* pool = nullptr;
+
+    /// Flush the coalescing queue once this many input rows are pending.
+    /// Also the maximum rows per backend batch call — larger submissions
+    /// are split, in order, which the backend reproduces bit-identically.
+    std::size_t max_batch = 256;
+
+    /// Flush latency bound: pending work never waits longer than this
+    /// for more submissions to coalesce with.
+    std::chrono::microseconds max_wait{200};
+};
+
+/// Per-session policy: what this client may see and what it costs them.
+/// All-default = a transparent pass-through session (the single-client
+/// special case every pre-service scenario runs through).
+struct SessionConfig {
+    /// Per-session query budget (all-zero = unlimited). Charged
+    /// all-or-nothing at submission; a refused submission throws
+    /// QueryBudgetExceeded and charges (and counts) nothing.
+    QueryBudget budget{};
+
+    /// When set, every inference submission is screened through this
+    /// (shared, already enrolled) detector with a session-private
+    /// flagged/screened window. Blocking sessions throw QueryRefused at
+    /// submission. The detector object itself must outlive the session.
+    const sidechannel::CurrentSignatureDetector* detector = nullptr;
+    bool block_flagged = false;
+
+    /// Per-session additive Gaussian sensing noise on the power channel
+    /// (weight units). Drawn from a counter-based stream indexed by the
+    /// session's power-query ordinal, so the values a session sees are a
+    /// pure function of (noise_seed, how many power queries it has made)
+    /// — bit-identical whether its submissions coalesced or ran serially,
+    /// and independent of other sessions' traffic.
+    double power_noise_sigma = 0.0;
+    std::uint64_t noise_seed = 0x5E5510Ull;
+
+    /// Exposure options for this client (AND-ed with the deployment's
+    /// own OracleOptions, which still apply at the backend).
+    bool expose_raw_outputs = true;
+    bool expose_power = true;
+};
+
+namespace detail {
+struct ServiceState;
+struct SessionState;
+}  // namespace detail
+
+class OracleService;
+
+/// A client's handle onto the service. Movable; closing (or destroying)
+/// it rejects *new* submissions with SessionClosed while in-flight ones
+/// complete normally. Distinct sessions are safe to drive fully
+/// concurrently, and a single session's submissions may also race
+/// (ordinals and charges are atomic) at the cost of nondeterministic
+/// interleaving order.
+class Session {
+public:
+    Session() = default;
+    ~Session();
+    Session(Session&&) noexcept = default;
+    Session& operator=(Session&&) noexcept;
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Async scalar submissions: enqueue one vector, get a future. The
+    /// coalescer packs concurrently pending vectors into one batched
+    /// backend call.
+    std::future<int> submit_label(tensor::Vector u);
+    std::future<tensor::Vector> submit_raw(tensor::Vector u);
+    std::future<double> submit_power(tensor::Vector u);
+
+    /// Async batched submissions: all rows of U as one unit (charged
+    /// all-or-nothing against the session budget).
+    std::future<std::vector<int>> submit_labels(tensor::Matrix U);
+    std::future<tensor::Matrix> submit_raw_batch(tensor::Matrix U);
+    std::future<tensor::Vector> submit_power_batch(tensor::Matrix U);
+
+    /// Synchronous Oracle view of this session: query_* submits with an
+    /// immediate-flush hint and waits. Existing attack and side-channel
+    /// entry points (collect_queries, probe_columns, evaluate_*) take
+    /// Oracle& and therefore run unchanged through a session. counters()
+    /// / reset_counters() act on the *session* counters.
+    Oracle& oracle();
+
+    /// This session's accepted-query counters (monotone between resets;
+    /// refused submissions are not counted).
+    QueryCounters counters() const;
+    void reset_counters();
+
+    /// Budget ledger view (what reset_counters does NOT clear — the
+    /// budget keeps protecting the deployment across counter resets).
+    /// Sessions with an unlimited budget keep no ledger and report
+    /// zeros here; counters() is their telemetry.
+    QueryCounters budget_spent() const;
+
+    /// Detection window (zeros when the session has no detector).
+    std::uint64_t screened() const;
+    std::uint64_t flagged() const;
+    double flagged_fraction() const;
+
+    std::uint64_t id() const;
+    bool open() const;
+
+    /// Rejects new submissions (SessionClosed); in-flight ones complete
+    /// normally, and the session's counters stay readable. Idempotent.
+    void close();
+
+private:
+    friend class OracleService;
+    explicit Session(std::shared_ptr<detail::SessionState> state);
+
+    std::shared_ptr<detail::SessionState> state_;
+    std::unique_ptr<Oracle> oracle_view_;
+};
+
+/// Thread-safe serving front-end: owns the coalescing queue, its flusher
+/// thread, and (optionally) the worker pool; serves any number of
+/// concurrently open sessions over one shared backend Oracle stack. The
+/// backend is not owned and must outlive the service (it is typically a
+/// DecoratorStack top over a CrossbarOracle — infrastructure defenses
+/// below the service apply to all tenants).
+class OracleService {
+public:
+    explicit OracleService(Oracle& backend, ServiceConfig config = {});
+
+    /// Drains the queue (pending submissions complete) and joins the
+    /// flusher. Open sessions are closed.
+    ~OracleService();
+
+    OracleService(const OracleService&) = delete;
+    OracleService& operator=(const OracleService&) = delete;
+
+    /// Opens a new session with the given per-client policy.
+    Session open_session(SessionConfig config = {});
+
+    std::size_t inputs() const;
+    std::size_t outputs() const;
+
+    /// Service-wide accepted-query counters (sum over sessions, since
+    /// the last service-wide reset). Monotone between resets.
+    QueryCounters counters() const;
+
+    /// Resets the service-wide counters (sessions' own counters are
+    /// per-tenant state and stay put).
+    void reset_counters();
+
+    /// Coalescing statistics: backend batch calls made, and total rows
+    /// they carried (rows / flushes = realised mean coalesced batch).
+    std::uint64_t flushed_batches() const;
+    std::uint64_t flushed_rows() const;
+
+    std::size_t sessions_opened() const;
+
+    /// The pool this service carries for the backend's batched paths:
+    /// the external `config.pool` if one was given, else the owned pool
+    /// (`config.workers > 0`), else null. The service does not rewire
+    /// the backend — callers connect it (e.g. via
+    /// `BackendOracle::set_thread_pool(service.pool())`).
+    ThreadPool* pool();
+
+    const ServiceConfig& config() const;
+
+private:
+    std::shared_ptr<detail::ServiceState> state_;
+    std::unique_ptr<ThreadPool> owned_pool_;
+    std::thread flusher_;
+};
+
+}  // namespace xbarsec::core

@@ -1,5 +1,6 @@
 #include "xbarsec/core/decorators.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace xbarsec::core {
@@ -66,12 +67,9 @@ tensor::Vector NoisyPowerOracle::query_power_batch(const tensor::Matrix& U) {
     return p;
 }
 
-// ---- QueryBudgetOracle ------------------------------------------------------
+// ---- BudgetLedger -----------------------------------------------------------
 
-QueryBudgetOracle::QueryBudgetOracle(Oracle& inner, QueryBudget budget)
-    : OracleDecorator(inner), budget_(budget) {}
-
-void QueryBudgetOracle::charge_inference(std::uint64_t n) {
+void BudgetLedger::charge_inference(std::uint64_t n) {
     std::lock_guard lock(mutex_);
     if (budget_.max_inference != 0 && spent_inference_ + n > budget_.max_inference) {
         throw QueryBudgetExceeded("inference budget of " + std::to_string(budget_.max_inference) +
@@ -84,7 +82,7 @@ void QueryBudgetOracle::charge_inference(std::uint64_t n) {
     spent_inference_ += n;
 }
 
-void QueryBudgetOracle::charge_power(std::uint64_t n) {
+void BudgetLedger::charge_power(std::uint64_t n) {
     std::lock_guard lock(mutex_);
     if (budget_.max_power != 0 && spent_power_ + n > budget_.max_power) {
         throw QueryBudgetExceeded("power budget of " + std::to_string(budget_.max_power) +
@@ -97,7 +95,17 @@ void QueryBudgetOracle::charge_power(std::uint64_t n) {
     spent_power_ += n;
 }
 
-QueryCounters QueryBudgetOracle::spent() const {
+void BudgetLedger::refund_inference(std::uint64_t n) {
+    std::lock_guard lock(mutex_);
+    spent_inference_ -= std::min(n, spent_inference_);
+}
+
+void BudgetLedger::refund_power(std::uint64_t n) {
+    std::lock_guard lock(mutex_);
+    spent_power_ -= std::min(n, spent_power_);
+}
+
+QueryCounters BudgetLedger::spent() const {
     std::lock_guard lock(mutex_);
     QueryCounters c;
     c.inference = spent_inference_;
@@ -105,51 +113,57 @@ QueryCounters QueryBudgetOracle::spent() const {
     return c;
 }
 
+void BudgetLedger::reset() {
+    std::lock_guard lock(mutex_);
+    spent_inference_ = 0;
+    spent_power_ = 0;
+}
+
+// ---- QueryBudgetOracle ------------------------------------------------------
+
+QueryBudgetOracle::QueryBudgetOracle(Oracle& inner, QueryBudget budget)
+    : OracleDecorator(inner), ledger_(budget) {}
+
 int QueryBudgetOracle::query_label(const tensor::Vector& u) {
-    charge_inference(1);
+    ledger_.charge_inference(1);
     return inner().query_label(u);
 }
 
 tensor::Vector QueryBudgetOracle::query_raw(const tensor::Vector& u) {
-    charge_inference(1);
+    ledger_.charge_inference(1);
     return inner().query_raw(u);
 }
 
 double QueryBudgetOracle::query_power(const tensor::Vector& u) {
-    charge_power(1);
+    ledger_.charge_power(1);
     return inner().query_power(u);
 }
 
 std::vector<int> QueryBudgetOracle::query_labels(const tensor::Matrix& U) {
-    charge_inference(U.rows());
+    ledger_.charge_inference(U.rows());
     return inner().query_labels(U);
 }
 
 tensor::Matrix QueryBudgetOracle::query_raw_batch(const tensor::Matrix& U) {
-    charge_inference(U.rows());
+    ledger_.charge_inference(U.rows());
     return inner().query_raw_batch(U);
 }
 
 tensor::Vector QueryBudgetOracle::query_power_batch(const tensor::Matrix& U) {
-    charge_power(U.rows());
+    ledger_.charge_power(U.rows());
     return inner().query_power_batch(U);
 }
 
-// ---- DetectorOracle ---------------------------------------------------------
+// ---- DetectorScreen ---------------------------------------------------------
 
-DetectorOracle::DetectorOracle(Oracle& inner,
-                               const sidechannel::CurrentSignatureDetector& detector,
-                               bool block_flagged)
-    : OracleDecorator(inner), detector_(detector), block_flagged_(block_flagged) {}
-
-double DetectorOracle::flagged_fraction() const {
+double DetectorScreen::flagged_fraction() const {
     const std::uint64_t n = screened();
     return n == 0 ? 0.0 : static_cast<double>(flagged()) / static_cast<double>(n);
 }
 
-void DetectorOracle::screen(const tensor::Vector& u) {
+void DetectorScreen::screen(const tensor::Vector& u) {
     screened_.fetch_add(1, std::memory_order_relaxed);
-    if (detector_.is_adversarial(u)) {
+    if (detector_->is_adversarial(u)) {
         flagged_.fetch_add(1, std::memory_order_relaxed);
         if (block_flagged_) {
             throw QueryRefused("input flagged by the current-signature detector");
@@ -157,27 +171,39 @@ void DetectorOracle::screen(const tensor::Vector& u) {
     }
 }
 
-void DetectorOracle::screen_batch(const tensor::Matrix& U) {
+void DetectorScreen::screen_batch(const tensor::Matrix& U) {
     for (std::size_t r = 0; r < U.rows(); ++r) screen(U.row(r));
 }
 
+void DetectorScreen::reset() {
+    screened_.store(0, std::memory_order_relaxed);
+    flagged_.store(0, std::memory_order_relaxed);
+}
+
+// ---- DetectorOracle ---------------------------------------------------------
+
+DetectorOracle::DetectorOracle(Oracle& inner,
+                               const sidechannel::CurrentSignatureDetector& detector,
+                               bool block_flagged)
+    : OracleDecorator(inner), screen_(detector, block_flagged) {}
+
 int DetectorOracle::query_label(const tensor::Vector& u) {
-    screen(u);
+    screen_.screen(u);
     return inner().query_label(u);
 }
 
 tensor::Vector DetectorOracle::query_raw(const tensor::Vector& u) {
-    screen(u);
+    screen_.screen(u);
     return inner().query_raw(u);
 }
 
 std::vector<int> DetectorOracle::query_labels(const tensor::Matrix& U) {
-    screen_batch(U);
+    screen_.screen_batch(U);
     return inner().query_labels(U);
 }
 
 tensor::Matrix DetectorOracle::query_raw_batch(const tensor::Matrix& U) {
-    screen_batch(U);
+    screen_.screen_batch(U);
     return inner().query_raw_batch(U);
 }
 

@@ -1,6 +1,8 @@
 #include "xbarsec/core/scenario.hpp"
 
 #include <algorithm>
+#include <future>
+#include <thread>
 
 #include "xbarsec/attack/evaluate.hpp"
 #include "xbarsec/core/queries.hpp"
@@ -24,6 +26,16 @@ std::string to_string(ExperimentKind kind) {
         case ExperimentKind::Fig5: return "fig5";
         case ExperimentKind::Table1: return "table1";
         case ExperimentKind::Probe: return "probe";
+        case ExperimentKind::MultiClient: return "multiclient";
+    }
+    return "?";
+}
+
+std::string to_string(MultiClientOptions::Mode mode) {
+    switch (mode) {
+        case MultiClientOptions::Mode::HiddenAttacker: return "hidden-attacker";
+        case MultiClientOptions::Mode::BudgetExhaustion: return "budget-exhaustion";
+        case MultiClientOptions::Mode::DetectorIsolation: return "detector-isolation";
     }
     return "?";
 }
@@ -42,6 +54,11 @@ void apply_smoke(ScenarioSpec& spec) {
     for (DefenseSpec& d : spec.defenses) {
         d.detector_enrollment = std::min<std::size_t>(d.detector_enrollment, 200);
     }
+    spec.multiclient.benign_clients = std::min<std::size_t>(spec.multiclient.benign_clients, 2);
+    spec.multiclient.benign_queries = std::min<std::size_t>(spec.multiclient.benign_queries, 48);
+    spec.multiclient.attack_queries = std::min<std::size_t>(spec.multiclient.attack_queries, 16);
+    spec.multiclient.detector_enrollment =
+        std::min<std::size_t>(spec.multiclient.detector_enrollment, 200);
 }
 
 // ---- registry ---------------------------------------------------------------
@@ -198,6 +215,50 @@ void register_builtins(ScenarioRegistry& registry) {
                                    ExperimentKind::Probe);
         registry.add(std::move(s));
     }
+    // Multi-tenant serving scenarios: concurrent sessions on one
+    // OracleService over one shared deployment (the threat model's
+    // "attacker among millions of users", scaled to a test bench).
+    {
+        ScenarioSpec s = base_spec("service/mnist/hidden-attacker",
+                                   "One attacker probing and attacking among benign tenants, "
+                                   "per-session detection windows",
+                                   DatasetKind::MnistLike, OutputConfig::softmax_ce(),
+                                   ExperimentKind::MultiClient);
+        s.multiclient.mode = MultiClientOptions::Mode::HiddenAttacker;
+        s.multiclient.benign_clients = 4;
+        s.multiclient.benign_queries = 256;
+        s.multiclient.attack_queries = 64;
+        // Far beyond the enrolled envelope (the auto-calibrated threshold
+        // sits around 2-3x the clean per-line range): the scenario
+        // demonstrates *whose window* flags, not detector sensitivity.
+        s.multiclient.attack_strength = 50.0;
+        registry.add(std::move(s));
+    }
+    {
+        ScenarioSpec s = base_spec("service/mnist/budget-exhaustion",
+                                   "Per-tenant query budgets: the attacker's probe exhausts its "
+                                   "own budget while benign tenants run on",
+                                   DatasetKind::MnistLike, OutputConfig::softmax_ce(),
+                                   ExperimentKind::MultiClient);
+        s.multiclient.mode = MultiClientOptions::Mode::BudgetExhaustion;
+        s.multiclient.benign_clients = 4;
+        s.multiclient.benign_queries = 128;
+        s.multiclient.attack_queries = 32;
+        registry.add(std::move(s));
+    }
+    {
+        ScenarioSpec s = base_spec("service/mnist/detector-isolation",
+                                   "Two tenants, one adversarial: per-session flagged windows "
+                                   "must not bleed across sessions",
+                                   DatasetKind::MnistLike, OutputConfig::softmax_ce(),
+                                   ExperimentKind::MultiClient);
+        s.multiclient.mode = MultiClientOptions::Mode::DetectorIsolation;
+        s.multiclient.benign_clients = 1;
+        s.multiclient.benign_queries = 256;
+        s.multiclient.attack_queries = 64;
+        s.multiclient.attack_strength = 50.0;
+        registry.add(std::move(s));
+    }
     {
         // The decorator-stacked defended deployment: randomised dummy
         // loads, sensing noise, and a hard power-measurement budget.
@@ -297,19 +358,24 @@ DeployedScenario ScenarioRunner::deploy(const ScenarioSpec& spec) const {
     d.backend_->set_thread_pool(pool_);
     d.stack_ = std::make_unique<DecoratorStack>(*d.backend_);
 
-    const bool needs_detector =
-        std::any_of(spec.defenses.begin(), spec.defenses.end(),
-                    [](const DefenseSpec& ds) { return ds.kind == DefenseSpec::Kind::Detector; });
-    if (needs_detector) {
+    // A detector is enrolled when a stack layer asks for one, or when a
+    // multi-client experiment screens per session (shared enrolment,
+    // per-tenant windows).
+    const auto it = std::find_if(
+        spec.defenses.begin(), spec.defenses.end(),
+        [](const DefenseSpec& ds) { return ds.kind == DefenseSpec::Kind::Detector; });
+    const bool multiclient_detector =
+        spec.experiment == ExperimentKind::MultiClient &&
+        spec.multiclient.mode != MultiClientOptions::Mode::BudgetExhaustion;
+    if (it != spec.defenses.end() || multiclient_detector) {
         // Enrol on clean training data through the deployed hardware.
-        const auto it = std::find_if(
-            spec.defenses.begin(), spec.defenses.end(),
-            [](const DefenseSpec& ds) { return ds.kind == DefenseSpec::Kind::Detector; });
-        const data::Dataset enrollment =
-            it->detector_enrollment > 0 ? d.split_.train.take(it->detector_enrollment)
-                                        : d.split_.train;
+        const sidechannel::DetectorConfig config =
+            it != spec.defenses.end() ? it->detector : spec.multiclient.detector;
+        const std::size_t take = it != spec.defenses.end() ? it->detector_enrollment
+                                                           : spec.multiclient.detector_enrollment;
+        const data::Dataset enrollment = take > 0 ? d.split_.train.take(take) : d.split_.train;
         d.detector_ = std::make_unique<sidechannel::CurrentSignatureDetector>(
-            d.backend_->hardware_for_evaluation(), enrollment, it->detector);
+            d.backend_->hardware_for_evaluation(), enrollment, config);
     }
 
     const double scale = deployed_weight_scale(*d.backend_);
@@ -318,6 +384,15 @@ DeployedScenario ScenarioRunner::deploy(const ScenarioSpec& spec) const {
             push_defense_layer(*d.stack_, defense, scale, d.detector_.get());
         if (layer != nullptr) d.detector_layer_ = layer;
     }
+
+    // Front the stack with the serving layer. Single-client experiments
+    // run through the default session (pass-through policy — bit-
+    // identical to querying the stack top directly); multi-client
+    // experiments open more sessions on the same service.
+    ServiceConfig service_config;
+    service_config.pool = pool_;
+    d.service_ = std::make_unique<OracleService>(d.stack_->top(), service_config);
+    d.session_ = d.service_->open_session();
     return d;
 }
 
@@ -459,6 +534,194 @@ ScenarioOutcome run_probe_scenario(const ScenarioRunner& runner, const ScenarioS
     return outcome;
 }
 
+// ---- multi-client serving experiments ---------------------------------------
+
+/// Outcome of one benign tenant's streamed clean-label workload.
+struct BenignOutcome {
+    std::uint64_t answered = 0;
+    std::uint64_t refused = 0;  ///< budget/detector refusals
+    double flagged_fraction = 0.0;
+    QueryCounters counters;
+};
+
+/// Streams `count` clean label queries (random test rows) through the
+/// session as pipelined async submissions — the traffic the attacker
+/// hides in, and what the coalescer packs into shared GEMM batches.
+BenignOutcome run_benign_client(Session& session, const data::Dataset& test, std::size_t count,
+                                std::uint64_t seed) {
+    BenignOutcome out;
+    Rng rng(seed);
+    constexpr std::size_t kWindow = 32;
+    std::vector<std::future<int>> window;
+    window.reserve(kWindow);
+    for (std::size_t q = 0; q < count;) {
+        window.clear();
+        for (std::size_t w = 0; w < kWindow && q < count; ++w, ++q) {
+            const std::size_t pick = static_cast<std::size_t>(rng.below(test.size()));
+            try {
+                window.push_back(session.submit_label(test.inputs().row(pick)));
+            } catch (const Error&) {
+                ++out.refused;  // budget exhausted / query refused at submission
+            }
+        }
+        for (auto& f : window) {
+            try {
+                (void)f.get();
+                ++out.answered;
+            } catch (const Error&) {
+                ++out.refused;
+            }
+        }
+    }
+    out.flagged_fraction = session.flagged_fraction();
+    out.counters = session.counters();
+    return out;
+}
+
+/// One attacker among benign tenants: every client is a concurrent
+/// session on one OracleService over one shared deployment. The three
+/// modes measure what multi-tenancy adds over the single-client
+/// decorators: per-tenant detection windows, per-tenant budgets, and
+/// isolation of both.
+ScenarioOutcome run_multiclient_scenario(const ScenarioRunner& runner, const ScenarioSpec& spec) {
+    using Mode = MultiClientOptions::Mode;
+    const MultiClientOptions& mc = spec.multiclient;
+    ScenarioOutcome outcome;
+    DeployedScenario d = runner.deploy(spec);
+    OracleService& service = d.service();
+    outcome.label = experiment_label(spec) + "/" + to_string(mc.mode);
+    const data::Dataset& test = d.split().test;
+
+    // Per-tenant policy. Benign tenants and the attacker get the *same*
+    // policy — the deployment cannot know who is who up front.
+    SessionConfig tenant;
+    tenant.budget = mc.tenant_budget;
+    if (mc.mode == Mode::BudgetExhaustion && tenant.budget.unlimited()) {
+        // Enough power budget for half a probe sweep, plenty of
+        // inference for the benign workloads.
+        tenant.budget.max_power = service.inputs() / 2;
+        tenant.budget.max_inference = mc.benign_queries * 4;
+    }
+    if (d.enrolled_detector() != nullptr) {
+        tenant.detector = d.enrolled_detector();
+        tenant.block_flagged = false;  // log-only: measure, don't distort traffic
+    }
+
+    Session attacker = service.open_session(tenant);
+    std::vector<Session> benign;
+    benign.reserve(mc.benign_clients);
+    for (std::size_t c = 0; c < mc.benign_clients; ++c) benign.push_back(service.open_session(tenant));
+
+    // Benign tenants stream concurrently with the attacker.
+    std::vector<BenignOutcome> benign_out(mc.benign_clients);
+    std::vector<std::thread> clients;
+    clients.reserve(mc.benign_clients);
+    for (std::size_t c = 0; c < mc.benign_clients; ++c) {
+        clients.emplace_back([&, c] {
+            benign_out[c] =
+                run_benign_client(benign[c], test, mc.benign_queries, mc.seed ^ (c + 1));
+        });
+    }
+
+    // The attacker's campaign: locate the highest-leakage input line via
+    // the power channel, then drive it with single-pixel inference
+    // queries hidden inside the benign traffic.
+    double attacker_flagged = 0.0;
+    bool attacker_exhausted = false;
+    std::uint64_t attacker_answered = 0;
+    {
+        Rng rng(mc.seed ^ 0xA77ACC3Ull);
+        std::size_t target = 0;
+        try {
+            const auto probe = probe_columns(attacker.oracle(), spec.probe);
+            target = tensor::argmax(probe.conductance_sums);
+        } catch (const QueryBudgetExceeded&) {
+            attacker_exhausted = true;
+            // Fall back to the strongest line the tenant budget let it see:
+            // ground truth is fine here, the probe already proved the point.
+            target = tensor::argmax(tensor::column_abs_sums(
+                d.backend().hardware_for_evaluation().effective_network().weights()));
+        }
+        std::vector<std::future<int>> pending;
+        pending.reserve(mc.attack_queries);
+        for (std::size_t q = 0; q < mc.attack_queries; ++q) {
+            const std::size_t pick = static_cast<std::size_t>(rng.below(test.size()));
+            tensor::Vector u = test.inputs().row(pick);
+            u[target] = mc.attack_strength;  // clean pixels live in [0, 1]
+            try {
+                pending.push_back(attacker.submit_label(std::move(u)));
+            } catch (const QueryBudgetExceeded&) {
+                attacker_exhausted = true;
+                break;
+            } catch (const QueryRefused&) {
+                continue;  // blocking detector refused it; keep trying
+            }
+        }
+        for (auto& f : pending) {
+            try {
+                (void)f.get();
+                ++attacker_answered;
+            } catch (const Error&) {
+            }
+        }
+        attacker_flagged = attacker.flagged_fraction();
+    }
+    for (std::thread& t : clients) t.join();
+
+    // Per-tenant accounting table.
+    Table table({"Tenant", "Answered", "Refused", "Flagged frac.", "Power spent", "Inf. spent"});
+    double benign_flagged_sum = 0.0;
+    std::uint64_t benign_answered = 0, benign_refused = 0;
+    for (std::size_t c = 0; c < mc.benign_clients; ++c) {
+        const BenignOutcome& b = benign_out[c];
+        benign_flagged_sum += b.flagged_fraction;
+        benign_answered += b.answered;
+        benign_refused += b.refused;
+        table.begin_row();
+        table.add("benign#" + std::to_string(c));
+        table.add(static_cast<long long>(b.answered));
+        table.add(static_cast<long long>(b.refused));
+        table.add(b.flagged_fraction, 3);
+        table.add(static_cast<long long>(benign[c].budget_spent().power));
+        table.add(static_cast<long long>(benign[c].budget_spent().inference));
+    }
+    table.begin_row();
+    table.add("attacker");
+    table.add(static_cast<long long>(attacker_answered));
+    table.add(attacker_exhausted ? "budget-exhausted" : "0");
+    table.add(attacker_flagged, 3);
+    table.add(static_cast<long long>(attacker.budget_spent().power));
+    table.add(static_cast<long long>(attacker.budget_spent().inference));
+    outcome.tables.emplace_back("tenants", std::move(table));
+
+    const double benign_flagged_mean =
+        mc.benign_clients > 0 ? benign_flagged_sum / static_cast<double>(mc.benign_clients) : 0.0;
+    outcome.metrics["attacker_flagged_fraction"] = attacker_flagged;
+    outcome.metrics["benign_flagged_fraction_mean"] = benign_flagged_mean;
+    outcome.metrics["detector_separation"] = attacker_flagged - benign_flagged_mean;
+    outcome.metrics["attacker_exhausted"] = attacker_exhausted ? 1.0 : 0.0;
+    outcome.metrics["benign_answered"] = static_cast<double>(benign_answered);
+    outcome.metrics["benign_refused"] = static_cast<double>(benign_refused);
+    outcome.metrics["attacker_answered"] = static_cast<double>(attacker_answered);
+    outcome.metrics["service_sessions"] = static_cast<double>(service.sessions_opened());
+    outcome.metrics["coalesced_batches"] = static_cast<double>(service.flushed_batches());
+    outcome.metrics["mean_coalesced_rows"] =
+        service.flushed_batches() > 0
+            ? static_cast<double>(service.flushed_rows()) /
+                  static_cast<double>(service.flushed_batches())
+            : 0.0;
+    // Attacker cost is the *attacker session's* ledger, not the backend
+    // counters — those aggregate every tenant's traffic here. The
+    // deployment-wide load is reported separately.
+    outcome.attacker_cost = attacker.counters();
+    outcome.metrics["attacker_inference_queries"] =
+        static_cast<double>(outcome.attacker_cost.inference);
+    outcome.metrics["attacker_power_queries"] = static_cast<double>(outcome.attacker_cost.power);
+    outcome.metrics["deployment_total_queries"] =
+        static_cast<double>(d.backend().counters().total());
+    return outcome;
+}
+
 }  // namespace
 
 ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
@@ -469,6 +732,7 @@ ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
         case ExperimentKind::Fig5: outcome = run_fig5_scenario(spec, pool_); break;
         case ExperimentKind::Table1: outcome = run_table1_scenario(spec, pool_); break;
         case ExperimentKind::Probe: outcome = run_probe_scenario(*this, spec); break;
+        case ExperimentKind::MultiClient: outcome = run_multiclient_scenario(*this, spec); break;
     }
     outcome.name = spec.name;
     return outcome;

@@ -1,0 +1,607 @@
+#include "xbarsec/core/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "xbarsec/common/rng.hpp"
+
+namespace xbarsec::core {
+
+namespace detail {
+
+enum class QueryKind { Label, Raw, Power };
+
+/// One submission: 1..N input rows of one kind from one session, with
+/// the promise its results are delivered through. Units are never split
+/// across backend calls (an explicitly-submitted batch keeps the
+/// backend stack's all-or-nothing semantics); the coalescer only *merges*
+/// consecutive same-kind units up to max_batch rows.
+struct Unit {
+    std::shared_ptr<SessionState> session;
+    QueryKind kind = QueryKind::Label;
+    bool scalar = false;
+    tensor::Matrix inputs;
+    std::uint64_t power_ordinal = 0;  ///< session noise-stream base (Power only)
+    std::variant<std::promise<int>, std::promise<std::vector<int>>, std::promise<double>,
+                 std::promise<tensor::Vector>, std::promise<tensor::Matrix>>
+        promise;
+};
+
+struct ServiceState {
+    Oracle* backend = nullptr;
+    ThreadPool* pool = nullptr;  ///< the pool behind the backend's batched paths (may be null)
+    ServiceConfig config;
+    std::size_t inputs = 0;
+    std::size_t outputs = 0;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    /// Producers append; the flusher swaps the whole vector against a
+    /// recycled empty one, so steady-state submission never allocates.
+    std::vector<Unit> queue;
+    std::size_t pending_rows = 0;
+    bool flush_now = false;
+    bool stopping = false;
+
+    std::atomic<std::uint64_t> inference_count{0};
+    std::atomic<std::uint64_t> power_count{0};
+    std::atomic<std::uint64_t> flushed_batches{0};
+    std::atomic<std::uint64_t> flushed_rows{0};
+    std::atomic<std::uint64_t> next_session_id{1};
+};
+
+struct SessionState {
+    std::shared_ptr<ServiceState> service;
+    SessionConfig config;
+    std::uint64_t id = 0;
+
+    BudgetLedger ledger;
+    std::unique_ptr<DetectorScreen> screen;  ///< null when the session has no detector
+
+    std::atomic<std::uint64_t> inference_count{0};
+    std::atomic<std::uint64_t> power_count{0};
+    std::atomic<std::uint64_t> power_ordinal{0};  ///< noise-stream position, never reset
+    std::atomic<bool> open{true};
+
+    SessionState(std::shared_ptr<ServiceState> svc, SessionConfig cfg, std::uint64_t sid)
+        : service(std::move(svc)), config(cfg), id(sid), ledger(cfg.budget) {
+        if (config.detector != nullptr) {
+            screen = std::make_unique<DetectorScreen>(*config.detector, config.block_flagged);
+        }
+    }
+};
+
+namespace {
+
+/// Per-session sensing noise for the session's k-th power reading: a
+/// pure function of (seed, k), so coalescing/batching cannot change it.
+double session_noise(const SessionState& s, std::uint64_t ordinal) {
+    return s.config.power_noise_sigma * Rng::normal_at(s.config.noise_seed, ordinal, 0);
+}
+
+/// Admission control, on the submitting thread: exposure, detector
+/// screening (inference kinds only), budget, then counters. A submission
+/// refused at any step charges and counts nothing downstream of the
+/// refusal point (screening refusals are never charged).
+void admit(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
+    XS_EXPECTS(U.rows() > 0);
+    XS_EXPECTS(U.cols() == s.service->inputs);
+    switch (kind) {
+        case QueryKind::Label: break;
+        case QueryKind::Raw:
+            if (!s.config.expose_raw_outputs) {
+                throw AccessDenied("raw outputs are not exposed to this session");
+            }
+            break;
+        case QueryKind::Power:
+            if (!s.config.expose_power) {
+                throw AccessDenied("power measurement is not exposed to this session");
+            }
+            break;
+    }
+    const std::uint64_t rows = U.rows();
+    // An unlimited budget never refuses, so skip its mutex on the
+    // per-query fast path.
+    const bool budgeted = !s.config.budget.unlimited();
+    if (kind == QueryKind::Power) {
+        if (budgeted) s.ledger.charge_power(rows);
+        s.power_count.fetch_add(rows, std::memory_order_relaxed);
+        s.service->power_count.fetch_add(rows, std::memory_order_relaxed);
+    } else {
+        if (s.screen != nullptr) s.screen->screen_batch(U);
+        if (budgeted) s.ledger.charge_inference(rows);
+        s.inference_count.fetch_add(rows, std::memory_order_relaxed);
+        s.service->inference_count.fetch_add(rows, std::memory_order_relaxed);
+    }
+}
+
+/// Enqueues an admitted unit and wakes the flusher. `flush_hint` asks
+/// for an immediate flush (a synchronous caller is already waiting).
+template <typename Promise>
+auto enqueue(const std::shared_ptr<SessionState>& session, QueryKind kind, bool scalar,
+             tensor::Matrix inputs, bool flush_hint) {
+    ServiceState& svc = *session->service;
+    Unit unit;
+    unit.session = session;
+    unit.kind = kind;
+    unit.scalar = scalar;
+    if (kind == QueryKind::Power) {
+        unit.power_ordinal =
+            session->power_ordinal.fetch_add(inputs.rows(), std::memory_order_relaxed);
+    }
+    const std::size_t rows = inputs.rows();
+    unit.inputs = std::move(inputs);
+    Promise promise;
+    auto future = promise.get_future();
+    unit.promise = std::move(promise);
+    bool wake = false;
+    {
+        std::lock_guard lock(svc.mutex);
+        if (svc.stopping) throw SessionClosed("the service is shut down");
+        // Wake the flusher only on state transitions it is actually
+        // waiting for — the first pending unit (it may be in its
+        // indefinite wait) or a newly-met flush condition. Waking on
+        // every submission would context-switch once per query under
+        // pipelined load.
+        wake = svc.queue.empty();
+        svc.queue.push_back(std::move(unit));
+        svc.pending_rows += rows;
+        if ((flush_hint || svc.pending_rows >= svc.config.max_batch) && !svc.flush_now) {
+            svc.flush_now = true;
+            wake = true;
+        }
+    }
+    if (wake) svc.cv.notify_all();
+    return future;
+}
+
+/// Rolls an admitted-but-not-enqueued submission back out of the
+/// session's ledger and counters, so a SessionClosed thrown by the
+/// queue push leaves nothing charged or counted.
+void unadmit(SessionState& s, QueryKind kind, std::uint64_t rows) {
+    const bool budgeted = !s.config.budget.unlimited();
+    if (kind == QueryKind::Power) {
+        if (budgeted) s.ledger.refund_power(rows);
+        s.power_count.fetch_sub(rows, std::memory_order_relaxed);
+        s.service->power_count.fetch_sub(rows, std::memory_order_relaxed);
+    } else {
+        if (budgeted) s.ledger.refund_inference(rows);
+        s.inference_count.fetch_sub(rows, std::memory_order_relaxed);
+        s.service->inference_count.fetch_sub(rows, std::memory_order_relaxed);
+    }
+}
+
+/// Checks the session handle, admits the submission, and enqueues it.
+template <typename Promise>
+auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool scalar,
+            tensor::Matrix inputs, bool flush_hint) {
+    if (session == nullptr || !session->open.load(std::memory_order_acquire)) {
+        throw SessionClosed("submit on a closed session");
+    }
+    admit(*session, kind, inputs);
+    const std::uint64_t rows = inputs.rows();
+    try {
+        return enqueue<Promise>(session, kind, scalar, std::move(inputs), flush_hint);
+    } catch (...) {
+        unadmit(*session, kind, rows);
+        throw;
+    }
+}
+
+/// Concatenates the inputs of `units[first, last)` (one kind) into one
+/// backend batch. Returns a pointer into the single unit when no
+/// stitching is needed, so the common scenario path (one batch unit per
+/// flush) is copy-free.
+const tensor::Matrix* gather_inputs(std::vector<Unit>& units, std::size_t first, std::size_t last,
+                                    tensor::Matrix& storage) {
+    if (last - first == 1) return &units[first].inputs;
+    std::size_t rows = 0;
+    for (std::size_t i = first; i < last; ++i) rows += units[i].inputs.rows();
+    // resize() reuses the scratch matrix's heap capacity (values are
+    // unspecified afterwards — every row is overwritten below).
+    storage.resize(rows, units[first].inputs.cols());
+    std::size_t at = 0;
+    for (std::size_t i = first; i < last; ++i) {
+        const tensor::Matrix& in = units[i].inputs;
+        for (std::size_t r = 0; r < in.rows(); ++r, ++at) {
+            const auto src = in.row_span(r);
+            auto dst = storage.row_span(at);
+            std::copy(src.begin(), src.end(), dst.begin());
+        }
+    }
+    return &storage;
+}
+
+void deliver_labels(std::vector<Unit>& units, std::size_t first, std::size_t last,
+                    const std::vector<int>& labels) {
+    std::size_t at = 0;
+    for (std::size_t i = first; i < last; ++i) {
+        Unit& u = units[i];
+        const std::size_t rows = u.inputs.rows();
+        if (u.scalar) {
+            std::get<std::promise<int>>(u.promise).set_value(labels[at]);
+        } else {
+            std::get<std::promise<std::vector<int>>>(u.promise)
+                .set_value(std::vector<int>(labels.begin() + static_cast<std::ptrdiff_t>(at),
+                                            labels.begin() + static_cast<std::ptrdiff_t>(at + rows)));
+        }
+        at += rows;
+    }
+}
+
+void deliver_raw(std::vector<Unit>& units, std::size_t first, std::size_t last,
+                 const tensor::Matrix& Y) {
+    std::size_t at = 0;
+    for (std::size_t i = first; i < last; ++i) {
+        Unit& u = units[i];
+        const std::size_t rows = u.inputs.rows();
+        if (u.scalar) {
+            std::get<std::promise<tensor::Vector>>(u.promise).set_value(Y.row(at));
+        } else {
+            tensor::Matrix block(rows, Y.cols());
+            for (std::size_t r = 0; r < rows; ++r) {
+                const auto src = Y.row_span(at + r);
+                auto dst = block.row_span(r);
+                std::copy(src.begin(), src.end(), dst.begin());
+            }
+            std::get<std::promise<tensor::Matrix>>(u.promise).set_value(std::move(block));
+        }
+        at += rows;
+    }
+}
+
+void deliver_power(std::vector<Unit>& units, std::size_t first, std::size_t last,
+                   const tensor::Vector& p) {
+    std::size_t at = 0;
+    for (std::size_t i = first; i < last; ++i) {
+        Unit& u = units[i];
+        const SessionState& s = *u.session;
+        const std::size_t rows = u.inputs.rows();
+        const bool noisy = s.config.power_noise_sigma > 0.0;
+        if (u.scalar) {
+            const double value = p[at] + (noisy ? session_noise(s, u.power_ordinal) : 0.0);
+            std::get<std::promise<double>>(u.promise).set_value(value);
+        } else {
+            tensor::Vector block(rows, 0.0);
+            for (std::size_t r = 0; r < rows; ++r) {
+                block[r] = p[at + r] + (noisy ? session_noise(s, u.power_ordinal + r) : 0.0);
+            }
+            std::get<std::promise<tensor::Vector>>(u.promise).set_value(std::move(block));
+        }
+        at += rows;
+    }
+}
+
+void fail_units(std::vector<Unit>& units, std::size_t first, std::size_t last,
+                const std::exception_ptr& error) {
+    for (std::size_t i = first; i < last; ++i) {
+        std::visit([&](auto& promise) { promise.set_exception(error); }, units[i].promise);
+    }
+}
+
+/// Runs one backend call for units[first, last) (already one kind) and
+/// delivers results to their promises. Throws what the backend throws.
+void execute_group(ServiceState& svc, std::vector<Unit>& units, std::size_t first,
+                   std::size_t last, std::size_t rows, tensor::Matrix& storage) {
+    const tensor::Matrix* input = gather_inputs(units, first, last, storage);
+    // Stats first: a submitter whose future resolves inside the
+    // deliver_* call below may read them immediately.
+    svc.flushed_batches.fetch_add(1, std::memory_order_relaxed);
+    svc.flushed_rows.fetch_add(rows, std::memory_order_relaxed);
+    switch (units[first].kind) {
+        case QueryKind::Label:
+            deliver_labels(units, first, last, svc.backend->query_labels(*input));
+            break;
+        case QueryKind::Raw:
+            deliver_raw(units, first, last, svc.backend->query_raw_batch(*input));
+            break;
+        case QueryKind::Power:
+            deliver_power(units, first, last, svc.backend->query_power_batch(*input));
+            break;
+    }
+}
+
+/// Executes one drained queue: consecutive same-kind units are merged
+/// into backend batch calls of up to max_batch rows (a single unit
+/// larger than that still goes through whole — explicit batches are
+/// never split, preserving the backend stack's all-or-nothing charging
+/// and its noise-stream layout).
+///
+/// A backend-stack exception (shared blocking detector, shared budget
+/// cap) from a *merged* group must not take innocent tenants' queries
+/// down with the one that tripped it, so the group falls back to
+/// per-unit backend calls — each unit then succeeds or fails exactly as
+/// it would have under serial issue. (Stack-level screening counters
+/// may see the offending rows once more on the retry; isolation of the
+/// tenants' answers is the contract that matters.)
+void flush(ServiceState& svc, std::vector<Unit>& units, tensor::Matrix& storage) {
+    std::size_t first = 0;
+    while (first < units.size()) {
+        const QueryKind kind = units[first].kind;
+        std::size_t last = first + 1;
+        std::size_t rows = units[first].inputs.rows();
+        while (last < units.size() && units[last].kind == kind &&
+               rows + units[last].inputs.rows() <= svc.config.max_batch) {
+            rows += units[last].inputs.rows();
+            ++last;
+        }
+        try {
+            execute_group(svc, units, first, last, rows, storage);
+        } catch (...) {
+            if (last - first == 1) {
+                fail_units(units, first, last, std::current_exception());
+            } else {
+                for (std::size_t i = first; i < last; ++i) {
+                    try {
+                        execute_group(svc, units, i, i + 1, units[i].inputs.rows(), storage);
+                    } catch (...) {
+                        fail_units(units, i, i + 1, std::current_exception());
+                    }
+                }
+            }
+        }
+        first = last;
+    }
+}
+
+void flusher_loop(const std::shared_ptr<ServiceState>& svc) {
+    std::unique_lock lock(svc->mutex);
+    bool saturated = false;    ///< new work arrived while the last flush ran
+    std::vector<Unit> batch;   ///< recycled: swaps capacity with the queue
+    tensor::Matrix storage;    ///< recycled gather scratch
+    for (;;) {
+        svc->cv.wait(lock, [&] { return svc->stopping || !svc->queue.empty(); });
+        if (svc->queue.empty()) return;  // stopping, fully drained
+        if (!saturated && !svc->stopping && !svc->flush_now &&
+            svc->pending_rows < svc->config.max_batch) {
+            // Coalescing window: give concurrent submitters max_wait to
+            // pile more rows on before paying for a backend call.
+            svc->cv.wait_for(lock, svc->config.max_wait, [&] {
+                return svc->stopping || svc->flush_now ||
+                       svc->pending_rows >= svc->config.max_batch;
+            });
+        }
+        svc->flush_now = false;
+        batch.swap(svc->queue);  // the queue inherits batch's old capacity
+        svc->pending_rows = 0;
+        lock.unlock();  // backend calls run without the queue lock
+        flush(*svc, batch, storage);
+        batch.clear();  // destroy units (promises already fulfilled)
+        lock.lock();
+        // Under streaming load the next batch formed while this one was
+        // in the backend — flush it straight away instead of opening a
+        // fresh latency window (the window exists to coalesce trickles,
+        // not to throttle a saturated queue).
+        saturated = !svc->queue.empty();
+    }
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---- SessionOracleView ------------------------------------------------------
+
+namespace {
+
+using detail::QueryKind;
+
+/// Synchronous Oracle adapter over a session: every query submits with a
+/// flush hint (the caller is about to block on the result) and waits.
+/// This is what lets collect_queries, probe_columns, the attack
+/// evaluators, and the figure sweeps run unchanged through a session.
+class SessionOracleView : public Oracle {
+public:
+    explicit SessionOracleView(std::shared_ptr<detail::SessionState> state)
+        : state_(std::move(state)) {}
+
+    std::size_t inputs() const override { return state_->service->inputs; }
+    std::size_t outputs() const override { return state_->service->outputs; }
+
+    int query_label(const tensor::Vector& u) override {
+        return detail::submit<std::promise<int>>(state_, QueryKind::Label, true, tensor::Matrix::from_row(u), true)
+            .get();
+    }
+    tensor::Vector query_raw(const tensor::Vector& u) override {
+        return detail::submit<std::promise<tensor::Vector>>(state_, QueryKind::Raw, true,
+                                                            tensor::Matrix::from_row(u), true)
+            .get();
+    }
+    double query_power(const tensor::Vector& u) override {
+        return detail::submit<std::promise<double>>(state_, QueryKind::Power, true, tensor::Matrix::from_row(u),
+                                                    true)
+            .get();
+    }
+    std::vector<int> query_labels(const tensor::Matrix& U) override {
+        return detail::submit<std::promise<std::vector<int>>>(state_, QueryKind::Label, false, U,
+                                                              true)
+            .get();
+    }
+    tensor::Matrix query_raw_batch(const tensor::Matrix& U) override {
+        return detail::submit<std::promise<tensor::Matrix>>(state_, QueryKind::Raw, false, U, true)
+            .get();
+    }
+    tensor::Vector query_power_batch(const tensor::Matrix& U) override {
+        return detail::submit<std::promise<tensor::Vector>>(state_, QueryKind::Power, false, U,
+                                                            true)
+            .get();
+    }
+
+    QueryCounters counters() const override {
+        QueryCounters c;
+        c.inference = state_->inference_count.load(std::memory_order_relaxed);
+        c.power = state_->power_count.load(std::memory_order_relaxed);
+        return c;
+    }
+    void reset_counters() override {
+        state_->inference_count.store(0, std::memory_order_relaxed);
+        state_->power_count.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::shared_ptr<detail::SessionState> state_;
+};
+
+}  // namespace
+
+// ---- Session ----------------------------------------------------------------
+
+Session::Session(std::shared_ptr<detail::SessionState> state) : state_(std::move(state)) {}
+
+Session::~Session() { close(); }
+
+Session& Session::operator=(Session&& other) noexcept {
+    if (this != &other) {
+        close();
+        state_ = std::move(other.state_);
+        oracle_view_ = std::move(other.oracle_view_);
+    }
+    return *this;
+}
+
+std::future<int> Session::submit_label(tensor::Vector u) {
+    return detail::submit<std::promise<int>>(state_, QueryKind::Label, true, tensor::Matrix::from_row(std::move(u)), false);
+}
+
+std::future<tensor::Vector> Session::submit_raw(tensor::Vector u) {
+    return detail::submit<std::promise<tensor::Vector>>(state_, QueryKind::Raw, true, tensor::Matrix::from_row(std::move(u)),
+                                                        false);
+}
+
+std::future<double> Session::submit_power(tensor::Vector u) {
+    return detail::submit<std::promise<double>>(state_, QueryKind::Power, true, tensor::Matrix::from_row(std::move(u)),
+                                                false);
+}
+
+std::future<std::vector<int>> Session::submit_labels(tensor::Matrix U) {
+    return detail::submit<std::promise<std::vector<int>>>(state_, QueryKind::Label, false,
+                                                          std::move(U), false);
+}
+
+std::future<tensor::Matrix> Session::submit_raw_batch(tensor::Matrix U) {
+    return detail::submit<std::promise<tensor::Matrix>>(state_, QueryKind::Raw, false,
+                                                        std::move(U), false);
+}
+
+std::future<tensor::Vector> Session::submit_power_batch(tensor::Matrix U) {
+    return detail::submit<std::promise<tensor::Vector>>(state_, QueryKind::Power, false,
+                                                        std::move(U), false);
+}
+
+Oracle& Session::oracle() {
+    if (state_ == nullptr) throw SessionClosed("oracle() on a moved-from session");
+    if (oracle_view_ == nullptr) oracle_view_ = std::make_unique<SessionOracleView>(state_);
+    return *oracle_view_;
+}
+
+QueryCounters Session::counters() const {
+    QueryCounters c;
+    if (state_ != nullptr) {
+        c.inference = state_->inference_count.load(std::memory_order_relaxed);
+        c.power = state_->power_count.load(std::memory_order_relaxed);
+    }
+    return c;
+}
+
+void Session::reset_counters() {
+    if (state_ == nullptr) return;
+    state_->inference_count.store(0, std::memory_order_relaxed);
+    state_->power_count.store(0, std::memory_order_relaxed);
+}
+
+QueryCounters Session::budget_spent() const {
+    return state_ != nullptr ? state_->ledger.spent() : QueryCounters{};
+}
+
+std::uint64_t Session::screened() const {
+    return (state_ != nullptr && state_->screen != nullptr) ? state_->screen->screened() : 0;
+}
+
+std::uint64_t Session::flagged() const {
+    return (state_ != nullptr && state_->screen != nullptr) ? state_->screen->flagged() : 0;
+}
+
+double Session::flagged_fraction() const {
+    return (state_ != nullptr && state_->screen != nullptr) ? state_->screen->flagged_fraction()
+                                                            : 0.0;
+}
+
+std::uint64_t Session::id() const { return state_ != nullptr ? state_->id : 0; }
+
+bool Session::open() const {
+    return state_ != nullptr && state_->open.load(std::memory_order_acquire);
+}
+
+void Session::close() {
+    if (state_ == nullptr) return;
+    state_->open.store(false, std::memory_order_release);
+    // In-flight submissions complete normally; nudge the flusher so their
+    // futures resolve promptly.
+    {
+        std::lock_guard lock(state_->service->mutex);
+        state_->service->flush_now = true;
+    }
+    state_->service->cv.notify_all();
+}
+
+// ---- OracleService ----------------------------------------------------------
+
+OracleService::OracleService(Oracle& backend, ServiceConfig config)
+    : state_(std::make_shared<detail::ServiceState>()) {
+    XS_EXPECTS(config.max_batch > 0);
+    if (config.pool == nullptr && config.workers > 0) {
+        owned_pool_ = std::make_unique<ThreadPool>(config.workers);
+    }
+    state_->backend = &backend;
+    state_->pool = config.pool != nullptr ? config.pool : owned_pool_.get();
+    state_->config = config;
+    state_->inputs = backend.inputs();
+    state_->outputs = backend.outputs();
+    flusher_ = std::thread([state = state_] { detail::flusher_loop(state); });
+}
+
+OracleService::~OracleService() {
+    {
+        std::lock_guard lock(state_->mutex);
+        state_->stopping = true;
+    }
+    state_->cv.notify_all();
+    if (flusher_.joinable()) flusher_.join();
+}
+
+Session OracleService::open_session(SessionConfig config) {
+    const std::uint64_t id = state_->next_session_id.fetch_add(1, std::memory_order_relaxed);
+    return Session(std::make_shared<detail::SessionState>(state_, config, id));
+}
+
+std::size_t OracleService::inputs() const { return state_->inputs; }
+std::size_t OracleService::outputs() const { return state_->outputs; }
+
+QueryCounters OracleService::counters() const {
+    QueryCounters c;
+    c.inference = state_->inference_count.load(std::memory_order_relaxed);
+    c.power = state_->power_count.load(std::memory_order_relaxed);
+    return c;
+}
+
+void OracleService::reset_counters() {
+    state_->inference_count.store(0, std::memory_order_relaxed);
+    state_->power_count.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t OracleService::flushed_batches() const {
+    return state_->flushed_batches.load(std::memory_order_relaxed);
+}
+
+std::uint64_t OracleService::flushed_rows() const {
+    return state_->flushed_rows.load(std::memory_order_relaxed);
+}
+
+std::size_t OracleService::sessions_opened() const {
+    return state_->next_session_id.load(std::memory_order_relaxed) - 1;
+}
+
+ThreadPool* OracleService::pool() { return state_->pool; }
+
+const ServiceConfig& OracleService::config() const { return state_->config; }
+
+}  // namespace xbarsec::core

@@ -45,6 +45,17 @@ public:
     /// Builds a matrix whose i-th row is rows[i] (all same length).
     static Matrix from_rows(const std::vector<Vector>& rows);
 
+    /// 1×n matrix adopting the vector's storage (no copy). The serving
+    /// layer uses this to wrap scalar query submissions as one-row
+    /// batches without touching the payload.
+    static Matrix from_row(Vector v) {
+        Matrix m;
+        m.rows_ = 1;
+        m.cols_ = v.size();
+        m.data_ = std::move(v).take();
+        return m;
+    }
+
     // ---- shape -----------------------------------------------------------
 
     std::size_t rows() const { return rows_; }

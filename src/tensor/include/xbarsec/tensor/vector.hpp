@@ -29,6 +29,10 @@ public:
     /// Takes ownership of an existing buffer.
     explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
 
+    /// Moves the underlying buffer out, leaving this vector empty —
+    /// zero-copy adoption by Matrix::from_row and similar.
+    std::vector<double> take() && { return std::move(data_); }
+
     // ---- factories ------------------------------------------------------
 
     static Vector zeros(std::size_t n) { return Vector(n, 0.0); }

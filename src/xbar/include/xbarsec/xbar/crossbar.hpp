@@ -19,7 +19,9 @@
 // sub-batches — and still reproduce the same stream bit for bit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <utility>
 
 #include "xbarsec/common/rng.hpp"
 #include "xbarsec/common/threadpool.hpp"
@@ -82,6 +84,37 @@ public:
     /// Takes ownership of the program; applies stuck faults immediately.
     Crossbar(CrossbarProgram program, NonIdealityConfig nonideal = {});
 
+    // The atomic measurement counter deletes the implicit copy/move
+    // special members; these preserve its value (a copy continues the
+    // source's noise stream position at the moment of the copy).
+    Crossbar(const Crossbar& other)
+        : program_(other.program_),
+          nonideal_(other.nonideal_),
+          g_diff_(other.g_diff_),
+          g_diff_t_(other.g_diff_t_),
+          g_col_(other.g_col_),
+          measurements_(other.measurement_count()) {}
+    Crossbar(Crossbar&& other) noexcept
+        : program_(std::move(other.program_)),
+          nonideal_(other.nonideal_),
+          g_diff_(std::move(other.g_diff_)),
+          g_diff_t_(std::move(other.g_diff_t_)),
+          g_col_(std::move(other.g_col_)),
+          measurements_(other.measurement_count()) {}
+    Crossbar& operator=(const Crossbar& other) {
+        if (this != &other) *this = Crossbar(other);
+        return *this;
+    }
+    Crossbar& operator=(Crossbar&& other) noexcept {
+        program_ = std::move(other.program_);
+        nonideal_ = other.nonideal_;
+        g_diff_ = std::move(other.g_diff_);
+        g_diff_t_ = std::move(other.g_diff_t_);
+        g_col_ = std::move(other.g_col_);
+        measurements_.store(other.measurement_count(), std::memory_order_relaxed);
+        return *this;
+    }
+
     std::size_t rows() const { return program_.rows(); }
     std::size_t cols() const { return program_.cols(); }
     const CrossbarProgram& program() const { return program_; }
@@ -140,7 +173,9 @@ public:
     /// Number of current measurements taken so far (each output-current
     /// vector read or total-current read counts as one). Also the base of
     /// the read-noise counter stream.
-    std::uint64_t measurement_count() const { return measurements_; }
+    std::uint64_t measurement_count() const {
+        return measurements_.load(std::memory_order_relaxed);
+    }
 
     // ---- reference implementations -----------------------------------------
     //
@@ -184,7 +219,11 @@ private:
     tensor::Matrix g_diff_;
     tensor::Matrix g_diff_t_;
     tensor::Vector g_col_;
-    mutable std::uint64_t measurements_ = 0;
+    /// Atomic: concurrent callers (OracleService flushes, pool workers
+    /// hammering one stack) must each reserve a disjoint counter range —
+    /// a torn read-modify-write would hand two measurements the same
+    /// noise coordinates.
+    mutable std::atomic<std::uint64_t> measurements_{0};
 };
 
 }  // namespace xbarsec::xbar

@@ -90,9 +90,7 @@ double Crossbar::noise_factor(std::uint64_t meas, std::uint64_t idx) const {
 }
 
 std::uint64_t Crossbar::reserve_measurements(std::uint64_t n) const {
-    const std::uint64_t base = measurements_;
-    measurements_ += n;
-    return base;
+    return measurements_.fetch_add(n, std::memory_order_relaxed);
 }
 
 tensor::Vector Crossbar::output_currents(const tensor::Vector& v) const {
