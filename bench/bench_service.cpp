@@ -14,11 +14,19 @@
 //                           submitted vectors are gathered into one
 //                           query_labels GEMM batch per flush.
 // A second series fixes 8 clients and sweeps max_batch, recording
-// throughput against the *realised* mean coalesced batch size.
+// throughput against the *realised* mean coalesced batch size. A third
+// series sweeps the backend fleet size (replicas@N: N independent
+// crossbar replicas behind the routing policy), and a fourth isolates
+// the max_batch/pipeline-depth interaction (depth@D: max_batch fixed at
+// 1024 while the per-client pipeline depth D varies — the realised mean
+// batch tracks clients x D, not max_batch; see ServiceConfig::max_batch).
 //
 // Results go to BENCH_service.json through the shared recorder. The
-// acceptance gate (full runs): coalesced >= 3x uncoalesced per-vector
-// issue at 8 concurrent clients.
+// acceptance gates (full runs): coalesced >= 3x uncoalesced per-vector
+// issue at 8 concurrent clients, and >= 2.5x single-replica coalesced
+// throughput at 4 replicas on hosts with >= 4 cores (recorded but not
+// gated on smaller hosts).
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -123,7 +131,8 @@ double run_batched_clients(core::OracleService& service, const tensor::Matrix& p
 }
 
 double run_service_clients(core::OracleService& service, const tensor::Matrix& pool,
-                           std::size_t clients, std::size_t per_client) {
+                           std::size_t clients, std::size_t per_client,
+                           std::size_t depth = kPipeline) {
     std::vector<core::Session> sessions;
     sessions.reserve(clients);
     for (std::size_t c = 0; c < clients; ++c) sessions.push_back(service.open_session());
@@ -132,11 +141,11 @@ double run_service_clients(core::OracleService& service, const tensor::Matrix& p
     for (std::size_t c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
             std::vector<std::future<int>> window;
-            window.reserve(kPipeline);
+            window.reserve(depth);
             for (std::size_t q = 0; q < per_client; ++q) {
                 window.push_back(
                     sessions[c].submit_label(pool.row((c * per_client + q) % pool.rows())));
-                if (window.size() == kPipeline) {
+                if (window.size() == depth) {
                     for (auto& f : window) (void)f.get();
                     window.clear();
                 }
@@ -150,28 +159,88 @@ double run_service_clients(core::OracleService& service, const tensor::Matrix& p
 
 struct ServiceRun {
     double qps = 0.0;
-    double mean_batch = 0.0;  ///< realised rows per backend call
+    double mean_batch = 0.0;       ///< realised rows per backend call
+    double mean_queue_depth = 0.0; ///< fleet-total pending rows, sampled over the run
+    std::uint64_t max_queue_depth = 0;
+    std::vector<std::uint64_t> replica_rows;  ///< flushed rows per replica (timed run)
 };
 
-ServiceRun measure_service(core::CrossbarOracle& backend, ThreadPool* pool,
-                           const tensor::Matrix& query_pool, std::size_t clients,
-                           std::size_t per_client, std::size_t max_batch) {
-    core::ServiceConfig config;
-    config.pool = pool;
-    config.max_batch = max_batch;
-    core::OracleService service(backend, config);
+/// One timed coalesced-scalar measurement over a service (single backend
+/// or replica fleet): throughput, realised mean batch, per-replica rows,
+/// and a sampled per-replica queue-depth profile (the routing signal).
+ServiceRun measure_service_over(core::OracleService& service, const tensor::Matrix& query_pool,
+                                std::size_t clients, std::size_t per_client,
+                                std::size_t depth = kPipeline) {
     // Untimed warm-up pass (first-touch faults, cache fills), matching
     // the other benches' measurement protocol.
-    (void)run_service_clients(service, query_pool, clients, per_client / 4 + 1);
+    (void)run_service_clients(service, query_pool, clients, per_client / 4 + 1, depth);
     const std::uint64_t batches0 = service.flushed_batches();
     const std::uint64_t rows0 = service.flushed_rows();
-    const double secs = run_service_clients(service, query_pool, clients, per_client);
+    std::vector<std::uint64_t> replica_rows0(service.replica_count());
+    for (std::size_t k = 0; k < service.replica_count(); ++k) {
+        replica_rows0[k] = service.flushed_rows(k);
+    }
+
+    // Sample the fleet-total queue depth while the clients run: the mean
+    // says how much coalescable work was pending, the max bounds the
+    // backlog the routing policy had to spread.
+    std::atomic<bool> sampling{true};
+    std::uint64_t depth_samples = 0, depth_sum = 0, depth_max = 0;
+    std::thread sampler([&] {
+        while (sampling.load(std::memory_order_acquire)) {
+            std::uint64_t total = 0;
+            for (std::size_t k = 0; k < service.replica_count(); ++k) {
+                total += service.queue_depth(k);
+            }
+            depth_sum += total;
+            depth_max = std::max(depth_max, total);
+            ++depth_samples;
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+    });
+    const double secs = run_service_clients(service, query_pool, clients, per_client, depth);
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
+
     ServiceRun run;
     run.qps = static_cast<double>(clients * per_client) / secs;
     const std::uint64_t batches = service.flushed_batches() - batches0;
     const std::uint64_t rows = service.flushed_rows() - rows0;
     run.mean_batch = batches > 0 ? static_cast<double>(rows) / static_cast<double>(batches) : 0.0;
+    run.mean_queue_depth = depth_samples > 0
+                               ? static_cast<double>(depth_sum) / static_cast<double>(depth_samples)
+                               : 0.0;
+    run.max_queue_depth = depth_max;
+    run.replica_rows.resize(service.replica_count());
+    for (std::size_t k = 0; k < service.replica_count(); ++k) {
+        run.replica_rows[k] = service.flushed_rows(k) - replica_rows0[k];
+    }
     return run;
+}
+
+ServiceRun measure_service(core::CrossbarOracle& backend, ThreadPool* pool,
+                           const tensor::Matrix& query_pool, std::size_t clients,
+                           std::size_t per_client, std::size_t max_batch,
+                           std::size_t depth = kPipeline) {
+    core::ServiceConfig config;
+    config.pool = pool;
+    config.max_batch = max_batch;
+    core::OracleService service(backend, config);
+    return measure_service_over(service, query_pool, clients, per_client, depth);
+}
+
+/// Appends the fleet-shape fields every result row carries (satellite:
+/// replicas, routing, and the sampled per-replica queue depth).
+void record_fleet_fields(bench::BenchRecorder& rec, std::size_t replicas,
+                         core::RoutingPolicy routing, const ServiceRun& run) {
+    rec.add("replicas", static_cast<long long>(replicas));
+    rec.add("routing", core::to_string(routing));
+    rec.add("mean_queue_depth", run.mean_queue_depth);
+    rec.add("max_queue_depth", static_cast<long long>(run.max_queue_depth));
+    for (std::size_t k = 0; k < run.replica_rows.size(); ++k) {
+        rec.add("replica" + std::to_string(k) + "_rows",
+                static_cast<long long>(run.replica_rows[k]));
+    }
 }
 
 }  // namespace
@@ -181,6 +250,11 @@ int main(int argc, char** argv) {
     cli.flag("clients", "1,2,4,8", "concurrent client counts to measure");
     cli.flag("queries", "8192", "label queries per client per measurement");
     cli.flag("max-batches", "16,64,256,1024", "coalescing max_batch sweep (at the most clients)");
+    cli.flag("replicas", "1,2,4", "backend fleet sizes for the replica-scaling series");
+    cli.flag("routing", "round-robin",
+             "routing policy for the replica series (session-affine|round-robin|least-loaded)");
+    cli.flag("depths", "16,64,256,512",
+             "per-client pipeline depths for the max_batch-interaction series");
     cli.flag("pool", "4096", "rows in the shared query pool");
     cli.flag("train", "2000", "victim training samples");
     cli.flag("epochs", "6", "victim training epochs");
@@ -195,6 +269,9 @@ int main(int argc, char** argv) {
         load.test_count = 400;
         std::vector<long long> client_counts = cli.integer_list("clients");
         std::vector<long long> batch_sweep = cli.integer_list("max-batches");
+        std::vector<long long> replica_sweep = cli.integer_list("replicas");
+        std::vector<long long> depth_sweep = cli.integer_list("depths");
+        const core::RoutingPolicy routing = core::parse_routing_policy(cli.str("routing"));
         std::size_t per_client = static_cast<std::size_t>(cli.integer("queries"));
         std::size_t pool_rows = static_cast<std::size_t>(cli.integer("pool"));
         core::VictimConfig config = core::VictimConfig::defaults(core::OutputConfig::softmax_ce());
@@ -205,6 +282,8 @@ int main(int argc, char** argv) {
             load.test_count = 120;
             client_counts = {2, 8};
             batch_sweep = {16, 256};
+            replica_sweep = {1, 2};
+            depth_sweep = {16, 256};
             per_client = 1024;
             pool_rows = 1024;
             config.train.epochs = 2;
@@ -231,7 +310,8 @@ int main(int argc, char** argv) {
 
         bench::BenchRecorder rec(
             "service", "synthetic-mnist-784x10 victim, " + std::to_string(workers) +
-                           " backend workers, " + std::to_string(per_client) +
+                           (workers == 1 ? " backend worker, " : " backend workers, ") +
+                           std::to_string(per_client) +
                            " label queries per client, pipeline depth " +
                            std::to_string(kPipeline));
 
@@ -312,6 +392,7 @@ int main(int argc, char** argv) {
             rec.add("mean_coalesced_batch", batched_mean_batch);
             rec.add("scalar_speedup_vs_uncoalesced", scalar_speedup);
             rec.add("batch_speedup_vs_uncoalesced", batch_speedup);
+            record_fleet_fields(rec, 1, core::RoutingPolicy::SessionAffine, coalesced);
         }
 
         // -- series 2: throughput vs coalesced-batch size ------------------------
@@ -331,13 +412,102 @@ int main(int argc, char** argv) {
             rec.add("max_batch", mb);
             rec.add("coalesced_qps", run.qps);
             rec.add("mean_coalesced_batch", run.mean_batch);
+            record_fleet_fields(rec, 1, core::RoutingPolicy::SessionAffine, run);
         }
 
-        std::cout << "\n## Multi-client label-query throughput (784×10 victim, "
-                  << workers << " backend workers)\n\n"
+        // -- series 3: throughput vs replica count -------------------------------
+        //
+        // N independent crossbar replicas of the same victim (distinct
+        // device-variation seeds) behind one service; the scalar
+        // coalesced stream spreads over the fleet via the routing
+        // policy. On a multicore host each replica's flusher + GEMM runs
+        // on its own core, so throughput scales until the cores (or the
+        // shared pool) saturate.
+        Table replica_table({"Replicas", "Routing", "Coalesced q/s", "Mean batch",
+                             "Speedup vs 1", "Rows/replica (min..max)"});
+        double single_replica_qps = 0.0;
+        double quad_replica_speedup = 0.0;
+        for (const long long rc : replica_sweep) {
+            if (rc < 1) throw ConfigError("--replicas entries must be >= 1");
+            const std::size_t replicas = static_cast<std::size_t>(rc);
+            std::vector<core::CrossbarOracle> fleet =
+                core::deploy_victim_fleet(victim.net, config, replicas);
+            std::vector<core::Oracle*> backends;
+            backends.reserve(replicas);
+            for (core::CrossbarOracle& replica : fleet) {
+                replica.set_thread_pool(pool.get());
+                backends.push_back(&replica);
+            }
+            core::ServiceConfig service_config;
+            service_config.pool = pool.get();
+            service_config.routing = routing;
+            core::OracleService service(backends, service_config);
+            const ServiceRun run =
+                measure_service_over(service, query_pool, sweep_clients, per_client);
+            if (replicas == 1) single_replica_qps = run.qps;
+            const double speedup = single_replica_qps > 0.0 ? run.qps / single_replica_qps : 0.0;
+            if (replicas == 4) quad_replica_speedup = speedup;
+
+            std::uint64_t min_rows = run.replica_rows.empty() ? 0 : run.replica_rows.front();
+            std::uint64_t max_rows = min_rows;
+            for (const std::uint64_t rows : run.replica_rows) {
+                min_rows = std::min(min_rows, rows);
+                max_rows = std::max(max_rows, rows);
+            }
+            replica_table.begin_row();
+            replica_table.add(rc);
+            replica_table.add(core::to_string(routing));
+            replica_table.add(run.qps, 0);
+            replica_table.add(run.mean_batch, 1);
+            replica_table.add(speedup, 2);
+            replica_table.add(std::to_string(min_rows) + ".." + std::to_string(max_rows));
+
+            rec.begin("replicas@" + std::to_string(replicas));
+            rec.add("clients", static_cast<long long>(sweep_clients));
+            rec.add("coalesced_qps", run.qps);
+            rec.add("mean_coalesced_batch", run.mean_batch);
+            rec.add("speedup_vs_1_replica", speedup);
+            record_fleet_fields(rec, replicas, routing, run);
+        }
+
+        // -- series 4: the max_batch/pipeline-depth interaction ------------------
+        //
+        // max_batch pinned far above what the clients can supply: with C
+        // clients at pipeline depth D, at most C x D rows are ever in
+        // flight, so the realised mean batch saturates near min(C x D,
+        // max_batch) and max_wait closes every window early. This is the
+        // "max_batch@1024 plateaus near 437 rows" anomaly, isolated.
+        constexpr std::size_t kDepthSeriesMaxBatch = 1024;
+        Table depth_table({"Pipeline depth", "In-flight cap", "Coalesced q/s", "Mean batch"});
+        for (const long long dd : depth_sweep) {
+            if (dd < 1) throw ConfigError("--depths entries must be >= 1");
+            const std::size_t depth = static_cast<std::size_t>(dd);
+            const ServiceRun run = measure_service(backend, pool.get(), query_pool, sweep_clients,
+                                                   per_client, kDepthSeriesMaxBatch, depth);
+            depth_table.begin_row();
+            depth_table.add(dd);
+            depth_table.add(static_cast<long long>(sweep_clients * depth));
+            depth_table.add(run.qps, 0);
+            depth_table.add(run.mean_batch, 1);
+            rec.begin("depth@" + std::to_string(depth));
+            rec.add("clients", static_cast<long long>(sweep_clients));
+            rec.add("pipeline_depth", static_cast<long long>(depth));
+            rec.add("max_batch", static_cast<long long>(kDepthSeriesMaxBatch));
+            rec.add("inflight_row_cap", static_cast<long long>(sweep_clients * depth));
+            rec.add("coalesced_qps", run.qps);
+            rec.add("mean_coalesced_batch", run.mean_batch);
+            record_fleet_fields(rec, 1, core::RoutingPolicy::SessionAffine, run);
+        }
+
+        std::cout << "\n## Multi-client label-query throughput (784×10 victim, " << workers
+                  << (workers == 1 ? " backend worker)\n\n" : " backend workers)\n\n")
                   << table << "\n## Throughput vs coalescing max_batch ("
                   << sweep_clients << " clients)\n\n"
-                  << sweep_table;
+                  << sweep_table << "\n## Throughput vs replica count ("
+                  << sweep_clients << " clients, " << core::to_string(routing) << ")\n\n"
+                  << replica_table << "\n## Mean batch vs pipeline depth (max_batch "
+                  << kDepthSeriesMaxBatch << ", " << sweep_clients << " clients)\n\n"
+                  << depth_table;
 
         const std::string out_path = cli.str("out");
         if (!rec.write(out_path)) {
@@ -357,6 +527,26 @@ int main(int argc, char** argv) {
                       << " clients: " << Table::format_number(gate_speedup, 2)
                       << (pass ? " (PASS, >= 3x)" : " (FAIL, below the 3x target)") << "\n";
             if (!pass) exit_code = 1;
+
+            // Replica-scaling gate: 4 replicas must buy >= 2.5x the
+            // single-replica coalesced throughput — but only on hosts
+            // with >= 4 cores (one flusher per replica needs a core to
+            // run on). Smaller hosts record the numbers without gating.
+            if (quad_replica_speedup > 0.0) {
+                if (std::thread::hardware_concurrency() >= 4) {
+                    const bool replica_pass = quad_replica_speedup >= 2.5;
+                    std::cout << "4-replica vs single-replica coalesced throughput: "
+                              << Table::format_number(quad_replica_speedup, 2)
+                              << (replica_pass ? " (PASS, >= 2.5x)"
+                                               : " (FAIL, below the 2.5x target)")
+                              << "\n";
+                    if (!replica_pass) exit_code = 1;
+                } else {
+                    std::cout << "4-replica vs single-replica coalesced throughput: "
+                              << Table::format_number(quad_replica_speedup, 2)
+                              << " (gate skipped: host has < 4 cores; recorded only)\n";
+                }
+            }
         }
         return exit_code;
     } catch (const std::exception& e) {

@@ -26,7 +26,7 @@
 namespace xbarsec::core {
 
 enum class DatasetKind { MnistLike, Cifar10Like };
-enum class ExperimentKind { Fig3, Fig4, Fig5, Table1, Probe, MultiClient };
+enum class ExperimentKind { Fig3, Fig4, Fig5, Table1, Probe, MultiClient, ReplicaSweep };
 
 std::string to_string(DatasetKind kind);
 std::string to_string(ExperimentKind kind);
@@ -95,6 +95,37 @@ struct MultiClientOptions {
 
 std::string to_string(MultiClientOptions::Mode mode);
 
+/// A replica-fleet extraction sweep: the attacker runs a surrogate
+/// extraction against a fleet of N physically distinct replicas of the
+/// same victim (per-replica device variation via
+/// xbar::replica_variation_seed) and we measure how fidelity depends on
+/// how many device signatures its query stream mixes — one point per
+/// replica count (Axis::ReplicaCount) or per routing policy
+/// (Axis::Routing). Queries are submitted per-row and pipelined, so
+/// routing actually spreads them over the fleet (a single batched
+/// submission is one unit and would land on one replica).
+struct ReplicaSweepOptions {
+    enum class Axis {
+        ReplicaCount,  ///< sweep replica_counts at the spec's routing policy
+        Routing,       ///< sweep routings at routing_replicas replicas
+    };
+
+    Axis axis = Axis::ReplicaCount;
+
+    std::vector<std::size_t> replica_counts = {1, 2, 4};
+    std::vector<RoutingPolicy> routings = {RoutingPolicy::SessionAffine,
+                                           RoutingPolicy::RoundRobin,
+                                           RoutingPolicy::LeastLoaded};
+    std::size_t routing_replicas = 4;  ///< fleet size for Axis::Routing
+
+    std::size_t queries = 1000;     ///< attacker query budget per point
+    double lambda_ridge = 0.005;    ///< least-squares surrogate ridge
+    std::size_t eval_limit = 500;   ///< test rows for the fidelity estimate
+    std::uint64_t seed = 7;
+};
+
+std::string to_string(ReplicaSweepOptions::Axis axis);
+
 /// A complete named workload.
 struct ScenarioSpec {
     std::string name;         ///< registry key, e.g. "fig4/mnist/softmax"
@@ -106,6 +137,17 @@ struct ScenarioSpec {
     VictimConfig victim = VictimConfig::defaults(OutputConfig::softmax_ce());
     std::vector<DefenseSpec> defenses;
 
+    /// Backend fleet size: the victim is deployed onto this many
+    /// physically distinct crossbars (same weights, per-replica
+    /// variation seeds) with one decorator stack each, all fronted by
+    /// one OracleService. 1 = the classic single deployment.
+    std::size_t replicas = 1;
+
+    /// How the service routes submissions over the fleet. The default
+    /// keeps every single-session experiment on one replica —
+    /// bit-identical to a single-backend deployment.
+    RoutingPolicy routing = RoutingPolicy::SessionAffine;
+
     ExperimentKind experiment = ExperimentKind::Fig4;
     Fig4Options fig4;
     Fig5Options fig5;
@@ -113,6 +155,7 @@ struct ScenarioSpec {
     sidechannel::ProbeOptions probe;
     std::size_t probe_topk = 16;  ///< ranking-agreement k for Probe reports
     MultiClientOptions multiclient;
+    ReplicaSweepOptions replica_sweep;
 };
 
 /// Shrinks a spec to CI-smoke size (tiny datasets, minimal sweeps).
@@ -153,12 +196,21 @@ public:
     const data::DataSplit& split() const { return split_; }
     const TrainedVictim& victim() const { return victim_; }
 
-    /// The physical deployment (evaluation-side access).
-    CrossbarOracle& backend() { return *backend_; }
+    /// The physical deployment (evaluation-side access; replica 0 of a
+    /// fleet — its variation seed is the spec's own, so it is exactly the
+    /// device a single-replica deployment would have).
+    CrossbarOracle& backend() { return backends_.front(); }
 
-    /// The attacker-facing top of the decorator stack (what the
+    /// Replica access for fleet deployments (spec.replicas > 1).
+    std::size_t replica_count() const { return backends_.size(); }
+    CrossbarOracle& replica_backend(std::size_t replica) { return backends_[replica]; }
+
+    /// The attacker-facing top of replica 0's decorator stack (what the
     /// service's sessions serve; direct use bypasses the service).
-    Oracle& stack_top() { return stack_->top(); }
+    Oracle& stack_top() { return stacks_.front()->top(); }
+
+    /// Replica k's stack top.
+    Oracle& replica_stack_top(std::size_t replica) { return stacks_[replica]->top(); }
 
     /// The serving front-end over the stack (open more sessions here).
     OracleService& service() { return *service_; }
@@ -186,13 +238,16 @@ private:
     ScenarioSpec spec_;
     data::DataSplit split_;
     TrainedVictim victim_;
-    std::unique_ptr<CrossbarOracle> backend_;
+    // One backend + stack per replica (index 0 = the spec's own seeds).
+    // The vectors' heap storage keeps the oracles at stable addresses
+    // when the DeployedScenario itself is moved.
+    std::vector<CrossbarOracle> backends_;
     std::unique_ptr<sidechannel::CurrentSignatureDetector> detector_;
-    std::unique_ptr<DecoratorStack> stack_;
-    DetectorOracle* detector_layer_ = nullptr;
-    // Declared after the stack (and destroyed before it): the session
-    // must close before the service joins its flusher, which must happen
-    // before the backend it serves goes away.
+    std::vector<std::unique_ptr<DecoratorStack>> stacks_;
+    DetectorOracle* detector_layer_ = nullptr;  ///< replica 0's detector layer
+    // Declared after the stacks (and destroyed before them): the session
+    // must close before the service joins its flushers, which must happen
+    // before the backends they serve go away.
     std::unique_ptr<OracleService> service_;
     Session session_;
 };

@@ -32,6 +32,24 @@
 // scalars; see crossbar.hpp). Per-session sensing noise is drawn from a
 // counter-based stream indexed by the session's own query ordinal, so it
 // too is independent of how submissions were packed into batches.
+//
+// **Replica fleets.** A service may front N backend replicas instead of
+// one — the same programmed weights deployed on N physically distinct
+// (simulated) crossbars, each with its own device-variation signature
+// (see xbar::replica_variation_seed and core::deploy_victim_fleet).
+// Each replica owns a private coalescing queue, flusher thread, and
+// recycled gather scratch, so replicas never contend on a shared queue
+// lock; they share at most the one nesting-safe ThreadPool for the GEMM
+// work underneath. A RoutingPolicy picks the replica at submission
+// (after per-session policy ran): session-affine (all of a session's
+// traffic lands on one replica — the default, which keeps the
+// single-session case bit-identical to a single-backend service),
+// round-robin (whole submissions rotate over replicas), or least-loaded
+// (fewest enqueued-but-unanswered rows). Units are never split across
+// replicas, and each replica's flusher preserves the arrival order of
+// the units routed to it — so the answer stream of replica k is
+// bit-identical to serially issuing those same queries against replica
+// k alone.
 #pragma once
 
 #include <chrono>
@@ -55,6 +73,36 @@ public:
     explicit SessionClosed(const std::string& what) : Error("session closed: " + what) {}
 };
 
+/// How a multi-replica service picks the backend replica for each
+/// submission. Routing happens per *unit* (one scalar submission or one
+/// explicitly-submitted batch) after per-session policy has admitted it;
+/// a unit is never split across replicas.
+enum class RoutingPolicy {
+    /// Every submission of a session lands on the same replica (the
+    /// session id picks it round-robin at open_session time). A single
+    /// session therefore sees exactly one device — bit-identical to
+    /// running against that replica alone, which is what keeps the
+    /// committed single-session scenario goldens unchanged.
+    SessionAffine,
+
+    /// Units rotate over replicas via one atomic cursor, regardless of
+    /// session. Maximises mixing: an attacker's query stream is answered
+    /// by all N device signatures interleaved.
+    RoundRobin,
+
+    /// Each unit goes to the replica with the fewest
+    /// enqueued-but-unanswered rows at submission time (ties take the
+    /// lowest index). Adapts to replicas that answer slower (deeper
+    /// stacks, contended pools).
+    LeastLoaded,
+};
+
+std::string to_string(RoutingPolicy policy);
+
+/// Parses "session-affine" / "round-robin" / "least-loaded" (the
+/// to_string spellings); throws ConfigError otherwise.
+RoutingPolicy parse_routing_policy(const std::string& name);
+
 /// Service-wide knobs: the worker pool behind the backend's batched
 /// query paths and the coalescing-queue flush policy.
 struct ServiceConfig {
@@ -65,17 +113,35 @@ struct ServiceConfig {
 
     /// External pool to use instead of owning one (not owned; must
     /// outlive the service). The scenario benches pass their shared pool
-    /// through here.
+    /// through here. With a replica fleet, all replica flushers share
+    /// this one nesting-safe pool for their backend GEMMs.
     ThreadPool* pool = nullptr;
 
-    /// Flush the coalescing queue once this many input rows are pending.
-    /// Also the maximum rows per backend batch call — larger submissions
-    /// are split, in order, which the backend reproduces bit-identically.
+    /// Flush a replica's coalescing queue once this many input rows are
+    /// pending on it. Also the maximum rows per backend batch call —
+    /// larger submissions are split, in order, which the backend
+    /// reproduces bit-identically.
+    ///
+    /// Note that `max_batch` is a *cap*, not a target: a flush can never
+    /// carry more rows than the clients had in flight when the window
+    /// closed, so the realised mean batch saturates at roughly
+    /// (clients × per-client pipeline depth) regardless of how high
+    /// max_batch is raised — and `max_wait` closes the window early
+    /// whenever the in-flight supply drains before max_batch fills.
+    /// BENCH_service.json's `depth@*` series isolates exactly this
+    /// interaction (the historical "max_batch@1024 plateaus near 437
+    /// rows" anomaly: 8 clients × 64-deep pipelines can never have 1024
+    /// rows pending).
     std::size_t max_batch = 256;
 
     /// Flush latency bound: pending work never waits longer than this
-    /// for more submissions to coalesce with.
+    /// for more submissions to coalesce with. See the max_batch note —
+    /// under a finite client pipeline this window, not max_batch, is
+    /// what usually closes a batch.
     std::chrono::microseconds max_wait{200};
+
+    /// Replica-selection policy (single-replica services ignore it).
+    RoutingPolicy routing = RoutingPolicy::SessionAffine;
 };
 
 /// Per-session policy: what this client may see and what it costs them.
@@ -168,6 +234,12 @@ public:
     double flagged_fraction() const;
 
     std::uint64_t id() const;
+
+    /// The replica this session's traffic lands on under
+    /// RoutingPolicy::SessionAffine (assigned round-robin from the
+    /// session id at open_session; other policies ignore it).
+    std::size_t home_replica() const;
+
     bool open() const;
 
     /// Rejects new submissions (SessionClosed); in-flight ones complete
@@ -182,18 +254,26 @@ private:
     std::unique_ptr<Oracle> oracle_view_;
 };
 
-/// Thread-safe serving front-end: owns the coalescing queue, its flusher
-/// thread, and (optionally) the worker pool; serves any number of
-/// concurrently open sessions over one shared backend Oracle stack. The
-/// backend is not owned and must outlive the service (it is typically a
-/// DecoratorStack top over a CrossbarOracle — infrastructure defenses
-/// below the service apply to all tenants).
+/// Thread-safe serving front-end: owns the per-replica coalescing
+/// queues, their flusher threads, and (optionally) the worker pool;
+/// serves any number of concurrently open sessions over one shared
+/// backend Oracle stack — or a fleet of N replica stacks with a
+/// RoutingPolicy. Backends are not owned and must outlive the service
+/// (each is typically a DecoratorStack top over a CrossbarOracle —
+/// infrastructure defenses below the service apply to all tenants of
+/// that replica).
 class OracleService {
 public:
     explicit OracleService(Oracle& backend, ServiceConfig config = {});
 
-    /// Drains the queue (pending submissions complete) and joins the
-    /// flusher. Open sessions are closed.
+    /// Fleet constructor: one coalescing queue + flusher per replica.
+    /// All replicas must agree on inputs()/outputs() (same programmed
+    /// weights; device state may differ per replica). Throws ConfigError
+    /// on an empty fleet, a null entry, or mismatched shapes.
+    explicit OracleService(const std::vector<Oracle*>& replicas, ServiceConfig config = {});
+
+    /// Drains every replica queue (pending submissions complete) and
+    /// joins the flushers. Open sessions are closed.
     ~OracleService();
 
     OracleService(const OracleService&) = delete;
@@ -204,26 +284,40 @@ public:
 
     std::size_t inputs() const;
     std::size_t outputs() const;
+    std::size_t replica_count() const;
 
-    /// Service-wide accepted-query counters (sum over sessions, since
-    /// the last service-wide reset). Monotone between resets.
+    /// Service-wide accepted-query counters: the fleet aggregate (sum of
+    /// the per-replica counters, since the last service-wide reset).
+    /// Monotone between resets.
     QueryCounters counters() const;
 
-    /// Resets the service-wide counters (sessions' own counters are
-    /// per-tenant state and stay put).
+    /// Accepted-query counters of the rows routed to replica `replica`
+    /// since the last service-wide reset. Monotone between resets;
+    /// summing over replicas gives counters().
+    QueryCounters replica_counters(std::size_t replica) const;
+
+    /// Resets the service-wide and per-replica counters (sessions' own
+    /// counters are per-tenant state and stay put).
     void reset_counters();
 
     /// Coalescing statistics: backend batch calls made, and total rows
     /// they carried (rows / flushes = realised mean coalesced batch).
+    /// The no-argument forms aggregate over the fleet.
     std::uint64_t flushed_batches() const;
     std::uint64_t flushed_rows() const;
+    std::uint64_t flushed_batches(std::size_t replica) const;
+    std::uint64_t flushed_rows(std::size_t replica) const;
+
+    /// Rows currently enqueued-but-unanswered on replica `replica` —
+    /// the load signal LeastLoaded routing reads (a racy snapshot).
+    std::size_t queue_depth(std::size_t replica) const;
 
     std::size_t sessions_opened() const;
 
     /// The pool this service carries for the backend's batched paths:
     /// the external `config.pool` if one was given, else the owned pool
     /// (`config.workers > 0`), else null. The service does not rewire
-    /// the backend — callers connect it (e.g. via
+    /// the backends — callers connect it (e.g. via
     /// `BackendOracle::set_thread_pool(service.pool())`).
     ThreadPool* pool();
 
@@ -232,7 +326,7 @@ public:
 private:
     std::shared_ptr<detail::ServiceState> state_;
     std::unique_ptr<ThreadPool> owned_pool_;
-    std::thread flusher_;
+    std::vector<std::thread> flushers_;  ///< one per replica
 };
 
 }  // namespace xbarsec::core

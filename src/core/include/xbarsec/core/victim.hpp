@@ -61,4 +61,14 @@ TrainedVictim train_victim(const data::DataSplit& split, const VictimConfig& con
 /// Deploys a trained network on the crossbar and wraps it in an oracle.
 CrossbarOracle deploy_victim(const nn::SingleLayerNet& net, const VictimConfig& config);
 
+/// Deploys the same trained network onto `replicas` physically distinct
+/// crossbars: identical programmed weights, but each replica derives its
+/// own fault-placement/read-noise seed and write-noise seed via
+/// xbar::replica_variation_seed, so every device carries a different
+/// physical signature. Replica 0 is bit-identical to deploy_victim(net,
+/// config). Front the returned oracles with an OracleService fleet
+/// constructor to serve them behind one routing policy.
+std::vector<CrossbarOracle> deploy_victim_fleet(const nn::SingleLayerNet& net,
+                                                const VictimConfig& config, std::size_t replicas);
+
 }  // namespace xbarsec::core

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <future>
+#include <limits>
 #include <thread>
 
 #include "xbarsec/attack/evaluate.hpp"
+#include "xbarsec/attack/surrogate.hpp"
 #include "xbarsec/core/queries.hpp"
 #include "xbarsec/core/report.hpp"
 #include "xbarsec/tensor/ops.hpp"
@@ -27,6 +29,15 @@ std::string to_string(ExperimentKind kind) {
         case ExperimentKind::Table1: return "table1";
         case ExperimentKind::Probe: return "probe";
         case ExperimentKind::MultiClient: return "multiclient";
+        case ExperimentKind::ReplicaSweep: return "replica-sweep";
+    }
+    return "?";
+}
+
+std::string to_string(ReplicaSweepOptions::Axis axis) {
+    switch (axis) {
+        case ReplicaSweepOptions::Axis::ReplicaCount: return "replica-count";
+        case ReplicaSweepOptions::Axis::Routing: return "routing";
     }
     return "?";
 }
@@ -59,6 +70,13 @@ void apply_smoke(ScenarioSpec& spec) {
     spec.multiclient.attack_queries = std::min<std::size_t>(spec.multiclient.attack_queries, 16);
     spec.multiclient.detector_enrollment =
         std::min<std::size_t>(spec.multiclient.detector_enrollment, 200);
+    spec.replica_sweep.queries = std::min<std::size_t>(spec.replica_sweep.queries, 96);
+    spec.replica_sweep.eval_limit = std::min<std::size_t>(spec.replica_sweep.eval_limit, 60);
+    if (spec.replica_sweep.replica_counts.size() > 2) {
+        spec.replica_sweep.replica_counts = {1, 2};
+    }
+    spec.replica_sweep.routing_replicas =
+        std::min<std::size_t>(spec.replica_sweep.routing_replicas, 2);
 }
 
 // ---- registry ---------------------------------------------------------------
@@ -259,6 +277,36 @@ void register_builtins(ScenarioRegistry& registry) {
         s.multiclient.attack_strength = 50.0;
         registry.add(std::move(s));
     }
+    // Replica-fleet extraction sweeps: the same trained victim deployed
+    // on N physically distinct crossbars (independent stuck cells and
+    // noise streams), served behind one OracleService. Measures whether
+    // mixing device signatures helps or hurts surrogate extraction.
+    {
+        ScenarioSpec s = base_spec("service/mnist/replica-fidelity",
+                                   "Surrogate extraction fidelity vs replica count "
+                                   "(round-robin over per-replica device signatures)",
+                                   DatasetKind::MnistLike, OutputConfig::linear_mse(),
+                                   ExperimentKind::ReplicaSweep);
+        s.victim.nonideal.read_noise_std = 0.05;
+        s.victim.nonideal.stuck_off_fraction = 0.01;
+        s.routing = RoutingPolicy::RoundRobin;
+        s.replica_sweep.axis = ReplicaSweepOptions::Axis::ReplicaCount;
+        s.replica_sweep.seed = 2022 + 55;
+        registry.add(std::move(s));
+    }
+    {
+        ScenarioSpec s = base_spec("service/mnist/replica-routing",
+                                   "Surrogate extraction fidelity vs routing policy over a "
+                                   "4-replica fleet of distinct device signatures",
+                                   DatasetKind::MnistLike, OutputConfig::linear_mse(),
+                                   ExperimentKind::ReplicaSweep);
+        s.victim.nonideal.read_noise_std = 0.05;
+        s.victim.nonideal.stuck_off_fraction = 0.01;
+        s.replica_sweep.axis = ReplicaSweepOptions::Axis::Routing;
+        s.replica_sweep.routing_replicas = 4;
+        s.replica_sweep.seed = 2022 + 55;
+        registry.add(std::move(s));
+    }
     {
         // The decorator-stacked defended deployment: randomised dummy
         // loads, sensing noise, and a hard power-measurement budget.
@@ -354,13 +402,18 @@ DeployedScenario ScenarioRunner::deploy(const ScenarioSpec& spec) const {
     d.spec_.victim.output = spec.output;
     d.split_ = load_split(spec);
     d.victim_ = train_victim(d.split_, d.spec_.victim);
-    d.backend_ = std::make_unique<CrossbarOracle>(deploy_victim(d.victim_.net, d.spec_.victim));
-    d.backend_->set_thread_pool(pool_);
-    d.stack_ = std::make_unique<DecoratorStack>(*d.backend_);
+    // Replica 0 derives the spec's own seeds (replica_variation_seed is
+    // the identity at index 0), so a fleet of one is exactly the classic
+    // single deployment.
+    const std::size_t replicas = std::max<std::size_t>(1, spec.replicas);
+    d.backends_ = deploy_victim_fleet(d.victim_.net, d.spec_.victim, replicas);
+    for (CrossbarOracle& backend : d.backends_) backend.set_thread_pool(pool_);
 
     // A detector is enrolled when a stack layer asks for one, or when a
     // multi-client experiment screens per session (shared enrolment,
-    // per-tenant windows).
+    // per-tenant windows). Enrolment happens once, on replica 0's
+    // hardware: the deployment registers one clean signature for the
+    // service, not one per device.
     const auto it = std::find_if(
         spec.defenses.begin(), spec.defenses.end(),
         [](const DefenseSpec& ds) { return ds.kind == DefenseSpec::Kind::Detector; });
@@ -375,23 +428,37 @@ DeployedScenario ScenarioRunner::deploy(const ScenarioSpec& spec) const {
                                                            : spec.multiclient.detector_enrollment;
         const data::Dataset enrollment = take > 0 ? d.split_.train.take(take) : d.split_.train;
         d.detector_ = std::make_unique<sidechannel::CurrentSignatureDetector>(
-            d.backend_->hardware_for_evaluation(), enrollment, config);
+            d.backends_.front().hardware_for_evaluation(), enrollment, config);
     }
 
-    const double scale = deployed_weight_scale(*d.backend_);
-    for (const DefenseSpec& defense : spec.defenses) {
-        DetectorOracle* layer =
-            push_defense_layer(*d.stack_, defense, scale, d.detector_.get());
-        if (layer != nullptr) d.detector_layer_ = layer;
+    // One decorator stack per replica, all built from the same defense
+    // specs. Relative magnitudes use replica 0's deployed scale for every
+    // replica — the operator configures one defense policy for the
+    // deployment, not per-device tuning.
+    const double scale = deployed_weight_scale(d.backends_.front());
+    d.stacks_.reserve(replicas);
+    for (CrossbarOracle& backend : d.backends_) {
+        auto stack = std::make_unique<DecoratorStack>(backend);
+        for (const DefenseSpec& defense : spec.defenses) {
+            DetectorOracle* layer =
+                push_defense_layer(*stack, defense, scale, d.detector_.get());
+            if (layer != nullptr && d.stacks_.empty()) d.detector_layer_ = layer;
+        }
+        d.stacks_.push_back(std::move(stack));
     }
 
-    // Front the stack with the serving layer. Single-client experiments
-    // run through the default session (pass-through policy — bit-
-    // identical to querying the stack top directly); multi-client
-    // experiments open more sessions on the same service.
+    // Front the stacks with the serving layer. Single-client experiments
+    // run through the default session (pass-through policy and, under the
+    // default session-affine routing, one replica — bit-identical to
+    // querying the stack top directly); multi-client experiments open
+    // further sessions on the same service.
+    std::vector<Oracle*> tops;
+    tops.reserve(replicas);
+    for (auto& stack : d.stacks_) tops.push_back(&stack->top());
     ServiceConfig service_config;
     service_config.pool = pool_;
-    d.service_ = std::make_unique<OracleService>(d.stack_->top(), service_config);
+    service_config.routing = spec.routing;
+    d.service_ = std::make_unique<OracleService>(tops, service_config);
     d.session_ = d.service_->open_session();
     return d;
 }
@@ -722,6 +789,161 @@ ScenarioOutcome run_multiclient_scenario(const ScenarioRunner& runner, const Sce
     return outcome;
 }
 
+// ---- replica-fleet extraction sweeps ----------------------------------------
+
+/// Streams `count` raw+power query pairs through the session as
+/// pipelined per-row submissions. Unlike collect_queries (one batched
+/// unit — which the service routes to exactly one replica), every row
+/// here is its own unit, so the fleet's routing policy actually spreads
+/// the attacker's stream over the replicas' device signatures.
+attack::QueryDataset collect_queries_pipelined(Session& session, const data::Dataset& pool,
+                                               std::size_t count, std::uint64_t seed) {
+    Rng rng(seed);
+    attack::QueryDataset q;
+    q.inputs = tensor::Matrix(count, pool.input_dim());
+    for (std::size_t r = 0; r < count; ++r) {
+        const auto src = pool.inputs().row_span(static_cast<std::size_t>(rng.below(pool.size())));
+        auto dst = q.inputs.row_span(r);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    q.outputs = tensor::Matrix(count, session.oracle().outputs());
+    q.power = tensor::Vector(count, 0.0);
+
+    constexpr std::size_t kWindow = 64;
+    std::vector<std::future<tensor::Vector>> raw;
+    std::vector<std::future<double>> power;
+    raw.reserve(kWindow);
+    power.reserve(kWindow);
+    for (std::size_t start = 0; start < count; start += kWindow) {
+        const std::size_t stop = std::min(count, start + kWindow);
+        raw.clear();
+        power.clear();
+        for (std::size_t r = start; r < stop; ++r) {
+            raw.push_back(session.submit_raw(q.inputs.row(r)));
+            power.push_back(session.submit_power(q.inputs.row(r)));
+        }
+        for (std::size_t r = start; r < stop; ++r) {
+            const tensor::Vector y = raw[r - start].get();
+            auto dst = q.outputs.row_span(r);
+            std::copy(y.begin(), y.end(), dst.begin());
+            q.power[r] = power[r - start].get();
+        }
+    }
+    return q;
+}
+
+/// Label agreement between the extracted surrogate and the victim's
+/// *software* network on clean test inputs — the extraction-fidelity
+/// measure the fleet sweep reports.
+double surrogate_fidelity(const nn::SingleLayerNet& surrogate, const nn::SingleLayerNet& victim,
+                          const tensor::Matrix& X, std::size_t limit) {
+    const std::size_t n = limit > 0 ? std::min(limit, X.rows()) : X.rows();
+    std::size_t agree = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        const tensor::Vector u = X.row(r);
+        if (surrogate.classify(u) == victim.classify(u)) ++agree;
+    }
+    return n > 0 ? static_cast<double>(agree) / static_cast<double>(n) : 0.0;
+}
+
+/// One sweep point: a fleet of `replicas` distinct devices behind one
+/// service with `routing`; the attacker extracts a surrogate through a
+/// pipelined per-row query stream and we score its fidelity.
+struct ReplicaSweepPoint {
+    std::size_t replicas = 1;
+    RoutingPolicy routing = RoutingPolicy::SessionAffine;
+    double fidelity = 0.0;
+    std::uint64_t min_replica_rows = 0;  ///< routed-row spread over the fleet
+    std::uint64_t max_replica_rows = 0;
+};
+
+ReplicaSweepPoint run_replica_sweep_point(const TrainedVictim& victim,
+                                          const VictimConfig& victim_config,
+                                          const data::DataSplit& split,
+                                          const ReplicaSweepOptions& rs, std::size_t replicas,
+                                          RoutingPolicy routing, ThreadPool* pool) {
+    ReplicaSweepPoint point;
+    point.replicas = replicas;
+    point.routing = routing;
+
+    std::vector<CrossbarOracle> fleet = deploy_victim_fleet(victim.net, victim_config, replicas);
+    std::vector<Oracle*> backends;
+    backends.reserve(fleet.size());
+    for (CrossbarOracle& oracle : fleet) {
+        oracle.set_thread_pool(pool);
+        backends.push_back(&oracle);
+    }
+    ServiceConfig service_config;
+    service_config.pool = pool;
+    service_config.routing = routing;
+    service_config.max_batch = 64;
+    OracleService service(backends, service_config);
+    Session attacker = service.open_session();
+
+    const attack::QueryDataset queries =
+        collect_queries_pipelined(attacker, split.train, rs.queries, rs.seed);
+    const nn::SingleLayerNet surrogate =
+        attack::fit_least_squares_surrogate(queries, rs.lambda_ridge, pool);
+    point.fidelity =
+        surrogate_fidelity(surrogate, victim.net, split.test.inputs(), rs.eval_limit);
+
+    point.min_replica_rows = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t k = 0; k < service.replica_count(); ++k) {
+        const std::uint64_t rows = service.replica_counters(k).total();
+        point.min_replica_rows = std::min(point.min_replica_rows, rows);
+        point.max_replica_rows = std::max(point.max_replica_rows, rows);
+    }
+    return point;
+}
+
+ScenarioOutcome run_replica_sweep_scenario(const ScenarioSpec& spec, ThreadPool* pool) {
+    if (!spec.defenses.empty()) {
+        throw ConfigError("replica-sweep scenarios do not support defense stacks (each point "
+                          "deploys a bare fleet; use a fig4 or probe scenario to study defenses)");
+    }
+    const ReplicaSweepOptions& rs = spec.replica_sweep;
+    ScenarioOutcome outcome;
+    const data::DataSplit split = load_split(spec);
+    VictimConfig victim_config = spec.victim;
+    victim_config.output = spec.output;
+    // One victim, trained once: every sweep point redeploys the same
+    // weights onto a fresh fleet, so fidelity differences come from the
+    // fleet, not training variance.
+    const TrainedVictim victim = train_victim(split, victim_config);
+    outcome.label = experiment_label(spec) + "/" + to_string(rs.axis);
+
+    std::vector<ReplicaSweepPoint> points;
+    if (rs.axis == ReplicaSweepOptions::Axis::ReplicaCount) {
+        for (const std::size_t n : rs.replica_counts) {
+            points.push_back(run_replica_sweep_point(victim, victim_config, split, rs,
+                                                     std::max<std::size_t>(1, n), spec.routing,
+                                                     pool));
+        }
+    } else {
+        for (const RoutingPolicy routing : rs.routings) {
+            points.push_back(run_replica_sweep_point(victim, victim_config, split, rs,
+                                                     rs.routing_replicas, routing, pool));
+        }
+    }
+
+    Table table({"Replicas", "Routing", "Surrogate fidelity", "Rows/replica (min..max)"});
+    for (const ReplicaSweepPoint& p : points) {
+        table.begin_row();
+        table.add(static_cast<long long>(p.replicas));
+        table.add(to_string(p.routing));
+        table.add(p.fidelity, 3);
+        table.add(std::to_string(p.min_replica_rows) + ".." + std::to_string(p.max_replica_rows));
+        const std::string key = rs.axis == ReplicaSweepOptions::Axis::ReplicaCount
+                                    ? "fidelity_replicas_" + std::to_string(p.replicas)
+                                    : "fidelity_" + to_string(p.routing);
+        outcome.metrics[key] = p.fidelity;
+    }
+    outcome.tables.emplace_back("replica_sweep", std::move(table));
+    outcome.metrics["victim_test_accuracy"] = victim.test_accuracy;
+    outcome.metrics["queries_per_point"] = static_cast<double>(rs.queries);
+    return outcome;
+}
+
 }  // namespace
 
 ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
@@ -733,6 +955,7 @@ ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
         case ExperimentKind::Table1: outcome = run_table1_scenario(spec, pool_); break;
         case ExperimentKind::Probe: outcome = run_probe_scenario(*this, spec); break;
         case ExperimentKind::MultiClient: outcome = run_multiclient_scenario(*this, spec); break;
+        case ExperimentKind::ReplicaSweep: outcome = run_replica_sweep_scenario(spec, pool_); break;
     }
     outcome.name = spec.name;
     return outcome;

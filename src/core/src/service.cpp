@@ -1,11 +1,29 @@
 #include "xbarsec/core/service.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "xbarsec/common/rng.hpp"
 
 namespace xbarsec::core {
+
+std::string to_string(RoutingPolicy policy) {
+    switch (policy) {
+        case RoutingPolicy::SessionAffine: return "session-affine";
+        case RoutingPolicy::RoundRobin: return "round-robin";
+        case RoutingPolicy::LeastLoaded: return "least-loaded";
+    }
+    return "?";
+}
+
+RoutingPolicy parse_routing_policy(const std::string& name) {
+    if (name == "session-affine") return RoutingPolicy::SessionAffine;
+    if (name == "round-robin") return RoutingPolicy::RoundRobin;
+    if (name == "least-loaded") return RoutingPolicy::LeastLoaded;
+    throw ConfigError("unknown routing policy '" + name +
+                      "'; expected session-affine, round-robin, or least-loaded");
+}
 
 namespace detail {
 
@@ -13,9 +31,9 @@ enum class QueryKind { Label, Raw, Power };
 
 /// One submission: 1..N input rows of one kind from one session, with
 /// the promise its results are delivered through. Units are never split
-/// across backend calls (an explicitly-submitted batch keeps the
-/// backend stack's all-or-nothing semantics); the coalescer only *merges*
-/// consecutive same-kind units up to max_batch rows.
+/// across backend calls or replicas (an explicitly-submitted batch keeps
+/// the backend stack's all-or-nothing semantics); a replica's coalescer
+/// only *merges* consecutive same-kind units up to max_batch rows.
 struct Unit {
     std::shared_ptr<SessionState> session;
     QueryKind kind = QueryKind::Label;
@@ -27,12 +45,13 @@ struct Unit {
         promise;
 };
 
-struct ServiceState {
+/// One backend replica's serving state: its private coalescing queue,
+/// flush signalling, and telemetry. Replicas never share a queue lock —
+/// the only cross-replica contention is the (optional) shared ThreadPool
+/// underneath the backend GEMMs.
+struct ReplicaState {
     Oracle* backend = nullptr;
-    ThreadPool* pool = nullptr;  ///< the pool behind the backend's batched paths (may be null)
-    ServiceConfig config;
-    std::size_t inputs = 0;
-    std::size_t outputs = 0;
+    std::size_t index = 0;
 
     std::mutex mutex;
     std::condition_variable cv;
@@ -43,10 +62,27 @@ struct ServiceState {
     bool flush_now = false;
     bool stopping = false;
 
+    /// Rows enqueued but not yet answered — the lock-free load signal
+    /// LeastLoaded routing scans.
+    std::atomic<std::size_t> inflight_rows{0};
+
+    /// Per-replica accepted-query counters (fleet aggregate = sum).
     std::atomic<std::uint64_t> inference_count{0};
     std::atomic<std::uint64_t> power_count{0};
+
     std::atomic<std::uint64_t> flushed_batches{0};
     std::atomic<std::uint64_t> flushed_rows{0};
+};
+
+struct ServiceState {
+    ThreadPool* pool = nullptr;  ///< the pool behind the backends' batched paths (may be null)
+    ServiceConfig config;
+    std::size_t inputs = 0;
+    std::size_t outputs = 0;
+
+    std::vector<std::unique_ptr<ReplicaState>> replicas;
+    std::atomic<std::uint64_t> rr_cursor{0};  ///< RoundRobin unit cursor
+
     std::atomic<std::uint64_t> next_session_id{1};
 };
 
@@ -54,6 +90,7 @@ struct SessionState {
     std::shared_ptr<ServiceState> service;
     SessionConfig config;
     std::uint64_t id = 0;
+    std::size_t home_replica = 0;  ///< SessionAffine target
 
     BudgetLedger ledger;
     std::unique_ptr<DetectorScreen> screen;  ///< null when the session has no detector
@@ -65,6 +102,7 @@ struct SessionState {
 
     SessionState(std::shared_ptr<ServiceState> svc, SessionConfig cfg, std::uint64_t sid)
         : service(std::move(svc)), config(cfg), id(sid), ledger(cfg.budget) {
+        home_replica = static_cast<std::size_t>((id - 1) % service->replicas.size());
         if (config.detector != nullptr) {
             screen = std::make_unique<DetectorScreen>(*config.detector, config.block_flagged);
         }
@@ -79,10 +117,39 @@ double session_noise(const SessionState& s, std::uint64_t ordinal) {
     return s.config.power_noise_sigma * Rng::normal_at(s.config.noise_seed, ordinal, 0);
 }
 
+/// Picks the replica for one admitted unit. SessionAffine pins the
+/// session's home replica; RoundRobin rotates one atomic cursor;
+/// LeastLoaded scans the racy inflight-row snapshots (ties take the
+/// lowest index, so an idle fleet behaves like a fixed assignment).
+ReplicaState& route(ServiceState& svc, const SessionState& s) {
+    const std::size_t n = svc.replicas.size();
+    if (n == 1) return *svc.replicas.front();
+    switch (svc.config.routing) {
+        case RoutingPolicy::SessionAffine: return *svc.replicas[s.home_replica];
+        case RoutingPolicy::RoundRobin:
+            return *svc.replicas[svc.rr_cursor.fetch_add(1, std::memory_order_relaxed) % n];
+        case RoutingPolicy::LeastLoaded: {
+            std::size_t best = 0;
+            std::size_t best_load = std::numeric_limits<std::size_t>::max();
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t load =
+                    svc.replicas[i]->inflight_rows.load(std::memory_order_relaxed);
+                if (load < best_load) {
+                    best = i;
+                    best_load = load;
+                }
+            }
+            return *svc.replicas[best];
+        }
+    }
+    return *svc.replicas.front();
+}
+
 /// Admission control, on the submitting thread: exposure, detector
-/// screening (inference kinds only), budget, then counters. A submission
-/// refused at any step charges and counts nothing downstream of the
-/// refusal point (screening refusals are never charged).
+/// screening (inference kinds only), budget, then session counters. A
+/// submission refused at any step charges and counts nothing downstream
+/// of the refusal point (screening refusals are never charged). Runs
+/// *before* routing — policy is per-session, not per-replica.
 void admit(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
     XS_EXPECTS(U.rows() > 0);
     XS_EXPECTS(U.cols() == s.service->inputs);
@@ -106,21 +173,21 @@ void admit(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
     if (kind == QueryKind::Power) {
         if (budgeted) s.ledger.charge_power(rows);
         s.power_count.fetch_add(rows, std::memory_order_relaxed);
-        s.service->power_count.fetch_add(rows, std::memory_order_relaxed);
     } else {
         if (s.screen != nullptr) s.screen->screen_batch(U);
         if (budgeted) s.ledger.charge_inference(rows);
         s.inference_count.fetch_add(rows, std::memory_order_relaxed);
-        s.service->inference_count.fetch_add(rows, std::memory_order_relaxed);
     }
 }
 
-/// Enqueues an admitted unit and wakes the flusher. `flush_hint` asks
-/// for an immediate flush (a synchronous caller is already waiting).
+/// Enqueues an admitted unit on `replica` and wakes its flusher.
+/// `flush_hint` asks for an immediate flush (a synchronous caller is
+/// already waiting). Per-replica counters are bumped only after the push
+/// succeeded, so a SessionClosed thrown here leaves them untouched.
 template <typename Promise>
-auto enqueue(const std::shared_ptr<SessionState>& session, QueryKind kind, bool scalar,
-             tensor::Matrix inputs, bool flush_hint) {
-    ServiceState& svc = *session->service;
+auto enqueue(const std::shared_ptr<SessionState>& session, ReplicaState& replica, QueryKind kind,
+             bool scalar, tensor::Matrix inputs, bool flush_hint) {
+    const ServiceConfig& config = session->service->config;
     Unit unit;
     unit.session = session;
     unit.kind = kind;
@@ -136,22 +203,28 @@ auto enqueue(const std::shared_ptr<SessionState>& session, QueryKind kind, bool 
     unit.promise = std::move(promise);
     bool wake = false;
     {
-        std::lock_guard lock(svc.mutex);
-        if (svc.stopping) throw SessionClosed("the service is shut down");
+        std::lock_guard lock(replica.mutex);
+        if (replica.stopping) throw SessionClosed("the service is shut down");
         // Wake the flusher only on state transitions it is actually
         // waiting for — the first pending unit (it may be in its
         // indefinite wait) or a newly-met flush condition. Waking on
         // every submission would context-switch once per query under
         // pipelined load.
-        wake = svc.queue.empty();
-        svc.queue.push_back(std::move(unit));
-        svc.pending_rows += rows;
-        if ((flush_hint || svc.pending_rows >= svc.config.max_batch) && !svc.flush_now) {
-            svc.flush_now = true;
+        wake = replica.queue.empty();
+        replica.queue.push_back(std::move(unit));
+        replica.pending_rows += rows;
+        if ((flush_hint || replica.pending_rows >= config.max_batch) && !replica.flush_now) {
+            replica.flush_now = true;
             wake = true;
         }
     }
-    if (wake) svc.cv.notify_all();
+    replica.inflight_rows.fetch_add(rows, std::memory_order_relaxed);
+    if (kind == QueryKind::Power) {
+        replica.power_count.fetch_add(rows, std::memory_order_relaxed);
+    } else {
+        replica.inference_count.fetch_add(rows, std::memory_order_relaxed);
+    }
+    if (wake) replica.cv.notify_all();
     return future;
 }
 
@@ -163,15 +236,14 @@ void unadmit(SessionState& s, QueryKind kind, std::uint64_t rows) {
     if (kind == QueryKind::Power) {
         if (budgeted) s.ledger.refund_power(rows);
         s.power_count.fetch_sub(rows, std::memory_order_relaxed);
-        s.service->power_count.fetch_sub(rows, std::memory_order_relaxed);
     } else {
         if (budgeted) s.ledger.refund_inference(rows);
         s.inference_count.fetch_sub(rows, std::memory_order_relaxed);
-        s.service->inference_count.fetch_sub(rows, std::memory_order_relaxed);
     }
 }
 
-/// Checks the session handle, admits the submission, and enqueues it.
+/// Checks the session handle, admits the submission, routes it to a
+/// replica, and enqueues it there.
 template <typename Promise>
 auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool scalar,
             tensor::Matrix inputs, bool flush_hint) {
@@ -181,7 +253,8 @@ auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool s
     admit(*session, kind, inputs);
     const std::uint64_t rows = inputs.rows();
     try {
-        return enqueue<Promise>(session, kind, scalar, std::move(inputs), flush_hint);
+        ReplicaState& replica = route(*session->service, *session);
+        return enqueue<Promise>(session, replica, kind, scalar, std::move(inputs), flush_hint);
     } catch (...) {
         unadmit(*session, kind, rows);
         throw;
@@ -281,29 +354,29 @@ void fail_units(std::vector<Unit>& units, std::size_t first, std::size_t last,
 
 /// Runs one backend call for units[first, last) (already one kind) and
 /// delivers results to their promises. Throws what the backend throws.
-void execute_group(ServiceState& svc, std::vector<Unit>& units, std::size_t first,
+void execute_group(ReplicaState& replica, std::vector<Unit>& units, std::size_t first,
                    std::size_t last, std::size_t rows, tensor::Matrix& storage) {
     const tensor::Matrix* input = gather_inputs(units, first, last, storage);
     // Stats first: a submitter whose future resolves inside the
     // deliver_* call below may read them immediately.
-    svc.flushed_batches.fetch_add(1, std::memory_order_relaxed);
-    svc.flushed_rows.fetch_add(rows, std::memory_order_relaxed);
+    replica.flushed_batches.fetch_add(1, std::memory_order_relaxed);
+    replica.flushed_rows.fetch_add(rows, std::memory_order_relaxed);
     switch (units[first].kind) {
         case QueryKind::Label:
-            deliver_labels(units, first, last, svc.backend->query_labels(*input));
+            deliver_labels(units, first, last, replica.backend->query_labels(*input));
             break;
         case QueryKind::Raw:
-            deliver_raw(units, first, last, svc.backend->query_raw_batch(*input));
+            deliver_raw(units, first, last, replica.backend->query_raw_batch(*input));
             break;
         case QueryKind::Power:
-            deliver_power(units, first, last, svc.backend->query_power_batch(*input));
+            deliver_power(units, first, last, replica.backend->query_power_batch(*input));
             break;
     }
 }
 
-/// Executes one drained queue: consecutive same-kind units are merged
-/// into backend batch calls of up to max_batch rows (a single unit
-/// larger than that still goes through whole — explicit batches are
+/// Executes one drained replica queue: consecutive same-kind units are
+/// merged into backend batch calls of up to max_batch rows (a single
+/// unit larger than that still goes through whole — explicit batches are
 /// never split, preserving the backend stack's all-or-nothing charging
 /// and its noise-stream layout).
 ///
@@ -314,65 +387,68 @@ void execute_group(ServiceState& svc, std::vector<Unit>& units, std::size_t firs
 /// it would have under serial issue. (Stack-level screening counters
 /// may see the offending rows once more on the retry; isolation of the
 /// tenants' answers is the contract that matters.)
-void flush(ServiceState& svc, std::vector<Unit>& units, tensor::Matrix& storage) {
+void flush(ReplicaState& replica, std::size_t max_batch, std::vector<Unit>& units,
+           tensor::Matrix& storage) {
     std::size_t first = 0;
     while (first < units.size()) {
         const QueryKind kind = units[first].kind;
         std::size_t last = first + 1;
         std::size_t rows = units[first].inputs.rows();
         while (last < units.size() && units[last].kind == kind &&
-               rows + units[last].inputs.rows() <= svc.config.max_batch) {
+               rows + units[last].inputs.rows() <= max_batch) {
             rows += units[last].inputs.rows();
             ++last;
         }
         try {
-            execute_group(svc, units, first, last, rows, storage);
+            execute_group(replica, units, first, last, rows, storage);
         } catch (...) {
             if (last - first == 1) {
                 fail_units(units, first, last, std::current_exception());
             } else {
                 for (std::size_t i = first; i < last; ++i) {
                     try {
-                        execute_group(svc, units, i, i + 1, units[i].inputs.rows(), storage);
+                        execute_group(replica, units, i, i + 1, units[i].inputs.rows(), storage);
                     } catch (...) {
                         fail_units(units, i, i + 1, std::current_exception());
                     }
                 }
             }
         }
+        replica.inflight_rows.fetch_sub(rows, std::memory_order_relaxed);
         first = last;
     }
 }
 
-void flusher_loop(const std::shared_ptr<ServiceState>& svc) {
-    std::unique_lock lock(svc->mutex);
+void flusher_loop(const std::shared_ptr<ServiceState>& svc, ReplicaState& replica) {
+    const ServiceConfig& config = svc->config;
+    std::unique_lock lock(replica.mutex);
     bool saturated = false;    ///< new work arrived while the last flush ran
     std::vector<Unit> batch;   ///< recycled: swaps capacity with the queue
-    tensor::Matrix storage;    ///< recycled gather scratch
+    tensor::Matrix storage;    ///< recycled gather scratch (per replica, never shared)
     for (;;) {
-        svc->cv.wait(lock, [&] { return svc->stopping || !svc->queue.empty(); });
-        if (svc->queue.empty()) return;  // stopping, fully drained
-        if (!saturated && !svc->stopping && !svc->flush_now &&
-            svc->pending_rows < svc->config.max_batch) {
+        replica.cv.wait(lock, [&] { return replica.stopping || !replica.queue.empty(); });
+        if (replica.queue.empty()) return;  // stopping, fully drained
+        if (!saturated && !replica.stopping && !replica.flush_now &&
+            replica.pending_rows < config.max_batch) {
             // Coalescing window: give concurrent submitters max_wait to
             // pile more rows on before paying for a backend call.
-            svc->cv.wait_for(lock, svc->config.max_wait, [&] {
-                return svc->stopping || svc->flush_now ||
-                       svc->pending_rows >= svc->config.max_batch;
+            replica.cv.wait_for(lock, config.max_wait, [&] {
+                return replica.stopping || replica.flush_now ||
+                       replica.pending_rows >= config.max_batch;
             });
         }
-        svc->flush_now = false;
-        batch.swap(svc->queue);  // the queue inherits batch's old capacity
-        svc->pending_rows = 0;
+        replica.flush_now = false;
+        batch.swap(replica.queue);  // the queue inherits batch's old capacity
+        replica.pending_rows = 0;
         lock.unlock();  // backend calls run without the queue lock
-        flush(*svc, batch, storage);
+        flush(replica, config.max_batch, batch, storage);
         batch.clear();  // destroy units (promises already fulfilled)
         lock.lock();
         // Under streaming load the next batch formed while this one was
         // in the backend — flush it straight away instead of opening a
         // fresh latency window (the window exists to coalesce trickles,
         // not to throttle a saturated queue).
-        saturated = !svc->queue.empty();
+        saturated = !replica.queue.empty();
     }
 }
 
@@ -527,6 +603,10 @@ double Session::flagged_fraction() const {
 
 std::uint64_t Session::id() const { return state_ != nullptr ? state_->id : 0; }
 
+std::size_t Session::home_replica() const {
+    return state_ != nullptr ? state_->home_replica : 0;
+}
+
 bool Session::open() const {
     return state_ != nullptr && state_->open.load(std::memory_order_acquire);
 }
@@ -534,38 +614,68 @@ bool Session::open() const {
 void Session::close() {
     if (state_ == nullptr) return;
     state_->open.store(false, std::memory_order_release);
-    // In-flight submissions complete normally; nudge the flusher so their
-    // futures resolve promptly.
-    {
-        std::lock_guard lock(state_->service->mutex);
-        state_->service->flush_now = true;
+    // In-flight submissions complete normally; nudge every flusher so
+    // their futures resolve promptly.
+    for (auto& replica : state_->service->replicas) {
+        {
+            std::lock_guard lock(replica->mutex);
+            replica->flush_now = true;
+        }
+        replica->cv.notify_all();
     }
-    state_->service->cv.notify_all();
 }
 
 // ---- OracleService ----------------------------------------------------------
 
 OracleService::OracleService(Oracle& backend, ServiceConfig config)
+    : OracleService(std::vector<Oracle*>{&backend}, config) {}
+
+OracleService::OracleService(const std::vector<Oracle*>& replicas, ServiceConfig config)
     : state_(std::make_shared<detail::ServiceState>()) {
     XS_EXPECTS(config.max_batch > 0);
+    if (replicas.empty()) throw ConfigError("OracleService needs at least one backend replica");
+    for (Oracle* backend : replicas) {
+        if (backend == nullptr) throw ConfigError("OracleService replica must not be null");
+    }
+    const std::size_t inputs = replicas.front()->inputs();
+    const std::size_t outputs = replicas.front()->outputs();
+    for (Oracle* backend : replicas) {
+        if (backend->inputs() != inputs || backend->outputs() != outputs) {
+            throw ConfigError("OracleService replicas must share one input/output shape");
+        }
+    }
     if (config.pool == nullptr && config.workers > 0) {
         owned_pool_ = std::make_unique<ThreadPool>(config.workers);
     }
-    state_->backend = &backend;
     state_->pool = config.pool != nullptr ? config.pool : owned_pool_.get();
     state_->config = config;
-    state_->inputs = backend.inputs();
-    state_->outputs = backend.outputs();
-    flusher_ = std::thread([state = state_] { detail::flusher_loop(state); });
+    state_->inputs = inputs;
+    state_->outputs = outputs;
+    state_->replicas.reserve(replicas.size());
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+        auto replica = std::make_unique<detail::ReplicaState>();
+        replica->backend = replicas[i];
+        replica->index = i;
+        state_->replicas.push_back(std::move(replica));
+    }
+    flushers_.reserve(replicas.size());
+    for (auto& replica : state_->replicas) {
+        flushers_.emplace_back(
+            [state = state_, r = replica.get()] { detail::flusher_loop(state, *r); });
+    }
 }
 
 OracleService::~OracleService() {
-    {
-        std::lock_guard lock(state_->mutex);
-        state_->stopping = true;
+    for (auto& replica : state_->replicas) {
+        {
+            std::lock_guard lock(replica->mutex);
+            replica->stopping = true;
+        }
+        replica->cv.notify_all();
     }
-    state_->cv.notify_all();
-    if (flusher_.joinable()) flusher_.join();
+    for (std::thread& flusher : flushers_) {
+        if (flusher.joinable()) flusher.join();
+    }
 }
 
 Session OracleService::open_session(SessionConfig config) {
@@ -575,25 +685,61 @@ Session OracleService::open_session(SessionConfig config) {
 
 std::size_t OracleService::inputs() const { return state_->inputs; }
 std::size_t OracleService::outputs() const { return state_->outputs; }
+std::size_t OracleService::replica_count() const { return state_->replicas.size(); }
 
 QueryCounters OracleService::counters() const {
     QueryCounters c;
-    c.inference = state_->inference_count.load(std::memory_order_relaxed);
-    c.power = state_->power_count.load(std::memory_order_relaxed);
+    for (const auto& replica : state_->replicas) {
+        c.inference += replica->inference_count.load(std::memory_order_relaxed);
+        c.power += replica->power_count.load(std::memory_order_relaxed);
+    }
+    return c;
+}
+
+QueryCounters OracleService::replica_counters(std::size_t replica) const {
+    XS_EXPECTS(replica < state_->replicas.size());
+    QueryCounters c;
+    c.inference = state_->replicas[replica]->inference_count.load(std::memory_order_relaxed);
+    c.power = state_->replicas[replica]->power_count.load(std::memory_order_relaxed);
     return c;
 }
 
 void OracleService::reset_counters() {
-    state_->inference_count.store(0, std::memory_order_relaxed);
-    state_->power_count.store(0, std::memory_order_relaxed);
+    for (auto& replica : state_->replicas) {
+        replica->inference_count.store(0, std::memory_order_relaxed);
+        replica->power_count.store(0, std::memory_order_relaxed);
+    }
 }
 
 std::uint64_t OracleService::flushed_batches() const {
-    return state_->flushed_batches.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const auto& replica : state_->replicas) {
+        total += replica->flushed_batches.load(std::memory_order_relaxed);
+    }
+    return total;
 }
 
 std::uint64_t OracleService::flushed_rows() const {
-    return state_->flushed_rows.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const auto& replica : state_->replicas) {
+        total += replica->flushed_rows.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::uint64_t OracleService::flushed_batches(std::size_t replica) const {
+    XS_EXPECTS(replica < state_->replicas.size());
+    return state_->replicas[replica]->flushed_batches.load(std::memory_order_relaxed);
+}
+
+std::uint64_t OracleService::flushed_rows(std::size_t replica) const {
+    XS_EXPECTS(replica < state_->replicas.size());
+    return state_->replicas[replica]->flushed_rows.load(std::memory_order_relaxed);
+}
+
+std::size_t OracleService::queue_depth(std::size_t replica) const {
+    XS_EXPECTS(replica < state_->replicas.size());
+    return state_->replicas[replica]->inflight_rows.load(std::memory_order_relaxed);
 }
 
 std::size_t OracleService::sessions_opened() const {

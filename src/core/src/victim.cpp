@@ -51,4 +51,21 @@ CrossbarOracle deploy_victim(const nn::SingleLayerNet& net, const VictimConfig& 
     return CrossbarOracle(std::move(hardware), config.oracle);
 }
 
+std::vector<CrossbarOracle> deploy_victim_fleet(const nn::SingleLayerNet& net,
+                                                const VictimConfig& config,
+                                                std::size_t replicas) {
+    XS_EXPECTS(replicas > 0);
+    std::vector<CrossbarOracle> fleet;
+    fleet.reserve(replicas);
+    for (std::size_t r = 0; r < replicas; ++r) {
+        xbar::NonIdealityConfig nonideal = config.nonideal;
+        nonideal.seed = xbar::replica_variation_seed(config.nonideal.seed, r);
+        xbar::MappingOptions mapping;
+        mapping.noise_seed = xbar::replica_variation_seed(mapping.noise_seed, r);
+        fleet.emplace_back(xbar::CrossbarNetwork(net, config.device, nonideal, mapping),
+                           config.oracle);
+    }
+    return fleet;
+}
+
 }  // namespace xbarsec::core

@@ -56,4 +56,13 @@ tensor::Matrix effective_weights(const CrossbarProgram& program);
 /// Eq. 5 exposes through the total current.
 tensor::Vector column_conductance_sums(const CrossbarProgram& program);
 
+/// Derives the device-variation seed for replica `replica` of a fleet
+/// from a base seed: replica 0 gets `base` unchanged (a fleet of one is
+/// bit-identical to the single deployment it generalises), and every
+/// other replica gets an independent well-mixed stream. Feed the result
+/// into both NonIdealityConfig::seed (fault placement, read noise) and
+/// MappingOptions::noise_seed (write noise) so each replica carries its
+/// own physical signature over the same programmed weights.
+std::uint64_t replica_variation_seed(std::uint64_t base, std::size_t replica);
+
 }  // namespace xbarsec::xbar

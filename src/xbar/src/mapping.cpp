@@ -69,4 +69,15 @@ tensor::Vector column_conductance_sums(const CrossbarProgram& program) {
     return g;
 }
 
+std::uint64_t replica_variation_seed(std::uint64_t base, std::size_t replica) {
+    if (replica == 0) return base;
+    // splitmix64 finaliser over base ⊕ replica-index stream: cheap,
+    // stateless, and avalanching — adjacent replica indices yield
+    // unrelated fault placements and noise streams.
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(replica);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 }  // namespace xbarsec::xbar
