@@ -26,7 +26,9 @@
 // issue at 8 concurrent clients, and >= 2.5x single-replica coalesced
 // throughput at 4 replicas on hosts with >= 4 cores (recorded but not
 // gated on smaller hosts).
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -157,6 +159,80 @@ double run_service_clients(core::OracleService& service, const tensor::Matrix& p
     return timer.seconds();
 }
 
+/// Zipf(s) rank CDF over n pool rows: weight(r) = (r+1)^-s. s = 0 is
+/// uniform traffic; s = 1.0 sends ~92% of queries to the hottest 2048 of
+/// 4096 rows — the "popular inputs dominate" regime the result cache
+/// exists for.
+std::vector<double> zipf_cdf(std::size_t n, double skew) {
+    std::vector<double> cdf(n);
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+        cdf[r] = total;
+    }
+    for (double& v : cdf) v /= total;
+    return cdf;
+}
+
+std::size_t zipf_sample(const std::vector<double>& cdf, double u) {
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return std::min(static_cast<std::size_t>(it - cdf.begin()), cdf.size() - 1);
+}
+
+struct ZipfRun {
+    double qps = 0.0;
+    double hit_rate = 0.0;          ///< 0 for the cache-off baseline
+    std::uint64_t served = 0;       ///< queries answered (budgeted sessions stop early)
+};
+
+/// Zipf-distributed request-response traffic: every client waits for each
+/// answer before the next query (interactive tenants — the traffic shape
+/// where per-query latency, and therefore the cache, matters most).
+/// Budgeted sessions stop at QueryBudgetExceeded and report how many
+/// queries they actually got served.
+ZipfRun run_zipf_clients(core::OracleService& service, const tensor::Matrix& pool,
+                         const std::vector<double>& cdf, std::size_t clients,
+                         std::size_t per_client, std::uint64_t seed,
+                         const core::SessionConfig& session_config) {
+    std::vector<core::Session> sessions;
+    sessions.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        sessions.push_back(service.open_session(session_config));
+    }
+    const std::uint64_t hits0 = service.cache_hits();
+    const std::uint64_t misses0 = service.cache_misses();
+    std::atomic<std::uint64_t> served{0};
+    WallTimer timer;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            core::Oracle& oracle = sessions[c].oracle();
+            Rng rng(seed ^ (0x2F1Full * (c + 1)));
+            std::uint64_t ok = 0;
+            for (std::size_t q = 0; q < per_client; ++q) {
+                const std::size_t row = zipf_sample(cdf, rng.uniform());
+                try {
+                    (void)oracle.query_label(pool.row(row));
+                } catch (const core::QueryBudgetExceeded&) {
+                    break;  // budget spent; the session served `ok` queries
+                }
+                ++ok;
+            }
+            served.fetch_add(ok, std::memory_order_relaxed);
+        });
+    }
+    for (auto& t : threads) t.join();
+    ZipfRun run;
+    run.served = served.load(std::memory_order_relaxed);
+    run.qps = static_cast<double>(run.served) / timer.seconds();
+    const std::uint64_t hits = service.cache_hits() - hits0;
+    const std::uint64_t misses = service.cache_misses() - misses0;
+    run.hit_rate = hits + misses > 0
+                       ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                       : 0.0;
+    return run;
+}
+
 struct ServiceRun {
     double qps = 0.0;
     double mean_batch = 0.0;       ///< realised rows per backend call
@@ -255,6 +331,8 @@ int main(int argc, char** argv) {
              "routing policy for the replica series (session-affine|round-robin|least-loaded)");
     cli.flag("depths", "16,64,256,512",
              "per-client pipeline depths for the max_batch-interaction series");
+    cli.flag("skews", "0,0.6,1.0", "Zipf skew exponents for the result-cache traffic series");
+    cli.flag("cache-capacity", "2048", "result-cache entries for the Zipf series");
     cli.flag("pool", "4096", "rows in the shared query pool");
     cli.flag("train", "2000", "victim training samples");
     cli.flag("epochs", "6", "victim training epochs");
@@ -271,6 +349,8 @@ int main(int argc, char** argv) {
         std::vector<long long> batch_sweep = cli.integer_list("max-batches");
         std::vector<long long> replica_sweep = cli.integer_list("replicas");
         std::vector<long long> depth_sweep = cli.integer_list("depths");
+        std::vector<double> skew_sweep = cli.real_list("skews");
+        std::size_t cache_capacity = static_cast<std::size_t>(cli.integer("cache-capacity"));
         const core::RoutingPolicy routing = core::parse_routing_policy(cli.str("routing"));
         std::size_t per_client = static_cast<std::size_t>(cli.integer("queries"));
         std::size_t pool_rows = static_cast<std::size_t>(cli.integer("pool"));
@@ -287,6 +367,8 @@ int main(int argc, char** argv) {
             per_client = 1024;
             pool_rows = 1024;
             config.train.epochs = 2;
+            skew_sweep = {0, 1.0};
+            cache_capacity = 512;  // half the smoke pool, matching the full-run ratio
         }
 
         const data::DataSplit split = data::load_mnist_like(load);
@@ -499,6 +581,99 @@ int main(int argc, char** argv) {
             record_fleet_fields(rec, 1, core::RoutingPolicy::SessionAffine, run);
         }
 
+        // -- series 5: Zipfian traffic through the result cache -------------------
+        //
+        // Request-response clients (each waits for every answer — the
+        // interactive-tenant shape where per-query latency dominates)
+        // sampling the pool by Zipf rank. Three configs per skew:
+        // cache-off (today's fleet), the shared cross-session cache, and
+        // the per-session-partitioned cache (the timing-channel defense;
+        // partitioning costs cross-tenant reuse, so its hit rate shows
+        // what the defense pays). Capacity covers the hottest
+        // `cache_capacity` of `pool` rows.
+        Table zipf_table({"Skew", "Cache", "q/s", "Hit rate", "Speedup vs off"});
+        double zipf_gate_speedup = 0.0;
+        double max_skew = 0.0;
+        for (const double skew : skew_sweep) max_skew = std::max(max_skew, skew);
+        for (const double skew : skew_sweep) {
+            if (skew < 0.0) throw ConfigError("--skews entries must be >= 0");
+            const std::vector<double> cdf = zipf_cdf(query_pool.rows(), skew);
+            double off_qps = 0.0;
+            for (int mode = 0; mode < 3; ++mode) {
+                core::ServiceConfig service_config;
+                service_config.pool = pool.get();
+                service_config.cache.enabled = mode > 0;
+                service_config.cache.capacity = cache_capacity;
+                service_config.cache.partition_by_session = mode == 2;
+                core::OracleService service(backend, service_config);
+                (void)run_zipf_clients(service, query_pool, cdf, sweep_clients,
+                                       per_client / 4 + 1, 11, {});  // warm
+                const ZipfRun run = run_zipf_clients(service, query_pool, cdf, sweep_clients,
+                                                     per_client, 13, {});
+                if (mode == 0) off_qps = run.qps;
+                const double speedup = off_qps > 0.0 ? run.qps / off_qps : 0.0;
+                const char* label = mode == 0 ? "off" : (mode == 1 ? "shared" : "partitioned");
+                if (mode == 1 && skew == max_skew) zipf_gate_speedup = speedup;
+
+                zipf_table.begin_row();
+                zipf_table.add(skew, 1);
+                zipf_table.add(label);
+                zipf_table.add(run.qps, 0);
+                zipf_table.add(run.hit_rate, 3);
+                zipf_table.add(speedup, 2);
+
+                rec.begin("zipf@" + Table::format_number(skew, 1) + "/" + label);
+                rec.add("skew", skew);
+                rec.add("cache", label);
+                rec.add("clients", static_cast<long long>(sweep_clients));
+                rec.add("cache_capacity", static_cast<long long>(cache_capacity));
+                rec.add("pool_rows", static_cast<long long>(query_pool.rows()));
+                rec.add("qps", run.qps);
+                rec.add("hit_rate", run.hit_rate);
+                rec.add("speedup_vs_cache_off", speedup);
+            }
+        }
+
+        // Hit-charging semantics at the highest skew: sessions on a
+        // finite budget of per_client/2 inference queries. With
+        // hits_charge_budget (the paper-faithful default) a hit spends
+        // budget like any query; with it off, only misses charge, so a
+        // hot-traffic tenant gets far more answers from the same budget.
+        Table charge_table({"hits_charge_budget", "Served/client", "Budget", "q/s", "Hit rate"});
+        {
+            const std::vector<double> cdf = zipf_cdf(query_pool.rows(), max_skew);
+            core::SessionConfig budgeted;
+            budgeted.budget.max_inference = per_client / 2;
+            for (const bool charge_hits : {true, false}) {
+                core::ServiceConfig service_config;
+                service_config.pool = pool.get();
+                service_config.cache.enabled = true;
+                service_config.cache.capacity = cache_capacity;
+                service_config.cache.hits_charge_budget = charge_hits;
+                core::OracleService service(backend, service_config);
+                (void)run_zipf_clients(service, query_pool, cdf, sweep_clients,
+                                       per_client / 4 + 1, 17, {});  // warm (unbudgeted)
+                const ZipfRun run = run_zipf_clients(service, query_pool, cdf, sweep_clients,
+                                                     per_client, 19, budgeted);
+                charge_table.begin_row();
+                charge_table.add(charge_hits ? "on" : "off");
+                charge_table.add(static_cast<double>(run.served) /
+                                     static_cast<double>(sweep_clients),
+                                 0);
+                charge_table.add(static_cast<long long>(budgeted.budget.max_inference));
+                charge_table.add(run.qps, 0);
+                charge_table.add(run.hit_rate, 3);
+                rec.begin(std::string("hit_charge@") + (charge_hits ? "on" : "off"));
+                rec.add("hits_charge_budget", charge_hits ? 1ll : 0ll);
+                rec.add("skew", max_skew);
+                rec.add("budget_per_client", static_cast<long long>(budgeted.budget.max_inference));
+                rec.add("served_per_client", static_cast<double>(run.served) /
+                                                 static_cast<double>(sweep_clients));
+                rec.add("qps", run.qps);
+                rec.add("hit_rate", run.hit_rate);
+            }
+        }
+
         std::cout << "\n## Multi-client label-query throughput (784×10 victim, " << workers
                   << (workers == 1 ? " backend worker)\n\n" : " backend workers)\n\n")
                   << table << "\n## Throughput vs coalescing max_batch ("
@@ -507,7 +682,12 @@ int main(int argc, char** argv) {
                   << sweep_clients << " clients, " << core::to_string(routing) << ")\n\n"
                   << replica_table << "\n## Mean batch vs pipeline depth (max_batch "
                   << kDepthSeriesMaxBatch << ", " << sweep_clients << " clients)\n\n"
-                  << depth_table;
+                  << depth_table << "\n## Zipfian traffic through the result cache ("
+                  << sweep_clients << " request-response clients, capacity " << cache_capacity
+                  << "/" << query_pool.rows() << " rows)\n\n"
+                  << zipf_table << "\n## Hit-charging semantics (skew "
+                  << Table::format_number(max_skew, 1) << ", budgeted sessions)\n\n"
+                  << charge_table;
 
         const std::string out_path = cli.str("out");
         if (!rec.write(out_path)) {
@@ -545,6 +725,29 @@ int main(int argc, char** argv) {
                     std::cout << "4-replica vs single-replica coalesced throughput: "
                               << Table::format_number(quad_replica_speedup, 2)
                               << " (gate skipped: host has < 4 cores; recorded only)\n";
+                }
+            }
+
+            // Zipf cache gate: the shared cache must buy >= 5x
+            // request-response throughput at the highest skew. A hit runs
+            // on the submitting thread while a miss pays the queue
+            // roundtrip — on a 1-core host the miss baseline is itself
+            // throttled by flusher/client context switching, so the ratio
+            // is only meaningful with >= 2 cores (recorded regardless).
+            if (zipf_gate_speedup > 0.0) {
+                if (std::thread::hardware_concurrency() >= 2) {
+                    const bool zipf_pass = zipf_gate_speedup >= 5.0;
+                    std::cout << "shared-cache vs cache-off throughput at skew "
+                              << Table::format_number(max_skew, 1) << ": "
+                              << Table::format_number(zipf_gate_speedup, 2)
+                              << (zipf_pass ? " (PASS, >= 5x)" : " (FAIL, below the 5x target)")
+                              << "\n";
+                    if (!zipf_pass) exit_code = 1;
+                } else {
+                    std::cout << "shared-cache vs cache-off throughput at skew "
+                              << Table::format_number(max_skew, 1) << ": "
+                              << Table::format_number(zipf_gate_speedup, 2)
+                              << " (gate skipped: host has < 2 cores; recorded only)\n";
                 }
             }
         }

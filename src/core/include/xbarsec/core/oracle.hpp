@@ -62,9 +62,21 @@ struct QueryCounters {
     /// long-lived multi-tenant service their sum could in principle
     /// exceed 2^64 − 1; saturation keeps total() monotone instead of
     /// wrapping.
-    std::uint64_t total() const {
-        const std::uint64_t t = inference + power;
-        return t < inference ? ~std::uint64_t{0} : t;
+    std::uint64_t total() const { return saturating_add(inference, power); }
+
+    /// a + b clamped to 2^64 − 1 instead of wrapping.
+    static std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+        const std::uint64_t t = a + b;
+        return t < a ? ~std::uint64_t{0} : t;
+    }
+
+    /// Accumulates another snapshot bucket-wise with saturation. Fleet
+    /// aggregates (sums of per-replica counters) must use this: each
+    /// replica bucket saturates independently, so a plain + across
+    /// near-max replicas could wrap and break total()'s monotonicity.
+    void add_saturating(const QueryCounters& other) {
+        inference = saturating_add(inference, other.inference);
+        power = saturating_add(power, other.power);
     }
 };
 

@@ -26,7 +26,7 @@
 namespace xbarsec::core {
 
 enum class DatasetKind { MnistLike, Cifar10Like };
-enum class ExperimentKind { Fig3, Fig4, Fig5, Table1, Probe, MultiClient, ReplicaSweep };
+enum class ExperimentKind { Fig3, Fig4, Fig5, Table1, Probe, MultiClient, ReplicaSweep, CacheTiming };
 
 std::string to_string(DatasetKind kind);
 std::string to_string(ExperimentKind kind);
@@ -126,6 +126,22 @@ struct ReplicaSweepOptions {
 
 std::string to_string(ReplicaSweepOptions::Axis axis);
 
+/// The cross-tenant cache-timing side channel: a victim session queries
+/// a secret subset of a public candidate pool through a shared result
+/// cache; an attacker session then times its own probes of every
+/// candidate and ranks them by latency (a resident entry answers on the
+/// submitting thread, a miss pays the queue roundtrip + backend batch).
+/// Reported as the Mann-Whitney AUC of that ranking against the true
+/// membership — ≈1.0 on a shared cache, ≈0.5 once
+/// CacheConfig::partition_by_session keys the victim's entries away from
+/// the attacker's probes. Both modes run from one trained victim.
+struct CacheTimingOptions {
+    std::size_t candidate_pool = 64;    ///< public candidate inputs (victim queries half)
+    std::size_t cache_capacity = 4096;  ///< sized so victim entries stay resident
+    std::size_t probe_repeats = 4;      ///< attacker timing passes per candidate
+    std::uint64_t seed = 7;
+};
+
 /// A complete named workload.
 struct ScenarioSpec {
     std::string name;         ///< registry key, e.g. "fig4/mnist/softmax"
@@ -148,6 +164,10 @@ struct ScenarioSpec {
     /// bit-identical to a single-backend deployment.
     RoutingPolicy routing = RoutingPolicy::SessionAffine;
 
+    /// Result-cache tier of the deployment's service (default off —
+    /// bit-identical to the uncached fleet).
+    CacheConfig cache;
+
     ExperimentKind experiment = ExperimentKind::Fig4;
     Fig4Options fig4;
     Fig5Options fig5;
@@ -156,6 +176,7 @@ struct ScenarioSpec {
     std::size_t probe_topk = 16;  ///< ranking-agreement k for Probe reports
     MultiClientOptions multiclient;
     ReplicaSweepOptions replica_sweep;
+    CacheTimingOptions cache_timing;
 };
 
 /// Shrinks a spec to CI-smoke size (tiny datasets, minimal sweeps).

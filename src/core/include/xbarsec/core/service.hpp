@@ -33,6 +33,21 @@
 // counter-based stream indexed by the session's own query ordinal, so it
 // too is independent of how submissions were packed into batches.
 //
+// **Result cache.** An optional content-addressed cache sits in front of
+// the per-replica coalescers: a scalar submission whose (kind, replica,
+// input bytes) triple was answered before is served on the submitting
+// thread without touching the backend. Hits still run the hitting
+// session's *own* policy — exposure checks, detector screening, counter
+// updates, and (for power) the session's private noise stream at its own
+// ordinal — so a cached reply is exactly what that session would have
+// been told, just sooner. Whether hits also charge the BudgetLedger is
+// an explicit ServiceConfig decision (see CacheConfig). The cache is off
+// by default, making the default service bit-identical to the uncached
+// fleet. Sharing one cache across tenants opens a classic cross-tenant
+// timing channel (hit latency leaks other tenants' query contents — see
+// the service/mnist/cache-timing scenario); CacheConfig::partition_by_
+// session closes it by giving every session a private key space.
+//
 // **Replica fleets.** A service may front N backend replicas instead of
 // one — the same programmed weights deployed on N physically distinct
 // (simulated) crossbars, each with its own device-variation signature
@@ -103,6 +118,46 @@ std::string to_string(RoutingPolicy policy);
 /// to_string spellings); throws ConfigError otherwise.
 RoutingPolicy parse_routing_policy(const std::string& name);
 
+/// Content-addressed result cache over the serving layer. Keys are
+/// (query kind, replica index, input-row bytes) — plus the session id
+/// when partitioned — so a cached answer is always one the *same*
+/// backend produced for the *same* bytes. Only scalar (one-row)
+/// submissions are cached or served from the cache; explicitly-submitted
+/// batches always reach a backend (they keep the stack's all-or-nothing
+/// batch semantics and would fragment the key space).
+///
+/// Cached values are the backend's answers *before* per-session
+/// transforms: a power hit re-applies the hitting session's own noise
+/// stream at the session's own ordinal (which advances on hits exactly
+/// as on misses). On a deterministic stack a hit is therefore
+/// bit-identical to recomputation; on a noisy stack it replays the first
+/// measurement instead of drawing a fresh one — enable it there only
+/// when that freeze is acceptable.
+struct CacheConfig {
+    /// Off by default: the cache-off service is bit-identical to the
+    /// uncached fleet (committed goldens depend on this).
+    bool enabled = false;
+
+    /// Maximum cached entries; least-recently-used entries are evicted
+    /// beyond it. Must be > 0 when enabled.
+    std::size_t capacity = 2048;
+
+    /// Give every session a private key space. Closes the cross-tenant
+    /// cache-timing side channel (one tenant can no longer learn whether
+    /// another tenant queried some input by timing its own probe) at the
+    /// cost of per-tenant duplication inside `capacity`.
+    bool partition_by_session = false;
+
+    /// Whether a cache hit charges the session's BudgetLedger. Default
+    /// true: the paper's budget semantics cap what a client *learns*,
+    /// and a hit answers a query just like a miss does. Set false to
+    /// meter only backend work — cheaper per hit (no ledger mutex) but
+    /// an attacker can then replay popular inputs for free
+    /// (bench_service's hit_charge series measures the cost of keeping
+    /// the default). Session counters always count hits either way.
+    bool hits_charge_budget = true;
+};
+
 /// Service-wide knobs: the worker pool behind the backend's batched
 /// query paths and the coalescing-queue flush policy.
 struct ServiceConfig {
@@ -142,6 +197,9 @@ struct ServiceConfig {
 
     /// Replica-selection policy (single-replica services ignore it).
     RoutingPolicy routing = RoutingPolicy::SessionAffine;
+
+    /// Content-addressed result cache in front of the coalescers.
+    CacheConfig cache;
 };
 
 /// Per-session policy: what this client may see and what it costs them.
@@ -286,9 +344,11 @@ public:
     std::size_t outputs() const;
     std::size_t replica_count() const;
 
-    /// Service-wide accepted-query counters: the fleet aggregate (sum of
-    /// the per-replica counters, since the last service-wide reset).
-    /// Monotone between resets.
+    /// Service-wide accepted-query counters: the fleet aggregate
+    /// (saturating sum of the per-replica counters, since the last
+    /// service-wide reset). Monotone between resets. Counts rows that
+    /// reached a replica — cache hits never route, so they appear in
+    /// cache_hits() and the sessions' own counters, not here.
     QueryCounters counters() const;
 
     /// Accepted-query counters of the rows routed to replica `replica`
@@ -313,6 +373,16 @@ public:
     std::size_t queue_depth(std::size_t replica) const;
 
     std::size_t sessions_opened() const;
+
+    /// Result-cache telemetry (all zero when the cache is disabled).
+    /// hits + misses = cache-eligible probes (scalar submissions that
+    /// passed per-session policy); entries is the current population,
+    /// bounded by CacheConfig::capacity. Monotone except entries.
+    std::uint64_t cache_hits() const;
+    std::uint64_t cache_misses() const;
+    std::uint64_t cache_evictions() const;
+    std::size_t cache_entries() const;
+    double cache_hit_rate() const;  ///< hits / (hits + misses), 0 when idle
 
     /// The pool this service carries for the backend's batched paths:
     /// the external `config.pool` if one was given, else the owned pool

@@ -1,6 +1,7 @@
 #include "xbarsec/core/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <limits>
 #include <thread>
@@ -30,6 +31,7 @@ std::string to_string(ExperimentKind kind) {
         case ExperimentKind::Probe: return "probe";
         case ExperimentKind::MultiClient: return "multiclient";
         case ExperimentKind::ReplicaSweep: return "replica-sweep";
+        case ExperimentKind::CacheTiming: return "cache-timing";
     }
     return "?";
 }
@@ -77,6 +79,8 @@ void apply_smoke(ScenarioSpec& spec) {
     }
     spec.replica_sweep.routing_replicas =
         std::min<std::size_t>(spec.replica_sweep.routing_replicas, 2);
+    spec.cache_timing.candidate_pool = std::min<std::size_t>(spec.cache_timing.candidate_pool, 24);
+    spec.cache_timing.probe_repeats = std::min<std::size_t>(spec.cache_timing.probe_repeats, 2);
 }
 
 // ---- registry ---------------------------------------------------------------
@@ -307,6 +311,18 @@ void register_builtins(ScenarioRegistry& registry) {
         s.replica_sweep.seed = 2022 + 55;
         registry.add(std::move(s));
     }
+    // The optimization-induced side channel: a shared result cache turns
+    // hit/miss latency into a cross-tenant leak of *which inputs* other
+    // sessions queried; per-session partitioning is the defense.
+    {
+        ScenarioSpec s = base_spec("service/mnist/cache-timing",
+                                   "Attacker infers a co-tenant's query contents from result-"
+                                   "cache hit/miss latency; partitioning closes the channel",
+                                   DatasetKind::MnistLike, OutputConfig::softmax_ce(),
+                                   ExperimentKind::CacheTiming);
+        s.cache_timing.seed = 2022 + 89;
+        registry.add(std::move(s));
+    }
     {
         // The decorator-stacked defended deployment: randomised dummy
         // loads, sensing noise, and a hard power-measurement budget.
@@ -458,6 +474,7 @@ DeployedScenario ScenarioRunner::deploy(const ScenarioSpec& spec) const {
     ServiceConfig service_config;
     service_config.pool = pool_;
     service_config.routing = spec.routing;
+    service_config.cache = spec.cache;
     d.service_ = std::make_unique<OracleService>(tops, service_config);
     d.session_ = d.service_->open_session();
     return d;
@@ -944,6 +961,138 @@ ScenarioOutcome run_replica_sweep_scenario(const ScenarioSpec& spec, ThreadPool*
     return outcome;
 }
 
+// ---- cache-timing -----------------------------------------------------------
+
+/// One prime-and-probe trial against a fresh deployment of the trained
+/// victim: the victim session primes the cache with its secret member
+/// set, then the attacker session times one probe of every candidate.
+/// Appends (latency, is_member) samples; only the first probe of a
+/// candidate carries signal (the probe itself populates the cache), so
+/// repeats are independent trials, not repeated probes.
+struct CacheTimingSamples {
+    std::vector<double> member_ns;
+    std::vector<double> nonmember_ns;
+};
+
+void run_cache_timing_trial(const TrainedVictim& victim, const VictimConfig& victim_config,
+                            const data::Dataset& candidates, const std::vector<bool>& is_member,
+                            const tensor::Vector& warmup, const CacheTimingOptions& ct,
+                            bool partitioned, std::uint64_t seed, ThreadPool* pool,
+                            CacheTimingSamples& samples, double& hit_rate_out) {
+    std::vector<CrossbarOracle> fleet = deploy_victim_fleet(victim.net, victim_config, 1);
+    fleet.front().set_thread_pool(pool);
+    ServiceConfig service_config;
+    service_config.pool = pool;
+    service_config.cache.enabled = true;
+    service_config.cache.capacity = ct.cache_capacity;
+    service_config.cache.partition_by_session = partitioned;
+    OracleService service({&fleet.front()}, service_config);
+
+    Session victim_session = service.open_session();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (is_member[i]) victim_session.oracle().query_label(candidates.input(i));
+    }
+
+    Session attacker = service.open_session();
+    Oracle& probe = attacker.oracle();
+    // Warm the attacker's submission path (first-query thread wakeup,
+    // lazy allocations) on an input *outside* the candidate pool, so the
+    // warm-up cannot seed any candidate into the attacker's partition.
+    probe.query_label(warmup);
+    // Probe in an attacker-shuffled order so queue/scheduling drift over
+    // the pass cannot correlate with membership.
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    Rng rng(seed);
+    for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[static_cast<std::size_t>(rng.below(i))]);
+    }
+    for (const std::size_t i : order) {
+        const tensor::Vector u = candidates.input(i);
+        const auto t0 = std::chrono::steady_clock::now();
+        probe.query_label(u);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ns =
+            static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                                    .count());
+        (is_member[i] ? samples.member_ns : samples.nonmember_ns).push_back(ns);
+    }
+    hit_rate_out = service.cache_hit_rate();
+}
+
+/// Mann-Whitney AUC of "members probe faster": P(m < n) + ½·P(m = n)
+/// over all member/non-member latency pairs. 1.0 = perfect inference of
+/// the co-tenant's query contents, 0.5 = chance.
+double membership_auc(const CacheTimingSamples& samples) {
+    if (samples.member_ns.empty() || samples.nonmember_ns.empty()) return 0.5;
+    double wins = 0.0;
+    for (const double m : samples.member_ns) {
+        for (const double n : samples.nonmember_ns) {
+            if (m < n) {
+                wins += 1.0;
+            } else if (m == n) {
+                wins += 0.5;
+            }
+        }
+    }
+    return wins / (static_cast<double>(samples.member_ns.size()) *
+                   static_cast<double>(samples.nonmember_ns.size()));
+}
+
+ScenarioOutcome run_cache_timing_scenario(const ScenarioSpec& spec, ThreadPool* pool) {
+    if (!spec.defenses.empty()) {
+        throw ConfigError("cache-timing scenarios do not support defense stacks (the channel "
+                          "lives in the serving layer, above any decorator)");
+    }
+    const CacheTimingOptions& ct = spec.cache_timing;
+    ScenarioOutcome outcome;
+    const data::DataSplit split = load_split(spec);
+    VictimConfig victim_config = spec.victim;
+    victim_config.output = spec.output;
+    const TrainedVictim victim = train_victim(split, victim_config);
+    outcome.label = experiment_label(spec) + "/cache-timing";
+
+    // A public candidate pool; the victim queries a secret half. The
+    // attacker knows the pool (realistic: popular inputs are public) but
+    // not the subset.
+    const std::size_t pool_size = std::min<std::size_t>(ct.candidate_pool, split.test.size());
+    const data::Dataset candidates = split.test.take(pool_size);
+    std::vector<bool> is_member(pool_size, false);
+    {
+        std::vector<std::size_t> order(pool_size);
+        for (std::size_t i = 0; i < pool_size; ++i) order[i] = i;
+        Rng rng(ct.seed);
+        for (std::size_t i = pool_size; i > 1; --i) {
+            std::swap(order[i - 1], order[static_cast<std::size_t>(rng.below(i))]);
+        }
+        for (std::size_t i = 0; i < pool_size / 2; ++i) is_member[order[i]] = true;
+    }
+
+    Table table({"Cache mode", "Attacker AUC", "Attacker hit rate", "Trials"});
+    for (const bool partitioned : {false, true}) {
+        CacheTimingSamples samples;
+        double hit_rate = 0.0;
+        for (std::size_t trial = 0; trial < std::max<std::size_t>(1, ct.probe_repeats); ++trial) {
+            run_cache_timing_trial(victim, victim_config, candidates, is_member,
+                                   split.train.input(0), ct, partitioned, ct.seed + 1 + trial,
+                                   pool, samples, hit_rate);
+        }
+        const double auc = membership_auc(samples);
+        const std::string mode = partitioned ? "partitioned" : "shared";
+        table.begin_row();
+        table.add(mode);
+        table.add(auc, 3);
+        table.add(hit_rate, 3);
+        table.add(static_cast<long long>(std::max<std::size_t>(1, ct.probe_repeats)));
+        outcome.metrics["attacker_auc_" + mode] = auc;
+        outcome.metrics["attacker_hit_rate_" + mode] = hit_rate;
+    }
+    outcome.tables.emplace_back("cache_timing", std::move(table));
+    outcome.metrics["victim_test_accuracy"] = victim.test_accuracy;
+    outcome.metrics["candidate_pool"] = static_cast<double>(pool_size);
+    return outcome;
+}
+
 }  // namespace
 
 ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
@@ -956,6 +1105,7 @@ ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
         case ExperimentKind::Probe: outcome = run_probe_scenario(*this, spec); break;
         case ExperimentKind::MultiClient: outcome = run_multiclient_scenario(*this, spec); break;
         case ExperimentKind::ReplicaSweep: outcome = run_replica_sweep_scenario(spec, pool_); break;
+        case ExperimentKind::CacheTiming: outcome = run_cache_timing_scenario(spec, pool_); break;
     }
     outcome.name = spec.name;
     return outcome;

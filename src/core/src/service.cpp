@@ -1,7 +1,13 @@
 #include "xbarsec/core/service.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstring>
 #include <limits>
+#include <list>
+#include <span>
+#include <type_traits>
+#include <unordered_map>
 #include <utility>
 
 #include "xbarsec/common/rng.hpp"
@@ -18,9 +24,20 @@ std::string to_string(RoutingPolicy policy) {
 }
 
 RoutingPolicy parse_routing_policy(const std::string& name) {
-    if (name == "session-affine") return RoutingPolicy::SessionAffine;
-    if (name == "round-robin") return RoutingPolicy::RoundRobin;
-    if (name == "least-loaded") return RoutingPolicy::LeastLoaded;
+    // Bench and example CLIs pass user input through verbatim, so accept
+    // any trim/case/separator spelling ("RoundRobin", " least-loaded ",
+    // "SESSION_AFFINE"): drop whitespace and -/_ separators, case-fold,
+    // and match the canonical words.
+    std::string key;
+    key.reserve(name.size());
+    for (const char ch : name) {
+        const auto c = static_cast<unsigned char>(ch);
+        if (std::isspace(c) != 0 || ch == '-' || ch == '_') continue;
+        key.push_back(static_cast<char>(std::tolower(c)));
+    }
+    if (key == "sessionaffine") return RoutingPolicy::SessionAffine;
+    if (key == "roundrobin") return RoutingPolicy::RoundRobin;
+    if (key == "leastloaded") return RoutingPolicy::LeastLoaded;
     throw ConfigError("unknown routing policy '" + name +
                       "'; expected session-affine, round-robin, or least-loaded");
 }
@@ -28,6 +45,128 @@ RoutingPolicy parse_routing_policy(const std::string& name) {
 namespace detail {
 
 enum class QueryKind { Label, Raw, Power };
+
+/// The content-addressed result cache (ServiceConfig::cache). Keys mix
+/// (kind, replica index, partition, input-row bit pattern) into one
+/// 64-bit hash; a probe verifies the stored entry byte-for-byte before
+/// answering, so a hash collision degrades to a miss, never to a wrong
+/// answer. Values are the backend's *clean* answers — per-session
+/// transforms (power noise) are re-applied by the hit path.
+///
+/// One mutex guards the LRU list and the index. That is deliberate: a
+/// hit is a short critical section on the submitting thread while a miss
+/// pays a queue roundtrip plus a backend batch — the latency asymmetry
+/// the cache exists for, and exactly the cross-tenant timing signal the
+/// service/mnist/cache-timing scenario measures (partitioning removes
+/// the cross-tenant information, not the asymmetry).
+class ResultCache {
+public:
+    explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /// One cached answer; `kind` (in the key) says which field is live.
+    struct Value {
+        int label = 0;
+        tensor::Vector raw;
+        double power = 0.0;
+    };
+
+    static std::uint64_t key_hash(QueryKind kind, std::size_t replica, std::uint64_t partition,
+                                  std::span<const double> row) {
+        // FNV-1a over the key fields and the row's double bit patterns,
+        // finished with the counter-rng avalanche so the map sees
+        // well-mixed buckets.
+        std::uint64_t h = 1469598103934665603ull;
+        const auto mix = [&h](std::uint64_t bits) { h = (h ^ bits) * 1099511628211ull; };
+        mix(static_cast<std::uint64_t>(kind));
+        mix(replica);
+        mix(partition);
+        for (const double v : row) {
+            std::uint64_t bits = 0;
+            std::memcpy(&bits, &v, sizeof bits);
+            mix(bits);
+        }
+        return counter_rng::hash_at(h, 0, 0);
+    }
+
+    /// Probes for an exact entry; a hit refreshes its LRU position.
+    /// Every call counts toward hits/misses (callers probe only for
+    /// cache-eligible submissions).
+    bool lookup(std::uint64_t hash, QueryKind kind, std::size_t replica, std::uint64_t partition,
+                std::span<const double> row, Value& out) {
+        std::lock_guard lock(mutex_);
+        const auto it = index_.find(hash);
+        if (it == index_.end() || !matches(*it->second, kind, replica, partition, row)) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        lru_.splice(lru_.begin(), lru_, it->second);
+        out = it->second->value;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    void insert(std::uint64_t hash, QueryKind kind, std::size_t replica, std::uint64_t partition,
+                tensor::Vector input, Value value) {
+        std::lock_guard lock(mutex_);
+        const auto it = index_.find(hash);
+        if (it != index_.end()) {
+            // Concurrent misses of the same input race to insert (both
+            // executed on the backend), or — astronomically rarely — a
+            // 64-bit collision lands here; either way the slot keeps the
+            // newest answer and its verification fields.
+            Entry& e = *it->second;
+            e.kind = kind;
+            e.replica = replica;
+            e.partition = partition;
+            e.input = std::move(input);
+            e.value = std::move(value);
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return;
+        }
+        if (index_.size() >= capacity_) {
+            index_.erase(lru_.back().hash);
+            lru_.pop_back();
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        lru_.push_front(Entry{hash, kind, replica, partition, std::move(input), std::move(value)});
+        index_.emplace(hash, lru_.begin());
+    }
+
+    std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+    std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+    std::size_t entries() const {
+        std::lock_guard lock(mutex_);
+        return index_.size();
+    }
+
+private:
+    struct Entry {
+        std::uint64_t hash = 0;
+        QueryKind kind = QueryKind::Label;
+        std::size_t replica = 0;
+        std::uint64_t partition = 0;
+        tensor::Vector input;
+        Value value;
+    };
+
+    static bool matches(const Entry& e, QueryKind kind, std::size_t replica,
+                        std::uint64_t partition, std::span<const double> row) {
+        if (e.kind != kind || e.replica != replica || e.partition != partition) return false;
+        if (e.input.size() != row.size()) return false;
+        // Bitwise identity, matching the hash: -0.0 != 0.0 here, and a
+        // NaN row can still hit its own cached answer.
+        return std::memcmp(e.input.data(), row.data(), row.size() * sizeof(double)) == 0;
+    }
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
 
 /// One submission: 1..N input rows of one kind from one session, with
 /// the promise its results are delivered through. Units are never split
@@ -40,6 +179,8 @@ struct Unit {
     bool scalar = false;
     tensor::Matrix inputs;
     std::uint64_t power_ordinal = 0;  ///< session noise-stream base (Power only)
+    std::uint64_t cache_hash = 0;     ///< submit-time key (cache_store only)
+    bool cache_store = false;  ///< scalar cache miss: deliver into the cache too
     std::variant<std::promise<int>, std::promise<std::vector<int>>, std::promise<double>,
                  std::promise<tensor::Vector>, std::promise<tensor::Matrix>>
         promise;
@@ -82,6 +223,9 @@ struct ServiceState {
 
     std::vector<std::unique_ptr<ReplicaState>> replicas;
     std::atomic<std::uint64_t> rr_cursor{0};  ///< RoundRobin unit cursor
+
+    /// Content-addressed result cache (null unless config.cache.enabled).
+    std::unique_ptr<ResultCache> cache;
 
     std::atomic<std::uint64_t> next_session_id{1};
 };
@@ -145,12 +289,15 @@ ReplicaState& route(ServiceState& svc, const SessionState& s) {
     return *svc.replicas.front();
 }
 
-/// Admission control, on the submitting thread: exposure, detector
-/// screening (inference kinds only), budget, then session counters. A
-/// submission refused at any step charges and counts nothing downstream
-/// of the refusal point (screening refusals are never charged). Runs
-/// *before* routing — policy is per-session, not per-replica.
-void admit(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
+/// Admission control runs on the submitting thread, *before* routing —
+/// policy is per-session, not per-replica — and is split in two so cache
+/// hits can replay it exactly: `screen` (exposure + detector, never
+/// charged) runs for every submission, hit or miss; `charge` (budget +
+/// session counters) runs after the cache verdict, because whether a hit
+/// touches the BudgetLedger is a ServiceConfig decision. A submission
+/// refused at any step charges and counts nothing downstream of the
+/// refusal point.
+void screen(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
     XS_EXPECTS(U.rows() > 0);
     XS_EXPECTS(U.cols() == s.service->inputs);
     switch (kind) {
@@ -166,15 +313,20 @@ void admit(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
             }
             break;
     }
-    const std::uint64_t rows = U.rows();
+    if (kind != QueryKind::Power && s.screen != nullptr) s.screen->screen_batch(U);
+}
+
+/// Budget then session counters. `charge_budget` is false only for cache
+/// hits under CacheConfig::hits_charge_budget = false — the session's
+/// own counters count every accepted query regardless.
+void charge(SessionState& s, QueryKind kind, std::uint64_t rows, bool charge_budget) {
     // An unlimited budget never refuses, so skip its mutex on the
     // per-query fast path.
-    const bool budgeted = !s.config.budget.unlimited();
+    const bool budgeted = charge_budget && !s.config.budget.unlimited();
     if (kind == QueryKind::Power) {
         if (budgeted) s.ledger.charge_power(rows);
         s.power_count.fetch_add(rows, std::memory_order_relaxed);
     } else {
-        if (s.screen != nullptr) s.screen->screen_batch(U);
         if (budgeted) s.ledger.charge_inference(rows);
         s.inference_count.fetch_add(rows, std::memory_order_relaxed);
     }
@@ -186,12 +338,15 @@ void admit(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
 /// succeeded, so a SessionClosed thrown here leaves them untouched.
 template <typename Promise>
 auto enqueue(const std::shared_ptr<SessionState>& session, ReplicaState& replica, QueryKind kind,
-             bool scalar, tensor::Matrix inputs, bool flush_hint) {
+             bool scalar, tensor::Matrix inputs, bool flush_hint, std::uint64_t cache_hash,
+             bool cache_store) {
     const ServiceConfig& config = session->service->config;
     Unit unit;
     unit.session = session;
     unit.kind = kind;
     unit.scalar = scalar;
+    unit.cache_hash = cache_hash;
+    unit.cache_store = cache_store;
     if (kind == QueryKind::Power) {
         unit.power_ordinal =
             session->power_ordinal.fetch_add(inputs.rows(), std::memory_order_relaxed);
@@ -201,10 +356,22 @@ auto enqueue(const std::shared_ptr<SessionState>& session, ReplicaState& replica
     Promise promise;
     auto future = promise.get_future();
     unit.promise = std::move(promise);
+    // Pre-charge the load signal *before* the queue push: LeastLoaded
+    // routing reads inflight_rows lock-free, and charging after the push
+    // opened a window where a unit already sitting in the queue counted
+    // as zero load, steering the next submission to the busier replica.
+    // One combined counter (decremented only after the rows are answered,
+    // in flush()) also keeps the queue→flusher migration coherent — the
+    // batch never transiently disappears from or double-counts in the
+    // load snapshot while the flusher drains the queue.
+    replica.inflight_rows.fetch_add(rows, std::memory_order_relaxed);
     bool wake = false;
     {
         std::lock_guard lock(replica.mutex);
-        if (replica.stopping) throw SessionClosed("the service is shut down");
+        if (replica.stopping) {
+            replica.inflight_rows.fetch_sub(rows, std::memory_order_relaxed);
+            throw SessionClosed("the service is shut down");
+        }
         // Wake the flusher only on state transitions it is actually
         // waiting for — the first pending unit (it may be in its
         // indefinite wait) or a newly-met flush condition. Waking on
@@ -218,7 +385,6 @@ auto enqueue(const std::shared_ptr<SessionState>& session, ReplicaState& replica
             wake = true;
         }
     }
-    replica.inflight_rows.fetch_add(rows, std::memory_order_relaxed);
     if (kind == QueryKind::Power) {
         replica.power_count.fetch_add(rows, std::memory_order_relaxed);
     } else {
@@ -242,21 +408,68 @@ void unadmit(SessionState& s, QueryKind kind, std::uint64_t rows) {
     }
 }
 
-/// Checks the session handle, admits the submission, routes it to a
-/// replica, and enqueues it there.
+/// Checks the session handle, screens the submission, probes the result
+/// cache (scalar submissions only — a cached batch would have to match
+/// row-for-row, which skewed traffic never does), then charges and either
+/// answers inline (hit) or routes to a replica and enqueues (miss).
+///
+/// The hit path replays the hitting session's *own* policy: exposure and
+/// detector screening already ran above, the budget charge obeys
+/// CacheConfig::hits_charge_budget, session counters always advance, and
+/// a power hit draws the session's next noise ordinal — so a session
+/// cannot tell (except by latency) whether its answer was recomputed.
+/// Per-replica counters never see a hit: nothing was routed.
 template <typename Promise>
 auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool scalar,
             tensor::Matrix inputs, bool flush_hint) {
     if (session == nullptr || !session->open.load(std::memory_order_acquire)) {
         throw SessionClosed("submit on a closed session");
     }
-    admit(*session, kind, inputs);
+    SessionState& s = *session;
+    ServiceState& svc = *s.service;
+    screen(s, kind, inputs);
     const std::uint64_t rows = inputs.rows();
+    std::uint64_t cache_hash = 0;
+    bool cacheable = false;
+    ReplicaState* replica = nullptr;
+    if (svc.cache != nullptr && scalar) {
+        // Route *before* probing: the replica index is part of the key
+        // (replicas have distinct device-variation signatures, so their
+        // answers are not interchangeable).
+        replica = &route(svc, s);
+        const std::uint64_t partition = svc.config.cache.partition_by_session ? s.id : 0;
+        cache_hash = ResultCache::key_hash(kind, replica->index, partition, inputs.row_span(0));
+        ResultCache::Value value;
+        if (svc.cache->lookup(cache_hash, kind, replica->index, partition, inputs.row_span(0),
+                              value)) {
+            // May throw QueryBudgetExceeded — before anything was
+            // counted or answered, exactly like a refused miss.
+            charge(s, kind, rows, svc.config.cache.hits_charge_budget);
+            Promise promise;
+            auto future = promise.get_future();
+            if constexpr (std::is_same_v<Promise, std::promise<int>>) {
+                promise.set_value(value.label);
+            } else if constexpr (std::is_same_v<Promise, std::promise<double>>) {
+                const std::uint64_t ordinal =
+                    s.power_ordinal.fetch_add(1, std::memory_order_relaxed);
+                const bool noisy = s.config.power_noise_sigma > 0.0;
+                promise.set_value(value.power + (noisy ? session_noise(s, ordinal) : 0.0));
+            } else if constexpr (std::is_same_v<Promise, std::promise<tensor::Vector>>) {
+                // Scalar + promise<Vector> is only ever a raw query (a
+                // scalar power submission resolves a promise<double>).
+                promise.set_value(std::move(value.raw));
+            }
+            return future;
+        }
+        cacheable = true;  // miss: the flusher stores the clean answer
+    }
+    charge(s, kind, rows, true);
     try {
-        ReplicaState& replica = route(*session->service, *session);
-        return enqueue<Promise>(session, replica, kind, scalar, std::move(inputs), flush_hint);
+        if (replica == nullptr) replica = &route(svc, s);
+        return enqueue<Promise>(session, *replica, kind, scalar, std::move(inputs), flush_hint,
+                                cache_hash, cacheable);
     } catch (...) {
-        unadmit(*session, kind, rows);
+        unadmit(s, kind, rows);
         throw;
     }
 }
@@ -285,13 +498,29 @@ const tensor::Matrix* gather_inputs(std::vector<Unit>& units, std::size_t first,
     return &storage;
 }
 
+/// Stores a scalar miss's *clean* backend answer under the key computed
+/// at submit time. Runs on the flusher thread, before the promise is
+/// fulfilled — once a future resolves, the entry is probeable.
+void store_in_cache(const Unit& u, const ReplicaState& replica, ResultCache::Value value) {
+    const SessionState& s = *u.session;
+    ServiceState& svc = *s.service;
+    const std::uint64_t partition = svc.config.cache.partition_by_session ? s.id : 0;
+    svc.cache->insert(u.cache_hash, u.kind, replica.index, partition, u.inputs.row(0),
+                      std::move(value));
+}
+
 void deliver_labels(std::vector<Unit>& units, std::size_t first, std::size_t last,
-                    const std::vector<int>& labels) {
+                    const ReplicaState& replica, const std::vector<int>& labels) {
     std::size_t at = 0;
     for (std::size_t i = first; i < last; ++i) {
         Unit& u = units[i];
         const std::size_t rows = u.inputs.rows();
         if (u.scalar) {
+            if (u.cache_store) {
+                ResultCache::Value v;
+                v.label = labels[at];
+                store_in_cache(u, replica, std::move(v));
+            }
             std::get<std::promise<int>>(u.promise).set_value(labels[at]);
         } else {
             std::get<std::promise<std::vector<int>>>(u.promise)
@@ -303,12 +532,17 @@ void deliver_labels(std::vector<Unit>& units, std::size_t first, std::size_t las
 }
 
 void deliver_raw(std::vector<Unit>& units, std::size_t first, std::size_t last,
-                 const tensor::Matrix& Y) {
+                 const ReplicaState& replica, const tensor::Matrix& Y) {
     std::size_t at = 0;
     for (std::size_t i = first; i < last; ++i) {
         Unit& u = units[i];
         const std::size_t rows = u.inputs.rows();
         if (u.scalar) {
+            if (u.cache_store) {
+                ResultCache::Value v;
+                v.raw = Y.row(at);
+                store_in_cache(u, replica, std::move(v));
+            }
             std::get<std::promise<tensor::Vector>>(u.promise).set_value(Y.row(at));
         } else {
             tensor::Matrix block(rows, Y.cols());
@@ -324,7 +558,7 @@ void deliver_raw(std::vector<Unit>& units, std::size_t first, std::size_t last,
 }
 
 void deliver_power(std::vector<Unit>& units, std::size_t first, std::size_t last,
-                   const tensor::Vector& p) {
+                   const ReplicaState& replica, const tensor::Vector& p) {
     std::size_t at = 0;
     for (std::size_t i = first; i < last; ++i) {
         Unit& u = units[i];
@@ -332,6 +566,13 @@ void deliver_power(std::vector<Unit>& units, std::size_t first, std::size_t last
         const std::size_t rows = u.inputs.rows();
         const bool noisy = s.config.power_noise_sigma > 0.0;
         if (u.scalar) {
+            if (u.cache_store) {
+                // The cache keeps the *clean* reading; each hit re-draws
+                // the hitting session's own noise at its own ordinal.
+                ResultCache::Value v;
+                v.power = p[at];
+                store_in_cache(u, replica, std::move(v));
+            }
             const double value = p[at] + (noisy ? session_noise(s, u.power_ordinal) : 0.0);
             std::get<std::promise<double>>(u.promise).set_value(value);
         } else {
@@ -363,13 +604,13 @@ void execute_group(ReplicaState& replica, std::vector<Unit>& units, std::size_t 
     replica.flushed_rows.fetch_add(rows, std::memory_order_relaxed);
     switch (units[first].kind) {
         case QueryKind::Label:
-            deliver_labels(units, first, last, replica.backend->query_labels(*input));
+            deliver_labels(units, first, last, replica, replica.backend->query_labels(*input));
             break;
         case QueryKind::Raw:
-            deliver_raw(units, first, last, replica.backend->query_raw_batch(*input));
+            deliver_raw(units, first, last, replica, replica.backend->query_raw_batch(*input));
             break;
         case QueryKind::Power:
-            deliver_power(units, first, last, replica.backend->query_power_batch(*input));
+            deliver_power(units, first, last, replica, replica.backend->query_power_batch(*input));
             break;
     }
 }
@@ -649,6 +890,12 @@ OracleService::OracleService(const std::vector<Oracle*>& replicas, ServiceConfig
     }
     state_->pool = config.pool != nullptr ? config.pool : owned_pool_.get();
     state_->config = config;
+    if (config.cache.enabled) {
+        if (config.cache.capacity == 0) {
+            throw ConfigError("CacheConfig::capacity must be > 0 when the cache is enabled");
+        }
+        state_->cache = std::make_unique<detail::ResultCache>(config.cache.capacity);
+    }
     state_->inputs = inputs;
     state_->outputs = outputs;
     state_->replicas.reserve(replicas.size());
@@ -688,10 +935,15 @@ std::size_t OracleService::outputs() const { return state_->outputs; }
 std::size_t OracleService::replica_count() const { return state_->replicas.size(); }
 
 QueryCounters OracleService::counters() const {
+    // Each per-replica bucket is independently monotone; a plain + across
+    // near-max replicas could wrap and break total()'s monotonicity, so
+    // the fleet aggregate saturates instead.
     QueryCounters c;
     for (const auto& replica : state_->replicas) {
-        c.inference += replica->inference_count.load(std::memory_order_relaxed);
-        c.power += replica->power_count.load(std::memory_order_relaxed);
+        QueryCounters r;
+        r.inference = replica->inference_count.load(std::memory_order_relaxed);
+        r.power = replica->power_count.load(std::memory_order_relaxed);
+        c.add_saturating(r);
     }
     return c;
 }
@@ -744,6 +996,29 @@ std::size_t OracleService::queue_depth(std::size_t replica) const {
 
 std::size_t OracleService::sessions_opened() const {
     return state_->next_session_id.load(std::memory_order_relaxed) - 1;
+}
+
+std::uint64_t OracleService::cache_hits() const {
+    return state_->cache != nullptr ? state_->cache->hits() : 0;
+}
+
+std::uint64_t OracleService::cache_misses() const {
+    return state_->cache != nullptr ? state_->cache->misses() : 0;
+}
+
+std::uint64_t OracleService::cache_evictions() const {
+    return state_->cache != nullptr ? state_->cache->evictions() : 0;
+}
+
+std::size_t OracleService::cache_entries() const {
+    return state_->cache != nullptr ? state_->cache->entries() : 0;
+}
+
+double OracleService::cache_hit_rate() const {
+    if (state_->cache == nullptr) return 0.0;
+    const std::uint64_t hits = state_->cache->hits();
+    const std::uint64_t probes = QueryCounters::saturating_add(hits, state_->cache->misses());
+    return probes > 0 ? static_cast<double>(hits) / static_cast<double>(probes) : 0.0;
 }
 
 ThreadPool* OracleService::pool() { return state_->pool; }

@@ -300,6 +300,33 @@ TEST(QueryCountersTotal, SaturatesInsteadOfWrapping) {
     EXPECT_EQ(c.total(), 10u);
 }
 
+TEST(QueryCountersTotal, FleetAggregateSaturatesNearMax) {
+    // The fleet aggregate (OracleService::counters()) accumulates
+    // per-replica buckets with add_saturating: near-max replicas must
+    // clamp, not wrap — a wrapped aggregate would break total()'s
+    // monotonicity contract.
+    const std::uint64_t max = ~std::uint64_t{0};
+    QueryCounters fleet;
+    QueryCounters replica;
+    replica.inference = max - 5;
+    replica.power = max - 2;
+    fleet.add_saturating(replica);
+    EXPECT_EQ(fleet.inference, max - 5);
+    EXPECT_EQ(fleet.power, max - 2);
+    QueryCounters more;
+    more.inference = 3;  // fits: no clamp
+    more.power = 7;      // would wrap: clamps to max
+    fleet.add_saturating(more);
+    EXPECT_EQ(fleet.inference, max - 2);
+    EXPECT_EQ(fleet.power, max);
+    EXPECT_EQ(fleet.total(), max);
+    // Saturated buckets stay pinned under further accumulation.
+    fleet.add_saturating(more);
+    EXPECT_EQ(fleet.inference, max);
+    EXPECT_EQ(fleet.power, max);
+    EXPECT_EQ(QueryCounters::saturating_add(max, max), max);
+}
+
 // ---- lifecycle --------------------------------------------------------------
 
 TEST(Service, ClosedSessionRejectsNewSubmissions) {

@@ -123,7 +123,24 @@ TEST(ServiceReplicas, RoutingPolicyNamesRoundTrip) {
                                   RoutingPolicy::LeastLoaded}) {
         EXPECT_EQ(parse_routing_policy(to_string(p)), p);
     }
+    // Bench/example CLIs pass user input through verbatim: trimmed,
+    // case-variant, and separator-variant spellings must all parse.
+    EXPECT_EQ(parse_routing_policy("RoundRobin"), RoutingPolicy::RoundRobin);
+    EXPECT_EQ(parse_routing_policy(" least-loaded "), RoutingPolicy::LeastLoaded);
+    EXPECT_EQ(parse_routing_policy("SESSION_AFFINE"), RoutingPolicy::SessionAffine);
+    EXPECT_EQ(parse_routing_policy("Least Loaded"), RoutingPolicy::LeastLoaded);
+    EXPECT_EQ(parse_routing_policy("round_robin\t"), RoutingPolicy::RoundRobin);
     EXPECT_THROW(parse_routing_policy("random"), ConfigError);
+    EXPECT_THROW(parse_routing_policy(""), ConfigError);
+    // The refusal stays helpful: it names the valid spellings.
+    try {
+        parse_routing_policy("weighted");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("session-affine"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("round-robin"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("least-loaded"), std::string::npos);
+    }
 }
 
 TEST(ServiceReplicas, VariationSeedIsIdentityAtReplicaZeroAndDistinctBeyond) {
@@ -316,6 +333,76 @@ TEST(ServiceReplicas, LeastLoadedAvoidsSlowedReplica) {
     EXPECT_EQ(fast_rows + slow_rows, 2 * kBurst);
     EXPECT_GT(fast_rows, slow_rows);
     EXPECT_GE(fast_rows, (2 * kBurst * 6) / 10);
+}
+
+TEST(ServiceReplicas, LeastLoadedSteeringHoldsUnderConcurrentFlushes) {
+    // The load-snapshot satellite: inflight_rows is charged *before* the
+    // queue push and released only after the rows are answered, so a
+    // batch migrating queue→flusher mid-snapshot is never double- or
+    // zero-counted. Under concurrent submitters racing against active
+    // flushes, a zero-count window would let bursts pile onto the
+    // backed-up slow replica; steering toward the fast replica must
+    // survive the races.
+    Rng rng(77);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle fast = make_oracle(net);
+    CrossbarOracle slow_inner = make_oracle(net);
+    SlowOracle slow(slow_inner, std::chrono::milliseconds(10));
+    ServiceConfig config;
+    config.max_wait = std::chrono::microseconds(100);
+    config.max_batch = 8;  // small batches: many queue→flusher migrations
+    config.routing = RoutingPolicy::LeastLoaded;
+    OracleService service(std::vector<Oracle*>{&fast, &slow}, config);
+
+    // Park a backlog on the slow replica first (same two-phase setup as
+    // above: an even burst, then wait until only the slow side holds
+    // unanswered rows).
+    Session primer = service.open_session();
+    const tensor::Vector u(net.inputs(), 0.5);
+    std::vector<std::future<int>> parked;
+    for (std::size_t q = 0; q < 32; ++q) parked.push_back(primer.submit_label(u));
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    bool imbalanced = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (service.queue_depth(0) == 0 && service.queue_depth(1) > 0) {
+            imbalanced = true;
+            break;
+        }
+        std::this_thread::yield();
+    }
+    if (!imbalanced) {
+        for (auto& f : parked) (void)f.get();
+        GTEST_SKIP() << "scheduler never exposed the slowed replica's backlog";
+    }
+
+    // Four submitters race while both flushers churn through small
+    // batches — every submission sees a load snapshot taken mid-flush
+    // somewhere. Conservation first: every accepted row lands exactly
+    // once. Steering second: the fast replica must take the clear
+    // majority of the contested rows.
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kPerThread = 32;
+    std::vector<Session> sessions;
+    for (std::size_t t = 0; t < kThreads; ++t) sessions.push_back(service.open_session());
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            std::vector<std::future<int>> pending;
+            pending.reserve(kPerThread);
+            for (std::size_t q = 0; q < kPerThread; ++q) {
+                pending.push_back(sessions[t].submit_label(u));
+            }
+            for (auto& f : pending) (void)f.get();
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& f : parked) (void)f.get();
+
+    const std::uint64_t fast_rows = service.replica_counters(0).inference;
+    const std::uint64_t slow_rows = service.replica_counters(1).inference;
+    EXPECT_EQ(fast_rows + slow_rows, 32 + kThreads * kPerThread);
+    EXPECT_GT(fast_rows, slow_rows);
+    EXPECT_GE(fast_rows, ((32 + kThreads * kPerThread) * 55) / 100);
 }
 
 TEST(ServiceReplicas, SessionAffinityStaysOnHomeReplicaAcrossFlushes) {
