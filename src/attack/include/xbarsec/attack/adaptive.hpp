@@ -1,0 +1,96 @@
+// Adaptive attacker strategies against a rate-limited, suspicion-scaled
+// serving deployment (the attack side of the arms race).
+//
+// The extraction pipeline itself is unchanged — query inputs, record
+// outputs and power, fit a least-squares surrogate (Section IV). What
+// this layer adds is *how* the queries are driven through OracleService
+// sessions when the defender pushes back:
+//
+//   Fixed     fire as fast as the session allows; a refused query is a
+//             lost sample (the paper's static attacker).
+//   Throttle  back off and retry below the token-bucket refill rate —
+//             recovers the samples, pays wall-clock.
+//   Rotate    Throttle + rotate to a fresh session every N queries; each
+//             rotation buys a fresh burst allowance and a fresh
+//             detection window.
+//   Spread    Rotate + camouflage mixing and flagged-fraction tracking:
+//             keeps every session's suspicion under a target so
+//             suspicion-scaled defenses never escalate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "xbarsec/attack/surrogate.hpp"
+#include "xbarsec/core/service.hpp"
+
+namespace xbarsec::attack {
+
+enum class AttackerStrategy { Fixed, Throttle, Rotate, Spread };
+
+const char* to_string(AttackerStrategy strategy);
+
+struct AdaptiveAttackerConfig {
+    AttackerStrategy strategy = AttackerStrategy::Fixed;
+
+    /// Samples the campaign tries to collect (each is one raw/label
+    /// query plus one power query through the session).
+    std::size_t planned_queries = 600;
+
+    /// Throttle/Rotate/Spread: sleep this long after a RateLimited
+    /// refusal before retrying, up to max_retries per query.
+    std::chrono::microseconds backoff{500};
+    std::size_t max_retries = 64;
+
+    /// Rotate/Spread: open a fresh session after this many collected
+    /// samples (fresh burst allowance + fresh detection window).
+    std::size_t rotate_after = 128;
+
+    /// Spread: rotate immediately once the current session's flagged
+    /// fraction exceeds this, and mix this fraction of clean camouflage
+    /// inputs into the probe stream to keep suspicion low.
+    double flag_target = 0.10;
+    double camouflage = 0.5;
+
+    /// Prefer raw output vectors; on AccessDenied (exposure policy or an
+    /// adaptive band withholding raw) fall back to one-hot labels.
+    bool query_raw = true;
+
+    std::uint64_t seed = 7;
+};
+
+/// What the campaign gathered and what it cost the attacker.
+struct AdaptiveAttackerOutcome {
+    QueryDataset data;  ///< collected samples, ready for a surrogate fit
+
+    std::size_t collected = 0;
+    std::size_t refused = 0;      ///< lost samples (rate/budget/detector)
+    std::size_t raw_denied = 0;   ///< raw withheld, fell back to labels
+    std::size_t rate_hits = 0;    ///< RateLimited encounters (incl. retried)
+    std::size_t sessions_used = 1;
+    double wall_seconds = 0.0;
+    double max_flagged_fraction = 0.0;  ///< worst per-session suspicion reached
+};
+
+/// Drives one extraction campaign through OracleService sessions opened
+/// with the given per-tenant policy (the same policy every tenant gets —
+/// the deployment cannot single the attacker out up front).
+class AdaptiveAttacker {
+public:
+    AdaptiveAttacker(core::OracleService& service, core::SessionConfig tenant,
+                     AdaptiveAttackerConfig config);
+
+    /// Runs the campaign: picks inputs from `probe_pool` (high-leverage
+    /// probe inputs; rows are query vectors) — and, under Spread, mixes
+    /// rows of `camouflage_pool` (clean in-distribution inputs) — until
+    /// planned_queries attempts are spent.
+    AdaptiveAttackerOutcome run(const tensor::Matrix& probe_pool,
+                                const tensor::Matrix& camouflage_pool);
+
+private:
+    core::OracleService* service_;
+    core::SessionConfig tenant_;
+    AdaptiveAttackerConfig config_;
+};
+
+}  // namespace xbarsec::attack

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -211,6 +212,128 @@ public:
 
 private:
     BudgetLedger ledger_;
+};
+
+// ---- token-bucket rate limiting ---------------------------------------------
+
+/// Sustained-rate admission cap: `refill_per_sec` tokens accrue per
+/// second up to `burst` tokens of headroom, and every admitted query row
+/// spends one token. Unlike QueryBudget (a lifetime total) this caps
+/// queries *per second* — the per-tenant rate limiting the multi-tenant
+/// service left open.
+struct RateLimit {
+    /// Tokens (query rows) accrued per second; <= 0 disables the limit.
+    double refill_per_sec = 0.0;
+
+    /// Bucket capacity — the largest instantaneous burst an idle client
+    /// may spend at once. <= 0 defaults to one second's refill (at least
+    /// one token), so a plain `{.refill_per_sec = 100}` is well-formed.
+    double burst = 0.0;
+
+    bool unlimited() const { return refill_per_sec <= 0.0; }
+};
+
+/// Thrown by TokenBucket when an acquisition would overdraw the bucket.
+class RateLimited : public Error {
+public:
+    explicit RateLimited(const std::string& what) : Error("rate limited: " + what) {}
+};
+
+/// Monotonic-clock token bucket enforcing a RateLimit. Acquisition is
+/// all-or-nothing (like BudgetLedger charging): a request the bucket
+/// cannot cover throws RateLimited and takes nothing. The bucket starts
+/// full, so a fresh client gets its burst allowance immediately.
+///
+/// Time comes from an injectable ClockFn — a pure monotonic nanosecond
+/// source — defaulting to std::chrono::steady_clock. Tests install a
+/// manually-advanced clock, making admission decisions (and therefore
+/// the coalesced == serial bit-identity contract under rate limiting)
+/// fully deterministic. Thread-safe under one mutex.
+class TokenBucket {
+public:
+    /// Monotonic time source: nanoseconds since an arbitrary fixed epoch.
+    using ClockFn = std::chrono::nanoseconds (*)();
+
+    /// `clock` = nullptr uses the steady system clock.
+    explicit TokenBucket(RateLimit limit, ClockFn clock = nullptr);
+
+    /// Spends n tokens, or throws RateLimited spending nothing.
+    void acquire(std::uint64_t n);
+
+    /// Non-throwing acquire: true iff the n tokens were taken.
+    bool try_acquire(std::uint64_t n);
+
+    /// Returns previously-acquired tokens — admission rollback for a
+    /// submission that was rate-admitted but then refused downstream
+    /// (budget, shutdown). Never fills past the burst capacity.
+    void refund(std::uint64_t n);
+
+    /// Tokens available at this instant (refilled snapshot; racy under
+    /// concurrent acquirers, exact under a test clock).
+    double available() const;
+
+    const RateLimit& limit() const { return limit_; }
+    double capacity() const { return capacity_; }
+
+private:
+    /// Current token count after crediting the refill since `last_`.
+    double refilled(std::chrono::nanoseconds now) const;
+
+    RateLimit limit_;
+    double capacity_ = 0.0;
+    ClockFn clock_;
+    mutable std::mutex mutex_;
+    double tokens_ = 0.0;
+    std::chrono::nanoseconds last_{0};
+};
+
+// ---- suspicion-scaled defenses ----------------------------------------------
+
+/// Suspicion-scaled defense policy: the session's own DetectorScreen
+/// flagged-fraction ("suspicion") selects a band that scales the
+/// session's sensing-noise sigma and can withhold raw outputs — a
+/// defender that reacts to how adversarial a tenant's traffic looks
+/// instead of applying one static policy to everyone.
+///
+/// Bands are evaluated on the submitting thread at admission, so for a
+/// serial submitter the escalation sequence is deterministic and
+/// independent of how its submissions coalesce. Empty bands = policy
+/// off, which keeps the default admission path bit-identical to the
+/// static service.
+struct AdaptivePolicy {
+    struct Band {
+        /// The band applies while suspicion >= this threshold.
+        double min_suspicion = 0.0;
+
+        /// Multiplies SessionConfig::power_noise_sigma while the band is
+        /// active (escalation bands typically use > 1).
+        double sigma_multiplier = 1.0;
+
+        /// Raw-output cutoff: when false, raw submissions are refused
+        /// (AccessDenied) while the band is active; the client can still
+        /// query labels.
+        bool expose_raw_outputs = true;
+    };
+
+    /// Sorted ascending by min_suspicion; the *last* band whose
+    /// threshold the suspicion meets applies. Empty = off.
+    std::vector<Band> bands;
+
+    /// Warm-up: no band applies before this many screened queries (tiny
+    /// windows make flagged_fraction jumpy — one flagged query out of
+    /// two must not escalate a tenant).
+    std::uint64_t min_screened = 32;
+
+    bool enabled() const { return !bands.empty(); }
+
+    /// The active band for a (suspicion, screened-count) pair, or
+    /// nullptr when off, warming up, or below every threshold.
+    const Band* band_for(double suspicion, std::uint64_t screened) const;
+
+    /// Two-band convenience: neutral below `threshold`, then sigma ×
+    /// `sigma_multiplier` with raw outputs optionally withheld.
+    static AdaptivePolicy escalate_at(double threshold, double sigma_multiplier,
+                                      bool withhold_raw = true);
 };
 
 // ---- inline detection -------------------------------------------------------

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "xbarsec/attack/adaptive.hpp"
 #include "xbarsec/common/table.hpp"
 #include "xbarsec/core/decorators.hpp"
 #include "xbarsec/core/fig3.hpp"
@@ -26,7 +27,17 @@
 namespace xbarsec::core {
 
 enum class DatasetKind { MnistLike, Cifar10Like };
-enum class ExperimentKind { Fig3, Fig4, Fig5, Table1, Probe, MultiClient, ReplicaSweep, CacheTiming };
+enum class ExperimentKind {
+    Fig3,
+    Fig4,
+    Fig5,
+    Table1,
+    Probe,
+    MultiClient,
+    ReplicaSweep,
+    CacheTiming,
+    ArmsRace,
+};
 
 std::string to_string(DatasetKind kind);
 std::string to_string(ExperimentKind kind);
@@ -142,6 +153,70 @@ struct CacheTimingOptions {
     std::uint64_t seed = 7;
 };
 
+/// One defense policy in the arms race: what every session of the cell's
+/// deployment is opened with (the deployment cannot single the attacker
+/// out, so benign tenants pay the same policy).
+struct ArmsDefense {
+    std::string name;      ///< cell label, e.g. "rate+adaptive"
+    RateLimit rate{};      ///< per-session token bucket (default off)
+    bool suspicion_scaled = false;  ///< enrol the detector + AdaptivePolicy
+};
+
+/// The arms race: every attacker strategy against every defense policy,
+/// on one trained victim. Each cell deploys a fresh single-replica
+/// service, opens benign tenants and an AdaptiveAttacker under the same
+/// per-session policy, and records extraction fidelity vs. what the
+/// defense cost the benign tenants (refusals and throughput).
+struct ArmsRaceOptions {
+    std::vector<attack::AttackerStrategy> strategies = {
+        attack::AttackerStrategy::Fixed, attack::AttackerStrategy::Throttle,
+        attack::AttackerStrategy::Rotate, attack::AttackerStrategy::Spread};
+
+    std::vector<ArmsDefense> defenses = {
+        {"open", RateLimit{}, false},
+        {"rate", RateLimit{400.0, 48.0}, false},
+        {"rate+adaptive", RateLimit{400.0, 48.0}, true},
+    };
+
+    /// Campaign parameters shared by every cell; `strategy` is
+    /// overwritten per cell, `seed` is offset per cell.
+    attack::AdaptiveAttackerConfig attacker;
+
+    /// Benign tenants streaming concurrently with the attacker in every
+    /// cell — their refused/answered counts are the defender's cost.
+    std::size_t benign_clients = 2;
+    std::size_t benign_queries = 192;
+
+    /// Clean samples the attacker is assumed to possess for Spread's
+    /// camouflage. Kept small on purpose: an attacker with the victim's
+    /// data distribution would not need to extract the model, and a
+    /// small pool bounds how much extraction value camouflage queries
+    /// can add (repeats of the same few inputs span a tiny subspace).
+    std::size_t camouflage_pool = 64;
+
+    double lambda_ridge = 0.005;  ///< least-squares surrogate ridge
+    std::size_t eval_limit = 400;
+
+    /// Probe amplitude: probe inputs are uniform per-pixel in
+    /// [0, probe_strength]. Clean pixels live in [0, 1]; the attacker
+    /// drives its probes harder for power-channel SNR and least-squares
+    /// leverage, which pushes their per-line currents past the
+    /// detector's auto-calibrated clean envelope (≈2-3× the clean
+    /// range) — high-value queries are exactly the detectable ones.
+    double probe_strength = 6.0;
+
+    /// Suspicion-scaled cells: shared detector enrolment and the policy
+    /// every session runs under. The base per-session sensing-noise
+    /// sigma is `power_noise_rel` × max_j ‖W[:,j]‖₁ of the deployed
+    /// weights; escalated bands multiply it.
+    sidechannel::DetectorConfig detector{};
+    std::size_t detector_enrollment = 256;
+    AdaptivePolicy adaptive = AdaptivePolicy::escalate_at(0.2, 4.0);
+    double power_noise_rel = 0.02;
+
+    std::uint64_t seed = 7;
+};
+
 /// A complete named workload.
 struct ScenarioSpec {
     std::string name;         ///< registry key, e.g. "fig4/mnist/softmax"
@@ -177,6 +252,7 @@ struct ScenarioSpec {
     MultiClientOptions multiclient;
     ReplicaSweepOptions replica_sweep;
     CacheTimingOptions cache_timing;
+    ArmsRaceOptions arms_race;
 };
 
 /// Shrinks a spec to CI-smoke size (tiny datasets, minimal sweeps).

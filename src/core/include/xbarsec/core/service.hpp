@@ -192,7 +192,10 @@ struct ServiceConfig {
     /// Flush latency bound: pending work never waits longer than this
     /// for more submissions to coalesce with. See the max_batch note —
     /// under a finite client pipeline this window, not max_batch, is
-    /// what usually closes a batch.
+    /// what usually closes a batch. Zero means *flush immediately*:
+    /// the flusher skips the coalescing window outright (no zero-length
+    /// timed wait spinning the flusher hot) and batches only what was
+    /// already pending when it woke.
     std::chrono::microseconds max_wait{200};
 
     /// Replica-selection policy (single-replica services ignore it).
@@ -231,6 +234,29 @@ struct SessionConfig {
     /// own OracleOptions, which still apply at the backend).
     bool expose_raw_outputs = true;
     bool expose_power = true;
+
+    /// Per-session token-bucket rate limit: sustained query rows/sec
+    /// with a burst allowance, spent at submission (cache hits included
+    /// — a hit answers a query exactly like a miss does). A submission
+    /// the bucket cannot cover throws RateLimited and charges (and
+    /// counts) nothing; a submission refused *after* rate admission
+    /// (budget, shutdown) refunds its tokens. Default off — the
+    /// admission path is bit-identical to an unlimited session.
+    RateLimit rate{};
+
+    /// Time source for the rate bucket; nullptr = the monotonic system
+    /// clock. Tests inject a manually-advanced clock so rate-limited
+    /// admission (and the coalesced == serial bit-identity contract
+    /// under it) is deterministic.
+    TokenBucket::ClockFn rate_clock = nullptr;
+
+    /// Suspicion-scaled defenses: the session's own DetectorScreen
+    /// flagged-fraction picks an AdaptivePolicy band that multiplies
+    /// power_noise_sigma and can withhold raw outputs. Requires
+    /// `detector` (no screen ⇒ suspicion stays 0 and no band ever
+    /// applies). Off (empty bands) by default — bit-identical to the
+    /// static policy.
+    AdaptivePolicy adaptive{};
 };
 
 namespace detail {

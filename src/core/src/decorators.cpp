@@ -154,6 +154,88 @@ tensor::Vector QueryBudgetOracle::query_power_batch(const tensor::Matrix& U) {
     return inner().query_power_batch(U);
 }
 
+// ---- TokenBucket ------------------------------------------------------------
+
+namespace {
+
+std::chrono::nanoseconds steady_now() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now().time_since_epoch());
+}
+
+/// Floating refill accumulation can land a hair under an integer token
+/// count; admit within this slack so "advance exactly 1s at 100/s, take
+/// 100" behaves as written under a test clock.
+constexpr double kTokenEpsilon = 1e-9;
+
+}  // namespace
+
+TokenBucket::TokenBucket(RateLimit limit, ClockFn clock)
+    : limit_(limit), clock_(clock != nullptr ? clock : &steady_now) {
+    XS_EXPECTS(!limit.unlimited());
+    capacity_ = limit.burst > 0.0 ? limit.burst : std::max(limit.refill_per_sec, 1.0);
+    tokens_ = capacity_;  // a fresh client starts with its burst allowance
+    last_ = clock_();
+}
+
+double TokenBucket::refilled(std::chrono::nanoseconds now) const {
+    if (now <= last_) return tokens_;  // monotonic clock; tolerate ties
+    const double elapsed_s = static_cast<double>((now - last_).count()) * 1e-9;
+    return std::min(capacity_, tokens_ + elapsed_s * limit_.refill_per_sec);
+}
+
+bool TokenBucket::try_acquire(std::uint64_t n) {
+    const double need = static_cast<double>(n);
+    std::lock_guard lock(mutex_);
+    const std::chrono::nanoseconds now = clock_();
+    const double have = refilled(now);
+    tokens_ = have;
+    if (now > last_) last_ = now;
+    if (have + kTokenEpsilon < need) return false;
+    tokens_ = have - need;
+    return true;
+}
+
+void TokenBucket::acquire(std::uint64_t n) {
+    if (try_acquire(n)) return;
+    throw RateLimited(std::to_string(n) + " row(s) exceed the per-session rate of " +
+                      std::to_string(limit_.refill_per_sec) + "/s (burst " +
+                      std::to_string(capacity_) + ")");
+}
+
+void TokenBucket::refund(std::uint64_t n) {
+    std::lock_guard lock(mutex_);
+    tokens_ = std::min(capacity_, tokens_ + static_cast<double>(n));
+}
+
+double TokenBucket::available() const {
+    std::lock_guard lock(mutex_);
+    return refilled(clock_());
+}
+
+// ---- AdaptivePolicy ---------------------------------------------------------
+
+const AdaptivePolicy::Band* AdaptivePolicy::band_for(double suspicion,
+                                                     std::uint64_t screened) const {
+    if (bands.empty() || screened < min_screened) return nullptr;
+    const Band* active = nullptr;
+    for (const Band& band : bands) {
+        if (suspicion >= band.min_suspicion) active = &band;
+    }
+    return active;
+}
+
+AdaptivePolicy AdaptivePolicy::escalate_at(double threshold, double sigma_multiplier,
+                                           bool withhold_raw) {
+    AdaptivePolicy policy;
+    Band escalated;
+    escalated.min_suspicion = threshold;
+    escalated.sigma_multiplier = sigma_multiplier;
+    escalated.expose_raw_outputs = !withhold_raw;
+    policy.bands.push_back(escalated);
+    return policy;
+}
+
 // ---- DetectorScreen ---------------------------------------------------------
 
 double DetectorScreen::flagged_fraction() const {

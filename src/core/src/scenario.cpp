@@ -32,6 +32,7 @@ std::string to_string(ExperimentKind kind) {
         case ExperimentKind::MultiClient: return "multiclient";
         case ExperimentKind::ReplicaSweep: return "replica-sweep";
         case ExperimentKind::CacheTiming: return "cache-timing";
+        case ExperimentKind::ArmsRace: return "arms-race";
     }
     return "?";
 }
@@ -81,6 +82,15 @@ void apply_smoke(ScenarioSpec& spec) {
         std::min<std::size_t>(spec.replica_sweep.routing_replicas, 2);
     spec.cache_timing.candidate_pool = std::min<std::size_t>(spec.cache_timing.candidate_pool, 24);
     spec.cache_timing.probe_repeats = std::min<std::size_t>(spec.cache_timing.probe_repeats, 2);
+    spec.arms_race.attacker.planned_queries =
+        std::min<std::size_t>(spec.arms_race.attacker.planned_queries, 96);
+    spec.arms_race.attacker.rotate_after =
+        std::min<std::size_t>(spec.arms_race.attacker.rotate_after, 32);
+    spec.arms_race.benign_clients = std::min<std::size_t>(spec.arms_race.benign_clients, 2);
+    spec.arms_race.benign_queries = std::min<std::size_t>(spec.arms_race.benign_queries, 48);
+    spec.arms_race.eval_limit = std::min<std::size_t>(spec.arms_race.eval_limit, 60);
+    spec.arms_race.detector_enrollment =
+        std::min<std::size_t>(spec.arms_race.detector_enrollment, 200);
 }
 
 // ---- registry ---------------------------------------------------------------
@@ -309,6 +319,18 @@ void register_builtins(ScenarioRegistry& registry) {
         s.replica_sweep.axis = ReplicaSweepOptions::Axis::Routing;
         s.replica_sweep.routing_replicas = 4;
         s.replica_sweep.seed = 2022 + 55;
+        registry.add(std::move(s));
+    }
+    // The arms race: every adaptive-attacker strategy against every
+    // defense policy (token-bucket rate limiting, suspicion-scaled
+    // escalation), with benign tenants paying the defender's cost.
+    {
+        ScenarioSpec s = base_spec("service/mnist/arms-race",
+                                   "Adaptive attacker strategies vs token-bucket rate limits "
+                                   "and suspicion-scaled defenses, with benign-tenant cost",
+                                   DatasetKind::MnistLike, OutputConfig::linear_mse(),
+                                   ExperimentKind::ArmsRace);
+        s.arms_race.seed = 2022 + 77;
         registry.add(std::move(s));
     }
     // The optimization-induced side channel: a shared result cache turns
@@ -1093,6 +1115,196 @@ ScenarioOutcome run_cache_timing_scenario(const ScenarioSpec& spec, ThreadPool* 
     return outcome;
 }
 
+// ---- arms race ---------------------------------------------------------------
+
+/// One cell of the strategy × policy matrix, with everything it measured.
+struct ArmsCell {
+    attack::AttackerStrategy strategy = attack::AttackerStrategy::Fixed;
+    const ArmsDefense* defense = nullptr;
+    double fidelity = 0.0;
+    attack::AdaptiveAttackerOutcome attacker;
+    std::uint64_t benign_answered = 0;
+    std::uint64_t benign_refused = 0;
+    double benign_wall_s = 0.0;
+};
+
+/// Runs one cell: a fresh single-replica deployment of the trained
+/// victim, benign tenants streaming concurrently, and the strategy's
+/// AdaptiveAttacker campaign — every session under the cell's defense
+/// policy (the deployment cannot single the attacker out).
+void run_arms_cell(const TrainedVictim& victim, const VictimConfig& victim_config,
+                   const data::DataSplit& split, const ArmsRaceOptions& ar,
+                   const sidechannel::CurrentSignatureDetector* detector,
+                   const tensor::Matrix& probe_pool, const tensor::Matrix& camouflage,
+                   std::uint64_t cell_seed, ThreadPool* pool, ArmsCell& cell) {
+    std::vector<CrossbarOracle> fleet = deploy_victim_fleet(victim.net, victim_config, 1);
+    fleet.front().set_thread_pool(pool);
+    ServiceConfig service_config;
+    service_config.pool = pool;
+    service_config.max_batch = 64;
+    OracleService service({&fleet.front()}, service_config);
+
+    SessionConfig tenant;
+    tenant.rate = cell.defense->rate;
+    if (cell.defense->suspicion_scaled) {
+        XS_EXPECTS_MSG(detector != nullptr,
+                       "suspicion-scaled arms-race cell without an enrolled detector");
+        tenant.detector = detector;
+        tenant.block_flagged = false;  // log-only: suspicion feeds the policy
+        tenant.adaptive = ar.adaptive;
+        tenant.power_noise_sigma = ar.power_noise_rel * deployed_weight_scale(fleet.front());
+    }
+
+    // Benign tenants stream for the whole campaign; their refusals and
+    // throughput under this cell's policy are the defender's cost.
+    std::vector<Session> benign;
+    benign.reserve(ar.benign_clients);
+    for (std::size_t c = 0; c < ar.benign_clients; ++c) benign.push_back(service.open_session(tenant));
+    std::vector<BenignOutcome> benign_out(ar.benign_clients);
+    const auto benign_t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(ar.benign_clients);
+    for (std::size_t c = 0; c < ar.benign_clients; ++c) {
+        clients.emplace_back([&, c] {
+            benign_out[c] =
+                run_benign_client(benign[c], split.test, ar.benign_queries, cell_seed ^ (c + 1));
+        });
+    }
+
+    attack::AdaptiveAttackerConfig config = ar.attacker;
+    config.strategy = cell.strategy;
+    config.seed = cell_seed;
+    attack::AdaptiveAttacker attacker(service, tenant, config);
+    cell.attacker = attacker.run(probe_pool, camouflage);
+
+    for (std::thread& t : clients) t.join();
+    cell.benign_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - benign_t0).count();
+    for (const BenignOutcome& b : benign_out) {
+        cell.benign_answered += b.answered;
+        cell.benign_refused += b.refused;
+    }
+
+    if (cell.attacker.collected > 0) {
+        const nn::SingleLayerNet surrogate =
+            attack::fit_least_squares_surrogate(cell.attacker.data, ar.lambda_ridge, pool);
+        cell.fidelity =
+            surrogate_fidelity(surrogate, victim.net, split.test.inputs(), ar.eval_limit);
+    }
+}
+
+ScenarioOutcome run_arms_race_scenario(const ScenarioSpec& spec, ThreadPool* pool) {
+    if (!spec.defenses.empty()) {
+        throw ConfigError("arms-race scenarios do not support decorator defense stacks (the "
+                          "defenses under study are session policies: rate + adaptive)");
+    }
+    const ArmsRaceOptions& ar = spec.arms_race;
+    if (ar.strategies.empty() || ar.defenses.empty()) {
+        throw ConfigError("arms-race needs at least one strategy and one defense policy");
+    }
+    ScenarioOutcome outcome;
+    const data::DataSplit split = load_split(spec);
+    VictimConfig victim_config = spec.victim;
+    victim_config.output = spec.output;
+    // One victim, trained once: every cell redeploys the same weights,
+    // so fidelity differences come from the arms race, not training.
+    const TrainedVictim victim = train_victim(split, victim_config);
+    outcome.label = experiment_label(spec) + "/arms-race";
+
+    // Shared detector enrolment for the suspicion-scaled cells (clean
+    // training signatures on a reference deployment of the victim).
+    std::unique_ptr<sidechannel::CurrentSignatureDetector> detector;
+    const bool any_scaled =
+        std::any_of(ar.defenses.begin(), ar.defenses.end(),
+                    [](const ArmsDefense& d) { return d.suspicion_scaled; });
+    std::vector<CrossbarOracle> reference;
+    if (any_scaled) {
+        reference = deploy_victim_fleet(victim.net, victim_config, 1);
+        const data::Dataset enrollment = ar.detector_enrollment > 0
+                                             ? split.train.take(ar.detector_enrollment)
+                                             : split.train;
+        detector = std::make_unique<sidechannel::CurrentSignatureDetector>(
+            reference.front().hardware_for_evaluation(), enrollment, ar.detector);
+    }
+
+    // High-leverage probe inputs: amplified uniform noise covers input
+    // space far better than the clean manifold (a stronger least-squares
+    // design, higher power-channel SNR) but drives per-line currents
+    // past the detector's clean envelope — exactly the tension the
+    // Spread strategy plays against.
+    tensor::Matrix probe_pool(512, split.train.input_dim());
+    {
+        Rng rng(ar.seed ^ 0xAB0BEull);
+        double* v = probe_pool.data();
+        for (std::size_t i = 0; i < probe_pool.rows() * probe_pool.cols(); ++i) {
+            v[i] = ar.probe_strength * rng.uniform();
+        }
+    }
+
+    // The attacker's small clean pool (Spread's camouflage material).
+    const data::Dataset camouflage_set =
+        split.train.take(std::max<std::size_t>(1, std::min(ar.camouflage_pool, split.train.size())));
+    const tensor::Matrix& camouflage = camouflage_set.inputs();
+
+    std::vector<ArmsCell> cells;
+    cells.reserve(ar.strategies.size() * ar.defenses.size());
+    for (const attack::AttackerStrategy strategy : ar.strategies) {
+        for (const ArmsDefense& defense : ar.defenses) {
+            ArmsCell cell;
+            cell.strategy = strategy;
+            cell.defense = &defense;
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    // Fan the matrix out on the shared pool. Each cell owns its
+    // deployment and service; parallel_for is nesting-safe, so the
+    // cells' pooled GEMMs compose with the outer fan-out.
+    const auto run_cell = [&](std::size_t i) {
+        run_arms_cell(victim, victim_config, split, ar, detector.get(), probe_pool, camouflage,
+                      ar.seed ^ ((i + 1) * 0x9E3779B97F4A7C15ull), pool, cells[i]);
+    };
+    if (pool != nullptr) {
+        parallel_for(*pool, cells.size(), run_cell);
+    } else {
+        parallel_for(cells.size(), run_cell);
+    }
+
+    Table table({"Strategy", "Defense", "Fidelity", "Collected", "Refused", "Raw denied",
+                 "Sessions", "Wall (s)", "Benign ok", "Benign refused"});
+    for (const ArmsCell& cell : cells) {
+        const std::string strategy = attack::to_string(cell.strategy);
+        const std::string key = strategy + "_" + cell.defense->name;
+        table.begin_row();
+        table.add(strategy);
+        table.add(cell.defense->name);
+        table.add(cell.fidelity, 3);
+        table.add(static_cast<long long>(cell.attacker.collected));
+        table.add(static_cast<long long>(cell.attacker.refused));
+        table.add(static_cast<long long>(cell.attacker.raw_denied));
+        table.add(static_cast<long long>(cell.attacker.sessions_used));
+        table.add(cell.attacker.wall_seconds, 3);
+        table.add(static_cast<long long>(cell.benign_answered));
+        table.add(static_cast<long long>(cell.benign_refused));
+        outcome.metrics["fidelity_" + key] = cell.fidelity;
+        outcome.metrics["collected_" + key] = static_cast<double>(cell.attacker.collected);
+        outcome.metrics["refused_" + key] = static_cast<double>(cell.attacker.refused);
+        outcome.metrics["raw_denied_" + key] = static_cast<double>(cell.attacker.raw_denied);
+        outcome.metrics["sessions_" + key] = static_cast<double>(cell.attacker.sessions_used);
+        outcome.metrics["attacker_wall_s_" + key] = cell.attacker.wall_seconds;
+        outcome.metrics["max_flagged_" + key] = cell.attacker.max_flagged_fraction;
+        outcome.metrics["benign_answered_" + key] = static_cast<double>(cell.benign_answered);
+        outcome.metrics["benign_refused_" + key] = static_cast<double>(cell.benign_refused);
+        outcome.metrics["benign_qps_" + key] =
+            cell.benign_wall_s > 0.0 ? static_cast<double>(cell.benign_answered) / cell.benign_wall_s
+                                     : 0.0;
+    }
+    outcome.tables.emplace_back("arms_race", std::move(table));
+    outcome.metrics["victim_test_accuracy"] = victim.test_accuracy;
+    outcome.metrics["planned_queries"] = static_cast<double>(ar.attacker.planned_queries);
+    return outcome;
+}
+
 }  // namespace
 
 ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
@@ -1106,6 +1318,7 @@ ScenarioOutcome ScenarioRunner::run(const ScenarioSpec& spec) const {
         case ExperimentKind::MultiClient: outcome = run_multiclient_scenario(*this, spec); break;
         case ExperimentKind::ReplicaSweep: outcome = run_replica_sweep_scenario(spec, pool_); break;
         case ExperimentKind::CacheTiming: outcome = run_cache_timing_scenario(spec, pool_); break;
+        case ExperimentKind::ArmsRace: outcome = run_arms_race_scenario(spec, pool_); break;
     }
     outcome.name = spec.name;
     return outcome;

@@ -179,6 +179,7 @@ struct Unit {
     bool scalar = false;
     tensor::Matrix inputs;
     std::uint64_t power_ordinal = 0;  ///< session noise-stream base (Power only)
+    double power_sigma = 0.0;  ///< effective sensing-noise sigma at admission (Power only)
     std::uint64_t cache_hash = 0;     ///< submit-time key (cache_store only)
     bool cache_store = false;  ///< scalar cache miss: deliver into the cache too
     std::variant<std::promise<int>, std::promise<std::vector<int>>, std::promise<double>,
@@ -238,6 +239,7 @@ struct SessionState {
 
     BudgetLedger ledger;
     std::unique_ptr<DetectorScreen> screen;  ///< null when the session has no detector
+    std::unique_ptr<TokenBucket> bucket;     ///< null when the session has no rate limit
 
     std::atomic<std::uint64_t> inference_count{0};
     std::atomic<std::uint64_t> power_count{0};
@@ -250,15 +252,39 @@ struct SessionState {
         if (config.detector != nullptr) {
             screen = std::make_unique<DetectorScreen>(*config.detector, config.block_flagged);
         }
+        if (!config.rate.unlimited()) {
+            bucket = std::make_unique<TokenBucket>(config.rate, config.rate_clock);
+        }
     }
 };
 
 namespace {
 
 /// Per-session sensing noise for the session's k-th power reading: a
-/// pure function of (seed, k), so coalescing/batching cannot change it.
-double session_noise(const SessionState& s, std::uint64_t ordinal) {
-    return s.config.power_noise_sigma * Rng::normal_at(s.config.noise_seed, ordinal, 0);
+/// pure function of (seed, sigma, k), so coalescing/batching cannot
+/// change it. `sigma` is the effective (possibly suspicion-scaled)
+/// sigma captured at admission.
+double session_noise(const SessionState& s, double sigma, std::uint64_t ordinal) {
+    return sigma * Rng::normal_at(s.config.noise_seed, ordinal, 0);
+}
+
+/// The session's active suspicion band — null when the adaptive policy
+/// is off, the session has no detector window, or the window is still
+/// warming up. Read on the submitting thread at admission: a serial
+/// submitter's escalation sequence is therefore deterministic and
+/// independent of how its submissions coalesce into backend batches.
+const AdaptivePolicy::Band* adaptive_band(const SessionState& s) {
+    if (!s.config.adaptive.enabled() || s.screen == nullptr) return nullptr;
+    return s.config.adaptive.band_for(s.screen->flagged_fraction(), s.screen->screened());
+}
+
+/// Effective sensing-noise sigma at admission: the session's static
+/// sigma scaled by the active suspicion band (identity when the policy
+/// is off — the default service stays bit-identical).
+double effective_power_sigma(const SessionState& s) {
+    double sigma = s.config.power_noise_sigma;
+    if (const AdaptivePolicy::Band* band = adaptive_band(s)) sigma *= band->sigma_multiplier;
+    return sigma;
 }
 
 /// Picks the replica for one admitted unit. SessionAffine pins the
@@ -306,6 +332,14 @@ void screen(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
             if (!s.config.expose_raw_outputs) {
                 throw AccessDenied("raw outputs are not exposed to this session");
             }
+            // Suspicion-scaled cutoff: a tenant whose screened traffic
+            // looks adversarial loses raw-output access (labels still
+            // work). Decided on the window *before* this submission is
+            // screened, so the refusal depends only on past behaviour.
+            if (const AdaptivePolicy::Band* band = adaptive_band(s);
+                band != nullptr && !band->expose_raw_outputs) {
+                throw AccessDenied("raw outputs are withheld at this session's suspicion level");
+            }
             break;
         case QueryKind::Power:
             if (!s.config.expose_power) {
@@ -350,6 +384,10 @@ auto enqueue(const std::shared_ptr<SessionState>& session, ReplicaState& replica
     if (kind == QueryKind::Power) {
         unit.power_ordinal =
             session->power_ordinal.fetch_add(inputs.rows(), std::memory_order_relaxed);
+        // Capture the (possibly suspicion-scaled) sigma now: the noise a
+        // submission gets reflects the session's standing when it was
+        // admitted, not when the flusher happens to deliver it.
+        unit.power_sigma = effective_power_sigma(*session);
     }
     const std::size_t rows = inputs.rows();
     unit.inputs = std::move(inputs);
@@ -429,47 +467,60 @@ auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool s
     ServiceState& svc = *s.service;
     screen(s, kind, inputs);
     const std::uint64_t rows = inputs.rows();
-    std::uint64_t cache_hash = 0;
-    bool cacheable = false;
-    ReplicaState* replica = nullptr;
-    if (svc.cache != nullptr && scalar) {
-        // Route *before* probing: the replica index is part of the key
-        // (replicas have distinct device-variation signatures, so their
-        // answers are not interchangeable).
-        replica = &route(svc, s);
-        const std::uint64_t partition = svc.config.cache.partition_by_session ? s.id : 0;
-        cache_hash = ResultCache::key_hash(kind, replica->index, partition, inputs.row_span(0));
-        ResultCache::Value value;
-        if (svc.cache->lookup(cache_hash, kind, replica->index, partition, inputs.row_span(0),
-                              value)) {
-            // May throw QueryBudgetExceeded — before anything was
-            // counted or answered, exactly like a refused miss.
-            charge(s, kind, rows, svc.config.cache.hits_charge_budget);
-            Promise promise;
-            auto future = promise.get_future();
-            if constexpr (std::is_same_v<Promise, std::promise<int>>) {
-                promise.set_value(value.label);
-            } else if constexpr (std::is_same_v<Promise, std::promise<double>>) {
-                const std::uint64_t ordinal =
-                    s.power_ordinal.fetch_add(1, std::memory_order_relaxed);
-                const bool noisy = s.config.power_noise_sigma > 0.0;
-                promise.set_value(value.power + (noisy ? session_noise(s, ordinal) : 0.0));
-            } else if constexpr (std::is_same_v<Promise, std::promise<tensor::Vector>>) {
-                // Scalar + promise<Vector> is only ever a raw query (a
-                // scalar power submission resolves a promise<double>).
-                promise.set_value(std::move(value.raw));
-            }
-            return future;
-        }
-        cacheable = true;  // miss: the flusher stores the clean answer
-    }
-    charge(s, kind, rows, true);
+    // Rate admission after screening (a screened-out submission spends
+    // no tokens) and before the cache probe — hits consume rate like
+    // any answered query, otherwise replaying popular inputs would be
+    // rate-free. All-or-nothing: RateLimited takes nothing.
+    if (s.bucket != nullptr) s.bucket->acquire(rows);
     try {
-        if (replica == nullptr) replica = &route(svc, s);
-        return enqueue<Promise>(session, *replica, kind, scalar, std::move(inputs), flush_hint,
-                                cache_hash, cacheable);
+        std::uint64_t cache_hash = 0;
+        bool cacheable = false;
+        ReplicaState* replica = nullptr;
+        if (svc.cache != nullptr && scalar) {
+            // Route *before* probing: the replica index is part of the key
+            // (replicas have distinct device-variation signatures, so their
+            // answers are not interchangeable).
+            replica = &route(svc, s);
+            const std::uint64_t partition = svc.config.cache.partition_by_session ? s.id : 0;
+            cache_hash = ResultCache::key_hash(kind, replica->index, partition, inputs.row_span(0));
+            ResultCache::Value value;
+            if (svc.cache->lookup(cache_hash, kind, replica->index, partition, inputs.row_span(0),
+                                  value)) {
+                // May throw QueryBudgetExceeded — before anything was
+                // counted or answered, exactly like a refused miss.
+                charge(s, kind, rows, svc.config.cache.hits_charge_budget);
+                Promise promise;
+                auto future = promise.get_future();
+                if constexpr (std::is_same_v<Promise, std::promise<int>>) {
+                    promise.set_value(value.label);
+                } else if constexpr (std::is_same_v<Promise, std::promise<double>>) {
+                    const std::uint64_t ordinal =
+                        s.power_ordinal.fetch_add(1, std::memory_order_relaxed);
+                    const double sigma = effective_power_sigma(s);
+                    promise.set_value(value.power +
+                                      (sigma > 0.0 ? session_noise(s, sigma, ordinal) : 0.0));
+                } else if constexpr (std::is_same_v<Promise, std::promise<tensor::Vector>>) {
+                    // Scalar + promise<Vector> is only ever a raw query (a
+                    // scalar power submission resolves a promise<double>).
+                    promise.set_value(std::move(value.raw));
+                }
+                return future;
+            }
+            cacheable = true;  // miss: the flusher stores the clean answer
+        }
+        charge(s, kind, rows, true);
+        try {
+            if (replica == nullptr) replica = &route(svc, s);
+            return enqueue<Promise>(session, *replica, kind, scalar, std::move(inputs), flush_hint,
+                                    cache_hash, cacheable);
+        } catch (...) {
+            unadmit(s, kind, rows);
+            throw;
+        }
     } catch (...) {
-        unadmit(s, kind, rows);
+        // Refused downstream of rate admission (budget, shutdown): the
+        // tokens go back, so a refusal costs the client nothing.
+        if (s.bucket != nullptr) s.bucket->refund(rows);
         throw;
     }
 }
@@ -564,7 +615,7 @@ void deliver_power(std::vector<Unit>& units, std::size_t first, std::size_t last
         Unit& u = units[i];
         const SessionState& s = *u.session;
         const std::size_t rows = u.inputs.rows();
-        const bool noisy = s.config.power_noise_sigma > 0.0;
+        const bool noisy = u.power_sigma > 0.0;
         if (u.scalar) {
             if (u.cache_store) {
                 // The cache keeps the *clean* reading; each hit re-draws
@@ -573,12 +624,14 @@ void deliver_power(std::vector<Unit>& units, std::size_t first, std::size_t last
                 v.power = p[at];
                 store_in_cache(u, replica, std::move(v));
             }
-            const double value = p[at] + (noisy ? session_noise(s, u.power_ordinal) : 0.0);
+            const double value =
+                p[at] + (noisy ? session_noise(s, u.power_sigma, u.power_ordinal) : 0.0);
             std::get<std::promise<double>>(u.promise).set_value(value);
         } else {
             tensor::Vector block(rows, 0.0);
             for (std::size_t r = 0; r < rows; ++r) {
-                block[r] = p[at + r] + (noisy ? session_noise(s, u.power_ordinal + r) : 0.0);
+                block[r] = p[at + r] +
+                           (noisy ? session_noise(s, u.power_sigma, u.power_ordinal + r) : 0.0);
             }
             std::get<std::promise<tensor::Vector>>(u.promise).set_value(std::move(block));
         }
@@ -670,9 +723,12 @@ void flusher_loop(const std::shared_ptr<ServiceState>& svc, ReplicaState& replic
         replica.cv.wait(lock, [&] { return replica.stopping || !replica.queue.empty(); });
         if (replica.queue.empty()) return;  // stopping, fully drained
         if (!saturated && !replica.stopping && !replica.flush_now &&
-            replica.pending_rows < config.max_batch) {
+            config.max_wait.count() > 0 && replica.pending_rows < config.max_batch) {
             // Coalescing window: give concurrent submitters max_wait to
             // pile more rows on before paying for a backend call.
+            // max_wait == 0 means flush-immediately and skips the window
+            // outright — a zero-length timed wait would have the flusher
+            // spinning through wakeups instead of batching what's there.
             replica.cv.wait_for(lock, config.max_wait, [&] {
                 return replica.stopping || replica.flush_now ||
                        replica.pending_rows >= config.max_batch;
@@ -754,6 +810,11 @@ public:
         state_->power_count.store(0, std::memory_order_relaxed);
     }
 
+    /// Re-point the view at a different session. Session::operator=(&&)
+    /// keeps the view object alive across the move so Oracle& references
+    /// handed out by oracle() stay valid and track the new state.
+    void rebind(std::shared_ptr<detail::SessionState> state) { state_ = std::move(state); }
+
 private:
     std::shared_ptr<detail::SessionState> state_;
 };
@@ -768,9 +829,22 @@ Session::~Session() { close(); }
 
 Session& Session::operator=(Session&& other) noexcept {
     if (this != &other) {
+        // The displaced session is closed (not leaked open on the
+        // service), and an existing oracle_view_ is rebound rather than
+        // replaced: Oracle& references previously returned by oracle()
+        // must keep working against the newly adopted state.
         close();
         state_ = std::move(other.state_);
-        oracle_view_ = std::move(other.oracle_view_);
+        if (oracle_view_ != nullptr) {
+            if (state_ != nullptr) {
+                static_cast<SessionOracleView*>(oracle_view_.get())->rebind(state_);
+            } else {
+                oracle_view_.reset();
+            }
+            other.oracle_view_.reset();
+        } else {
+            oracle_view_ = std::move(other.oracle_view_);
+        }
     }
     return *this;
 }
@@ -873,7 +947,15 @@ OracleService::OracleService(Oracle& backend, ServiceConfig config)
 
 OracleService::OracleService(const std::vector<Oracle*>& replicas, ServiceConfig config)
     : state_(std::make_shared<detail::ServiceState>()) {
-    XS_EXPECTS(config.max_batch > 0);
+    // Misconfiguration throws ConfigError at construction — a max_batch
+    // of 0 would deadlock every flush (no group ever fits) and a
+    // negative max_wait has no meaning as a coalescing window.
+    if (config.max_batch == 0) {
+        throw ConfigError("ServiceConfig::max_batch must be > 0 (0 rows can never flush)");
+    }
+    if (config.max_wait.count() < 0) {
+        throw ConfigError("ServiceConfig::max_wait must be >= 0 (0 = flush immediately)");
+    }
     if (replicas.empty()) throw ConfigError("OracleService needs at least one backend replica");
     for (Oracle* backend : replicas) {
         if (backend == nullptr) throw ConfigError("OracleService replica must not be null");
@@ -948,8 +1030,24 @@ QueryCounters OracleService::counters() const {
     return c;
 }
 
+namespace {
+
+/// Telemetry accessors take caller-supplied replica indices (bench
+/// loops, dashboards); an out-of-range index is a configuration error,
+/// not a programming contract, so it throws ConfigError instead of
+/// indexing past the fleet vector.
+void check_replica_index(std::size_t replica, std::size_t fleet) {
+    if (replica >= fleet) {
+        throw ConfigError("replica index " + std::to_string(replica) +
+                          " is out of range for a fleet of " + std::to_string(fleet) +
+                          " replica(s)");
+    }
+}
+
+}  // namespace
+
 QueryCounters OracleService::replica_counters(std::size_t replica) const {
-    XS_EXPECTS(replica < state_->replicas.size());
+    check_replica_index(replica, state_->replicas.size());
     QueryCounters c;
     c.inference = state_->replicas[replica]->inference_count.load(std::memory_order_relaxed);
     c.power = state_->replicas[replica]->power_count.load(std::memory_order_relaxed);
@@ -980,17 +1078,17 @@ std::uint64_t OracleService::flushed_rows() const {
 }
 
 std::uint64_t OracleService::flushed_batches(std::size_t replica) const {
-    XS_EXPECTS(replica < state_->replicas.size());
+    check_replica_index(replica, state_->replicas.size());
     return state_->replicas[replica]->flushed_batches.load(std::memory_order_relaxed);
 }
 
 std::uint64_t OracleService::flushed_rows(std::size_t replica) const {
-    XS_EXPECTS(replica < state_->replicas.size());
+    check_replica_index(replica, state_->replicas.size());
     return state_->replicas[replica]->flushed_rows.load(std::memory_order_relaxed);
 }
 
 std::size_t OracleService::queue_depth(std::size_t replica) const {
-    XS_EXPECTS(replica < state_->replicas.size());
+    check_replica_index(replica, state_->replicas.size());
     return state_->replicas[replica]->inflight_rows.load(std::memory_order_relaxed);
 }
 

@@ -359,5 +359,103 @@ TEST(Service, DestructionDrainsPendingSubmissions) {
     EXPECT_EQ(backend.counters().inference, 12u);
 }
 
+TEST(Service, MoveAssignClosesDisplacedSessionAndRebindsOracleView) {
+    Rng rng(14);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle backend = make_oracle(net);
+    OracleService service(backend);
+    const tensor::Vector u(net.inputs(), 0.5);
+
+    Session session = service.open_session();
+    Oracle& view = session.oracle();  // reference taken BEFORE the move
+    (void)view.query_label(u);
+    const std::uint64_t displaced_id = session.id();
+
+    session = service.open_session();
+    EXPECT_NE(session.id(), displaced_id);
+    EXPECT_TRUE(session.open());
+
+    // Both the handle and the pre-move Oracle& must drive the NEW
+    // session: the old view state is gone, not dangling.
+    (void)session.submit_label(u).get();
+    (void)view.query_label(u);
+    EXPECT_EQ(session.counters().inference, 2u);
+
+    // Move-assigning an empty session over an open one closes it and
+    // invalidates the view path cleanly.
+    session = Session();
+    EXPECT_FALSE(session.open());
+    EXPECT_THROW(session.oracle(), SessionClosed);
+}
+
+TEST(Service, MoveAssignedOverSessionIsClosedOnTheService) {
+    Rng rng(15);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle backend = make_oracle(net);
+    OracleService service(backend);
+
+    Session a = service.open_session();
+    Session b = service.open_session();
+    const std::uint64_t open_before = service.sessions_opened();
+    a = std::move(b);  // the session a held must be closed, not leaked open
+    EXPECT_TRUE(a.open());
+    EXPECT_EQ(service.sessions_opened(), open_before);
+    (void)a.submit_label(tensor::Vector(net.inputs(), 0.5)).get();
+}
+
+TEST(Service, ConfigValidationThrowsConfigErrorAtConstruction) {
+    Rng rng(16);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle backend = make_oracle(net);
+    {
+        ServiceConfig config;
+        config.max_batch = 0;
+        EXPECT_THROW(OracleService(backend, config), ConfigError);
+    }
+    {
+        ServiceConfig config;
+        config.max_wait = std::chrono::microseconds(-1);
+        EXPECT_THROW(OracleService(backend, config), ConfigError);
+    }
+    {
+        ServiceConfig config;
+        config.cache.enabled = true;
+        config.cache.capacity = 0;
+        EXPECT_THROW(OracleService(backend, config), ConfigError);
+    }
+}
+
+TEST(Service, ZeroMaxWaitFlushesImmediately) {
+    // max_wait{0} is explicit flush-immediately semantics: every pending
+    // group flushes without a coalescing window (and the flusher must
+    // not spin hot while idle — the submissions below would hang or
+    // starve if zero-wait were treated as a 0 us timed wait loop).
+    Rng rng(17);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle backend = make_oracle(net);
+    ServiceConfig config;
+    config.max_wait = std::chrono::microseconds(0);
+    OracleService service(backend, config);
+    Session session = service.open_session();
+    const tensor::Vector u(net.inputs(), 0.5);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(session.submit_label(u).get(), backend.query_label(u));
+}
+
+TEST(Service, ReplicaTelemetryAccessorsBoundsCheck) {
+    Rng rng(18);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle r0 = make_oracle(net);
+    CrossbarOracle r1 = make_oracle(net);
+    OracleService service(std::vector<Oracle*>{&r0, &r1});
+    (void)service.replica_counters(1);
+    (void)service.flushed_batches(1);
+    (void)service.flushed_rows(1);
+    (void)service.queue_depth(1);
+    EXPECT_THROW(service.replica_counters(2), ConfigError);
+    EXPECT_THROW(service.flushed_batches(2), ConfigError);
+    EXPECT_THROW(service.flushed_rows(2), ConfigError);
+    EXPECT_THROW(service.queue_depth(2), ConfigError);
+}
+
 }  // namespace
 }  // namespace xbarsec::core
