@@ -16,6 +16,10 @@
 //   Spread    Rotate + camouflage mixing and flagged-fraction tracking:
 //             keeps every session's suspicion under a target so
 //             suspicion-scaled defenses never escalate.
+//   Forge     Spread + a freshly forged SourceId on every rotation:
+//             defeats per-source pooling and per-source rate limits by
+//             never reusing an admission identity. Query-overlap
+//             clustering is what a deployment has left against it.
 #pragma once
 
 #include <chrono>
@@ -26,7 +30,7 @@
 
 namespace xbarsec::attack {
 
-enum class AttackerStrategy { Fixed, Throttle, Rotate, Spread };
+enum class AttackerStrategy { Fixed, Throttle, Rotate, Spread, Forge };
 
 const char* to_string(AttackerStrategy strategy);
 
@@ -55,6 +59,11 @@ struct AdaptiveAttackerConfig {
     /// Prefer raw output vectors; on AccessDenied (exposure policy or an
     /// adaptive band withholding raw) fall back to one-hot labels.
     bool query_raw = true;
+
+    /// Forge: the first forged SourceId; each rotation takes the next
+    /// one (base, base + 1, ...), so no two of the campaign's sessions
+    /// ever share an admission identity.
+    std::uint64_t forge_source_base = 0xF0000000ull;
 
     std::uint64_t seed = 7;
 };

@@ -21,6 +21,7 @@ const char* to_string(AttackerStrategy strategy) {
         case AttackerStrategy::Throttle: return "throttle";
         case AttackerStrategy::Rotate: return "rotate";
         case AttackerStrategy::Spread: return "spread";
+        case AttackerStrategy::Forge: return "forge";
     }
     return "?";
 }
@@ -53,9 +54,10 @@ auto with_rate_retry(Fn&& fn, const AdaptiveAttackerConfig& config, std::size_t&
 
 AdaptiveAttackerOutcome AdaptiveAttacker::run(const tensor::Matrix& probe_pool,
                                               const tensor::Matrix& camouflage_pool) {
+    const bool forges = config_.strategy == AttackerStrategy::Forge;
     const bool rotates = config_.strategy == AttackerStrategy::Rotate ||
-                         config_.strategy == AttackerStrategy::Spread;
-    const bool spreads = config_.strategy == AttackerStrategy::Spread;
+                         config_.strategy == AttackerStrategy::Spread || forges;
+    const bool spreads = config_.strategy == AttackerStrategy::Spread || forges;
 
     AdaptiveAttackerOutcome out;
     Rng rng(config_.seed);
@@ -69,6 +71,9 @@ AdaptiveAttackerOutcome AdaptiveAttacker::run(const tensor::Matrix& probe_pool,
     powers.reserve(config_.planned_queries);
 
     const auto t0 = std::chrono::steady_clock::now();
+    // Forge presents a fresh admission identity from the first session
+    // on — the deployment never sees the tenant's real SourceId.
+    if (forges) tenant_.source = config_.forge_source_base;
     Session session = service_->open_session(tenant_);
     // The Oracle& view survives session rotation: operator=(Session&&)
     // rebinds the existing view, so one reference drives the whole
@@ -81,6 +86,9 @@ AdaptiveAttackerOutcome AdaptiveAttacker::run(const tensor::Matrix& probe_pool,
     };
     auto rotate = [&] {
         note_suspicion();
+        // A forging attacker never reuses an identity: every rotation is
+        // a "new customer" as far as per-source defenses can tell.
+        if (forges) tenant_.source = config_.forge_source_base + out.sessions_used;
         session = service_->open_session(tenant_);
         ++out.sessions_used;
         since_rotation = 0;

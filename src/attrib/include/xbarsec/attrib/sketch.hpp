@@ -1,0 +1,95 @@
+// Content addressing + bottom-k (KMV) MinHash sketches — the
+// query-overlap primitives behind cross-session attribution.
+//
+// The serving layer's result cache already content-addresses query rows
+// (FNV-1a over the row's double bit patterns, finished with the
+// counter-rng avalanche). Attribution reuses exactly that machinery:
+// `hash_row` is the shared recipe, factored here so the cache keys and
+// the attribution sketches agree bit-for-bit on what "the same input"
+// means (service.cpp builds its cache keys from these helpers).
+//
+// A MinHashSketch summarises the *set* of content hashes a session has
+// queried as the k numerically smallest distinct hashes (a bottom-k /
+// k-minimum-values sketch). Properties the attribution layer leans on:
+//
+//   * insertion-order independence — the sketch of a set is a pure
+//     function of the set, so a pooled (sharded, coalesced) feed builds
+//     bit-identically the same sketch as a serial one;
+//   * merge(a, b) = sketch of the union — associative, commutative and
+//     idempotent, so campaign sketches can be folded in any order;
+//   * when a set has <= k distinct hashes the sketch IS the set, so
+//     similarity() is the exact Jaccard index there and an unbiased
+//     estimate beyond it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xbarsec::attrib {
+
+/// FNV-1a accumulator seed/prime (the result cache's constants).
+inline constexpr std::uint64_t kContentHashOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kContentHashPrime = 1099511628211ull;
+
+/// One FNV-1a mix step over a 64-bit word.
+constexpr std::uint64_t content_hash_mix(std::uint64_t h, std::uint64_t bits) {
+    return (h ^ bits) * kContentHashPrime;
+}
+
+/// Folds a row of doubles (their exact bit patterns: -0.0 != 0.0, NaN
+/// hashes as itself) into an FNV-1a accumulator.
+std::uint64_t content_hash_doubles(std::uint64_t h, std::span<const double> row);
+
+/// Final avalanche (counter_rng::hash_at) so low-entropy inputs still
+/// spread over the whole 64-bit space.
+std::uint64_t content_hash_finish(std::uint64_t h);
+
+/// The content address of one query row: mix + finish over its doubles.
+std::uint64_t hash_row(std::span<const double> row);
+
+/// Bottom-k MinHash sketch over 64-bit content hashes. Not thread-safe;
+/// the attribution engine serialises access.
+class MinHashSketch {
+public:
+    /// `k` = sketch capacity; must be > 0.
+    explicit MinHashSketch(std::size_t k = 256);
+
+    /// Inserts one content hash (duplicates are no-ops).
+    void insert(std::uint64_t hash);
+
+    /// Union: after the call this sketch is the sketch of A ∪ B (at this
+    /// sketch's k). Associative / commutative / idempotent.
+    void merge(const MinHashSketch& other);
+
+    /// Jaccard similarity estimate in [0, 1]: exact when both underlying
+    /// sets fit in k, a bottom-k estimate beyond. Two empty sketches
+    /// (and any comparison against one) report 0 — an idle session never
+    /// clusters with anything.
+    double similarity(const MinHashSketch& other) const;
+
+    /// Fraction of *this sketch's* hashes present in `other` — the
+    /// containment estimate used to absorb a small session into a large
+    /// campaign (Jaccard alone under-scores subset relations). 0 when
+    /// this sketch is empty.
+    double containment_in(const MinHashSketch& other) const;
+
+    std::size_t k() const { return k_; }
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    /// The retained hashes, sorted ascending (the canonical form —
+    /// bit-identity of two sketches is values() equality).
+    const std::vector<std::uint64_t>& values() const { return values_; }
+
+    bool operator==(const MinHashSketch& other) const {
+        return k_ == other.k_ && values_ == other.values_;
+    }
+
+private:
+    std::size_t k_;
+    std::vector<std::uint64_t> values_;  ///< sorted ascending, <= k entries
+};
+
+}  // namespace xbarsec::attrib

@@ -1,0 +1,87 @@
+#include "xbarsec/attrib/sketch.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "xbarsec/common/contracts.hpp"
+#include "xbarsec/common/rng.hpp"
+
+namespace xbarsec::attrib {
+
+std::uint64_t content_hash_doubles(std::uint64_t h, std::span<const double> row) {
+    for (const double v : row) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        h = content_hash_mix(h, bits);
+    }
+    return h;
+}
+
+std::uint64_t content_hash_finish(std::uint64_t h) { return counter_rng::hash_at(h, 0, 0); }
+
+std::uint64_t hash_row(std::span<const double> row) {
+    return content_hash_finish(content_hash_doubles(kContentHashOffset, row));
+}
+
+MinHashSketch::MinHashSketch(std::size_t k) : k_(k) {
+    XS_EXPECTS(k > 0);
+    values_.reserve(std::min<std::size_t>(k, 256));
+}
+
+void MinHashSketch::insert(std::uint64_t hash) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), hash);
+    if (it != values_.end() && *it == hash) return;  // already present
+    if (values_.size() < k_) {
+        values_.insert(it, hash);
+        return;
+    }
+    // Full: the hash only belongs if it beats the current k-th minimum.
+    if (hash >= values_.back()) return;
+    values_.insert(it, hash);
+    values_.pop_back();
+}
+
+void MinHashSketch::merge(const MinHashSketch& other) {
+    // Inserting other's retained hashes is exactly the bottom-k of the
+    // union: any union element neither sketch retained is larger than
+    // both k-th minima, so it cannot be in the union's bottom k.
+    for (const std::uint64_t hash : other.values_) insert(hash);
+}
+
+double MinHashSketch::similarity(const MinHashSketch& other) const {
+    if (values_.empty() || other.values_.empty()) return 0.0;
+    // Bottom-k over the union, evaluated without materialising it: walk
+    // both sorted vectors, counting union elements seen in both, and stop
+    // after min(k) union elements — the estimator's sample.
+    const std::size_t budget = std::min(k_, other.k_);
+    std::size_t taken = 0;
+    std::size_t both = 0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (taken < budget && (i < values_.size() || j < other.values_.size())) {
+        if (j >= other.values_.size() || (i < values_.size() && values_[i] < other.values_[j])) {
+            ++i;
+        } else if (i >= values_.size() || other.values_[j] < values_[i]) {
+            ++j;
+        } else {
+            ++both;
+            ++i;
+            ++j;
+        }
+        ++taken;
+    }
+    return taken > 0 ? static_cast<double>(both) / static_cast<double>(taken) : 0.0;
+}
+
+double MinHashSketch::containment_in(const MinHashSketch& other) const {
+    if (values_.empty()) return 0.0;
+    std::size_t shared = 0;
+    std::size_t j = 0;
+    for (const std::uint64_t hash : values_) {
+        while (j < other.values_.size() && other.values_[j] < hash) ++j;
+        if (j < other.values_.size() && other.values_[j] == hash) ++shared;
+    }
+    return static_cast<double>(shared) / static_cast<double>(values_.size());
+}
+
+}  // namespace xbarsec::attrib

@@ -313,6 +313,14 @@ struct AdaptivePolicy {
         /// (AccessDenied) while the band is active; the client can still
         /// query labels.
         bool expose_raw_outputs = true;
+
+        /// Quarantine: while the band is active, *every* submission is
+        /// refused (QueryRefused) — the harshest rung, meant for the top
+        /// band of an attribution-pooled policy where "suspicion" is a
+        /// whole campaign's window, not one session's. Label-degraded
+        /// answers still leak a model through distillation; an attributed
+        /// campaign gets nothing.
+        bool refuse_queries = false;
     };
 
     /// Sorted ascending by min_suspicion; the *last* band whose
@@ -358,9 +366,11 @@ public:
         : detector_(&detector), block_flagged_(block_flagged) {}
 
     /// Scores the input; counts it (and, when blocking, throws
-    /// QueryRefused) if the detector flags it.
-    void screen(const tensor::Vector& u);
-    void screen_batch(const tensor::Matrix& U);
+    /// QueryRefused) if the detector flags it. Returns whether this row
+    /// was flagged (the attribution layer records per-row verdicts);
+    /// the batch form returns how many of the rows were flagged.
+    bool screen(const tensor::Vector& u);
+    std::size_t screen_batch(const tensor::Matrix& U);
 
     std::uint64_t screened() const { return screened_.load(std::memory_order_relaxed); }
     std::uint64_t flagged() const { return flagged_.load(std::memory_order_relaxed); }

@@ -160,6 +160,41 @@ struct ArmsDefense {
     std::string name;      ///< cell label, e.g. "rate+adaptive"
     RateLimit rate{};      ///< per-session token bucket (default off)
     bool suspicion_scaled = false;  ///< enrol the detector + AdaptivePolicy
+
+    /// Cross-session attribution cell: enable the AttributionEngine on
+    /// the deployment. Sessions are admitted under per-source
+    /// identities (benign tenant i → source 1000+i, the attacker →
+    /// source 1 unless it forges); suspicion bands read campaign-pooled
+    /// windows, so session rotation stops resetting them.
+    bool attribution = false;
+
+    /// Per-*source* token bucket for attribution cells (replaces the
+    /// tight per-session bucket: the allowance follows the principal
+    /// across rotations, so it can afford a generous burst that a
+    /// benign tenant's whole workload fits inside).
+    RateLimit source_rate{};
+
+    /// Quarantine rung for attribution cells: when > 0, a top
+    /// AdaptivePolicy band with `refuse_queries` is appended at this
+    /// campaign-pooled suspicion. Once a campaign's pooled windows cross
+    /// it, every submission of every session attributed to the campaign
+    /// is refused — including in-distribution camouflage, which is what
+    /// per-query escalation cannot touch (camouflage rows are clean, and
+    /// one-hot labels on clean inputs still distill the victim). 0 = off.
+    double quarantine_suspicion = 0.0;
+
+    /// Override for EngineConfig::alert_min_screened in attribution
+    /// cells (0 keeps the engine default). The arms-race campaign is
+    /// short relative to a real deployment, so the cell trips the
+    /// deployment alert on less evidence.
+    std::size_t alert_min_screened = 0;
+
+    /// Override for EngineConfig::churn_fresh_sources (0 keeps the
+    /// engine default). Lowered for the short arms-race campaign the
+    /// same way as alert_min_screened: the cell only ever onboards a
+    /// couple of benign principals, so a small threshold still has a
+    /// wide benign margin.
+    std::size_t churn_fresh_sources = 0;
 };
 
 /// The arms race: every attacker strategy against every defense policy,

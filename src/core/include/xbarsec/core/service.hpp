@@ -77,6 +77,7 @@
 #include <variant>
 #include <vector>
 
+#include "xbarsec/attrib/engine.hpp"
 #include "xbarsec/core/decorators.hpp"
 #include "xbarsec/core/oracle.hpp"
 
@@ -158,6 +159,44 @@ struct CacheConfig {
     bool hits_charge_budget = true;
 };
 
+/// Cross-session attribution tier (ServiceConfig::attribution): the
+/// service-level memory that outlives sessions. When enabled, every
+/// admitted submission feeds an attrib::AttributionEngine (per-source
+/// windows, a global probe-population alert window, and query-overlap
+/// campaign clustering), and admission reacts to the *pooled* picture:
+///
+///   * AdaptivePolicy bands are selected on the session's whole
+///     campaign window (same-source siblings and overlap-merged
+///     sessions included), so rotating sessions no longer resets the
+///     suspicion state or restarts the detection warm-up;
+///   * rate limiting moves from per-session to per-source token buckets
+///     (`source_rate`): a rotated session of the same source draws from
+///     the same bucket — and distinct benign tenants stop contending
+///     for one shared allowance;
+///   * while the deployment-level alert is hot, the adaptive warm-up is
+///     suspended and a submission carrying detector-flagged or
+///     suspicious-shaped rows is escalated per-query (raw withheld,
+///     strongest-band sensing noise), which closes the window between a
+///     forged source's first query and its campaign being clustered.
+///
+/// Off by default: the attribution-off service is bit-identical to the
+/// PR 8 admission path (no hashing, no engine, no source buckets).
+struct AttributionConfig {
+    bool enabled = false;
+
+    /// Detection/clustering parameters of the engine.
+    attrib::EngineConfig engine{};
+
+    /// Per-*source* token bucket applied at admission next to (and
+    /// typically instead of) SessionConfig::rate. All sessions opened
+    /// with the same SessionConfig::source share one bucket; source 0
+    /// (anonymous) sessions share the anonymous bucket. Default off.
+    RateLimit source_rate{};
+
+    /// Time source for the source buckets (nullptr = steady clock).
+    TokenBucket::ClockFn source_clock = nullptr;
+};
+
 /// Service-wide knobs: the worker pool behind the backend's batched
 /// query paths and the coalescing-queue flush policy.
 struct ServiceConfig {
@@ -203,6 +242,10 @@ struct ServiceConfig {
 
     /// Content-addressed result cache in front of the coalescers.
     CacheConfig cache;
+
+    /// Cross-session attribution tier (off by default — bit-identical
+    /// to the attribution-free admission path).
+    AttributionConfig attribution;
 };
 
 /// Per-session policy: what this client may see and what it costs them.
@@ -255,8 +298,19 @@ struct SessionConfig {
     /// power_noise_sigma and can withhold raw outputs. Requires
     /// `detector` (no screen ⇒ suspicion stays 0 and no band ever
     /// applies). Off (empty bands) by default — bit-identical to the
-    /// static policy.
+    /// static policy. Under ServiceConfig::attribution the band is
+    /// selected on the session's pooled *campaign* window instead of
+    /// the per-session window alone.
     AdaptivePolicy adaptive{};
+
+    /// Admission identity: which authenticated principal (API key,
+    /// account) opened this session. 0 = anonymous. Attribution pools
+    /// suspicion windows and token buckets per source, so rotating
+    /// sessions under one source buys the attacker nothing; a *forged*
+    /// (fresh-per-rotation) source defeats the identity pooling but not
+    /// the query-overlap campaign clustering. Ignored when
+    /// ServiceConfig::attribution is off.
+    attrib::SourceId source = 0;
 };
 
 namespace detail {
@@ -409,6 +463,24 @@ public:
     std::uint64_t cache_evictions() const;
     std::size_t cache_entries() const;
     double cache_hit_rate() const;  ///< hits / (hits + misses), 0 when idle
+
+    /// Attribution telemetry, next to the per-replica counters. The
+    /// aggregate forms are zero/empty/false on an attribution-free
+    /// service; the keyed accessors throw ConfigError for an unknown
+    /// source/session or when attribution is disabled (the replica
+    /// accessor convention).
+    bool attribution_enabled() const;
+    bool attribution_alert() const;
+    std::size_t attribution_source_count() const;
+    std::vector<attrib::SourceId> attribution_sources() const;
+    attrib::SourceCounters attribution_source_counters(attrib::SourceId source) const;
+    std::size_t attribution_campaign_count() const;
+    std::vector<attrib::CampaignCounters> attribution_campaigns() const;
+    attrib::CampaignCounters attribution_campaign_of(std::uint64_t session) const;
+
+    /// The engine's JSON snapshot ("{}" when attribution is off) —
+    /// what bench_attrib embeds in BENCH_attrib.json.
+    std::string attribution_snapshot() const;
 
     /// The pool this service carries for the backend's batched paths:
     /// the external `config.pool` if one was given, else the owned pool

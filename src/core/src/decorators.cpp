@@ -217,7 +217,11 @@ double TokenBucket::available() const {
 
 const AdaptivePolicy::Band* AdaptivePolicy::band_for(double suspicion,
                                                      std::uint64_t screened) const {
-    if (bands.empty() || screened < min_screened) return nullptr;
+    // `screened == 0` is checked on its own: a policy configured with
+    // min_screened = 0 must still not pick a band off an empty window
+    // (flagged_fraction is 0/0 there, and the first screened query would
+    // otherwise admit under whatever band suspicion 0.0 selects).
+    if (bands.empty() || screened == 0 || screened < min_screened) return nullptr;
     const Band* active = nullptr;
     for (const Band& band : bands) {
         if (suspicion >= band.min_suspicion) active = &band;
@@ -239,22 +243,34 @@ AdaptivePolicy AdaptivePolicy::escalate_at(double threshold, double sigma_multip
 // ---- DetectorScreen ---------------------------------------------------------
 
 double DetectorScreen::flagged_fraction() const {
-    const std::uint64_t n = screened();
-    return n == 0 ? 0.0 : static_cast<double>(flagged()) / static_cast<double>(n);
+    // Two atomics are read without a common lock; screen() bumps
+    // screened_ before flagged_, so reading flagged_ *first* can never
+    // observe a flag whose screened increment it misses (fraction > 1).
+    // The clamp keeps the value a fraction even if a future writer
+    // reorders the increments.
+    const std::uint64_t f = flagged_.load(std::memory_order_seq_cst);
+    const std::uint64_t n = screened_.load(std::memory_order_seq_cst);
+    return n == 0 ? 0.0 : static_cast<double>(std::min(f, n)) / static_cast<double>(n);
 }
 
-void DetectorScreen::screen(const tensor::Vector& u) {
-    screened_.fetch_add(1, std::memory_order_relaxed);
+bool DetectorScreen::screen(const tensor::Vector& u) {
+    screened_.fetch_add(1, std::memory_order_seq_cst);
     if (detector_->is_adversarial(u)) {
-        flagged_.fetch_add(1, std::memory_order_relaxed);
+        flagged_.fetch_add(1, std::memory_order_seq_cst);
         if (block_flagged_) {
             throw QueryRefused("input flagged by the current-signature detector");
         }
+        return true;
     }
+    return false;
 }
 
-void DetectorScreen::screen_batch(const tensor::Matrix& U) {
-    for (std::size_t r = 0; r < U.rows(); ++r) screen(U.row(r));
+std::size_t DetectorScreen::screen_batch(const tensor::Matrix& U) {
+    std::size_t flagged = 0;
+    for (std::size_t r = 0; r < U.rows(); ++r) {
+        if (screen(U.row(r))) ++flagged;
+    }
+    return flagged;
 }
 
 void DetectorScreen::reset() {

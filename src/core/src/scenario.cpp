@@ -333,6 +333,51 @@ void register_builtins(ScenarioRegistry& registry) {
         s.arms_race.seed = 2022 + 77;
         registry.add(std::move(s));
     }
+    // Cross-session attribution: the rotation-proof defense the arms
+    // race motivated. The session-rotating (spread) and identity-forging
+    // (forge) attackers run against the PR 8 best defense (rate +
+    // adaptive, which spread beats) and against the attribution stack
+    // (per-source windows + buckets, deployment alert, query-overlap
+    // campaign clustering).
+    {
+        ScenarioSpec s = base_spec("service/mnist/attribution",
+                                   "Session-rotating and identity-forging attackers vs "
+                                   "cross-session attribution (per-source windows, campaign "
+                                   "clustering, deployment alert)",
+                                   DatasetKind::MnistLike, OutputConfig::linear_mse(),
+                                   ExperimentKind::ArmsRace);
+        s.arms_race.strategies = {attack::AttackerStrategy::Spread,
+                                  attack::AttackerStrategy::Forge};
+        ArmsDefense baseline;
+        baseline.name = "rate+adaptive";
+        baseline.rate = RateLimit{400.0, 48.0};
+        baseline.suspicion_scaled = true;
+        ArmsDefense attrib;
+        attrib.name = "attrib";
+        attrib.suspicion_scaled = true;
+        attrib.attribution = true;
+        // The per-source allowance replaces the tight per-session bucket:
+        // same refill, but a burst a benign tenant's whole workload fits
+        // inside — rotation buys the attacker nothing, so the bucket no
+        // longer has to be stingy to matter.
+        attrib.source_rate = RateLimit{400.0, 256.0};
+        // Enforcement that per-query escalation cannot provide: campaigns
+        // whose pooled windows cross 0.35 suspicion are refused outright
+        // (the attacker's probe traffic sits near 0.55 — half probes, half
+        // in-distribution camouflage; benign tenants stay under 0.03), and
+        // the short campaign trips the deployment alert at 64 screened
+        // rows so forged sources hit the registration freeze early.
+        attrib.quarantine_suspicion = 0.35;
+        attrib.alert_min_screened = 64;
+        // Forge mints a fresh SourceId every few queries (~300 over the
+        // campaign); the cell onboards 2 benign principals total. Eight
+        // first-time sources inside the churn window is unreachable for
+        // the benign fleet and a handful of rotations for the forger.
+        attrib.churn_fresh_sources = 8;
+        s.arms_race.defenses = {baseline, attrib};
+        s.arms_race.seed = 2022 + 101;
+        registry.add(std::move(s));
+    }
     // The optimization-induced side channel: a shared result cache turns
     // hit/miss latency into a cross-tenant leak of *which inputs* other
     // sessions queried; per-session partitioning is the defense.
@@ -1126,6 +1171,12 @@ struct ArmsCell {
     std::uint64_t benign_answered = 0;
     std::uint64_t benign_refused = 0;
     double benign_wall_s = 0.0;
+
+    // Attribution cells only (defense->attribution).
+    std::size_t campaigns = 0;           ///< final campaign-cluster count
+    std::size_t benign_false_merges = 0; ///< benign sessions clustered with anything
+    bool alert = false;                  ///< deployment alert state at campaign end
+    std::string attrib_snapshot;         ///< engine JSON snapshot
 };
 
 /// Runs one cell: a fresh single-replica deployment of the trained
@@ -1142,6 +1193,18 @@ void run_arms_cell(const TrainedVictim& victim, const VictimConfig& victim_confi
     ServiceConfig service_config;
     service_config.pool = pool;
     service_config.max_batch = 64;
+    if (cell.defense->attribution) {
+        service_config.attribution.enabled = true;
+        service_config.attribution.source_rate = cell.defense->source_rate;
+        if (cell.defense->alert_min_screened > 0) {
+            service_config.attribution.engine.alert_min_screened =
+                cell.defense->alert_min_screened;
+        }
+        if (cell.defense->churn_fresh_sources > 0) {
+            service_config.attribution.engine.churn_fresh_sources =
+                cell.defense->churn_fresh_sources;
+        }
+    }
     OracleService service({&fleet.front()}, service_config);
 
     SessionConfig tenant;
@@ -1152,6 +1215,17 @@ void run_arms_cell(const TrainedVictim& victim, const VictimConfig& victim_confi
         tenant.detector = detector;
         tenant.block_flagged = false;  // log-only: suspicion feeds the policy
         tenant.adaptive = ar.adaptive;
+        if (cell.defense->quarantine_suspicion > 0.0) {
+            // Quarantine rung: refuse everything once the session's
+            // campaign-pooled suspicion crosses the line (see ArmsDefense).
+            AdaptivePolicy::Band top;
+            top.min_suspicion = cell.defense->quarantine_suspicion;
+            top.sigma_multiplier =
+                tenant.adaptive.bands.empty() ? 4.0 : tenant.adaptive.bands.back().sigma_multiplier;
+            top.expose_raw_outputs = false;
+            top.refuse_queries = true;
+            tenant.adaptive.bands.push_back(top);
+        }
         tenant.power_noise_sigma = ar.power_noise_rel * deployed_weight_scale(fleet.front());
     }
 
@@ -1159,7 +1233,13 @@ void run_arms_cell(const TrainedVictim& victim, const VictimConfig& victim_confi
     // throughput under this cell's policy are the defender's cost.
     std::vector<Session> benign;
     benign.reserve(ar.benign_clients);
-    for (std::size_t c = 0; c < ar.benign_clients; ++c) benign.push_back(service.open_session(tenant));
+    for (std::size_t c = 0; c < ar.benign_clients; ++c) {
+        // Each benign tenant is its own admission principal (ignored by
+        // non-attribution cells: the engine is off there).
+        SessionConfig benign_tenant = tenant;
+        benign_tenant.source = 1000 + c;
+        benign.push_back(service.open_session(benign_tenant));
+    }
     std::vector<BenignOutcome> benign_out(ar.benign_clients);
     const auto benign_t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> clients;
@@ -1174,7 +1254,11 @@ void run_arms_cell(const TrainedVictim& victim, const VictimConfig& victim_confi
     attack::AdaptiveAttackerConfig config = ar.attacker;
     config.strategy = cell.strategy;
     config.seed = cell_seed;
-    attack::AdaptiveAttacker attacker(service, tenant, config);
+    // The attacker's *real* principal; Forge overrides it per rotation
+    // with freshly fabricated SourceIds.
+    SessionConfig attacker_tenant = tenant;
+    attacker_tenant.source = 1;
+    attack::AdaptiveAttacker attacker(service, attacker_tenant, config);
     cell.attacker = attacker.run(probe_pool, camouflage);
 
     for (std::thread& t : clients) t.join();
@@ -1183,6 +1267,20 @@ void run_arms_cell(const TrainedVictim& victim, const VictimConfig& victim_confi
     for (const BenignOutcome& b : benign_out) {
         cell.benign_answered += b.answered;
         cell.benign_refused += b.refused;
+    }
+
+    if (service.attribution_enabled()) {
+        cell.alert = service.attribution_alert();
+        cell.campaigns = service.attribution_campaign_count();
+        // A benign session's campaign should contain exactly itself; a
+        // larger cluster means a clean tenant was blamed for someone
+        // else's probes (the false-merge count bench_attrib gates on 0).
+        for (const Session& b : benign) {
+            if (service.attribution_campaign_of(b.id()).sessions > 1) {
+                ++cell.benign_false_merges;
+            }
+        }
+        cell.attrib_snapshot = service.attribution_snapshot();
     }
 
     if (cell.attacker.collected > 0) {
@@ -1298,6 +1396,13 @@ ScenarioOutcome run_arms_race_scenario(const ScenarioSpec& spec, ThreadPool* poo
         outcome.metrics["benign_qps_" + key] =
             cell.benign_wall_s > 0.0 ? static_cast<double>(cell.benign_answered) / cell.benign_wall_s
                                      : 0.0;
+        if (cell.defense->attribution) {
+            outcome.metrics["campaigns_" + key] = static_cast<double>(cell.campaigns);
+            outcome.metrics["benign_false_merges_" + key] =
+                static_cast<double>(cell.benign_false_merges);
+            outcome.metrics["alert_" + key] = cell.alert ? 1.0 : 0.0;
+            outcome.notes.emplace_back("attribution_" + key, cell.attrib_snapshot);
+        }
     }
     outcome.tables.emplace_back("arms_race", std::move(table));
     outcome.metrics["victim_test_accuracy"] = victim.test_accuracy;

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "xbarsec/attrib/sketch.hpp"
 #include "xbarsec/common/rng.hpp"
 
 namespace xbarsec::core {
@@ -74,18 +75,15 @@ public:
                                   std::span<const double> row) {
         // FNV-1a over the key fields and the row's double bit patterns,
         // finished with the counter-rng avalanche so the map sees
-        // well-mixed buckets.
-        std::uint64_t h = 1469598103934665603ull;
-        const auto mix = [&h](std::uint64_t bits) { h = (h ^ bits) * 1099511628211ull; };
-        mix(static_cast<std::uint64_t>(kind));
-        mix(replica);
-        mix(partition);
-        for (const double v : row) {
-            std::uint64_t bits = 0;
-            std::memcpy(&bits, &v, sizeof bits);
-            mix(bits);
-        }
-        return counter_rng::hash_at(h, 0, 0);
+        // well-mixed buckets. The content-hash steps are the shared
+        // attrib machinery, so the attribution layer's per-row hashes
+        // and these cache keys agree on input identity.
+        std::uint64_t h = attrib::kContentHashOffset;
+        h = attrib::content_hash_mix(h, static_cast<std::uint64_t>(kind));
+        h = attrib::content_hash_mix(h, replica);
+        h = attrib::content_hash_mix(h, partition);
+        h = attrib::content_hash_doubles(h, row);
+        return attrib::content_hash_finish(h);
     }
 
     /// Probes for an exact entry; a hit refreshes its LRU position.
@@ -216,6 +214,19 @@ struct ReplicaState {
     std::atomic<std::uint64_t> flushed_rows{0};
 };
 
+/// Cross-session attribution state (null unless attribution.enabled):
+/// the engine (bookkeeping) plus the per-source token buckets the
+/// service enforces from it. Buckets live here — not on sessions — so
+/// the allowance survives rotation; the map only grows (sources are
+/// principals, not sessions) and bucket addresses are stable.
+struct AttribState {
+    explicit AttribState(const AttributionConfig& config) : engine(config.engine) {}
+
+    attrib::AttributionEngine engine;
+    std::mutex bucket_mutex;
+    std::unordered_map<attrib::SourceId, std::unique_ptr<TokenBucket>> buckets;
+};
+
 struct ServiceState {
     ThreadPool* pool = nullptr;  ///< the pool behind the backends' batched paths (may be null)
     ServiceConfig config;
@@ -227,6 +238,9 @@ struct ServiceState {
 
     /// Content-addressed result cache (null unless config.cache.enabled).
     std::unique_ptr<ResultCache> cache;
+
+    /// Cross-session attribution (null unless config.attribution.enabled).
+    std::unique_ptr<AttribState> attrib;
 
     std::atomic<std::uint64_t> next_session_id{1};
 };
@@ -241,6 +255,11 @@ struct SessionState {
     std::unique_ptr<DetectorScreen> screen;  ///< null when the session has no detector
     std::unique_ptr<TokenBucket> bucket;     ///< null when the session has no rate limit
 
+    /// The per-*source* bucket (owned by AttribState, shared by every
+    /// session of this source); null when attribution or source_rate is
+    /// off. Survives this session: rotation draws from the same bucket.
+    TokenBucket* source_bucket = nullptr;
+
     std::atomic<std::uint64_t> inference_count{0};
     std::atomic<std::uint64_t> power_count{0};
     std::atomic<std::uint64_t> power_ordinal{0};  ///< noise-stream position, never reset
@@ -254,6 +273,18 @@ struct SessionState {
         }
         if (!config.rate.unlimited()) {
             bucket = std::make_unique<TokenBucket>(config.rate, config.rate_clock);
+        }
+        if (AttribState* at = service->attrib.get()) {
+            at->engine.note_session_open(id, config.source);
+            const AttributionConfig& ac = service->config.attribution;
+            if (!ac.source_rate.unlimited()) {
+                std::lock_guard lock(at->bucket_mutex);
+                std::unique_ptr<TokenBucket>& slot = at->buckets[config.source];
+                if (slot == nullptr) {
+                    slot = std::make_unique<TokenBucket>(ac.source_rate, ac.source_clock);
+                }
+                source_bucket = slot.get();
+            }
         }
     }
 };
@@ -273,9 +304,34 @@ double session_noise(const SessionState& s, double sigma, std::uint64_t ordinal)
 /// warming up. Read on the submitting thread at admission: a serial
 /// submitter's escalation sequence is therefore deterministic and
 /// independent of how its submissions coalesce into backend batches.
+///
+/// With attribution enabled the band is chosen on the session's whole
+/// *campaign* window (same-source siblings and overlap-merged rotations
+/// included), and a deployment alert waives the warm-up floor — a
+/// rotating attacker inherits its own history instead of opening each
+/// session with a clean slate.
 const AdaptivePolicy::Band* adaptive_band(const SessionState& s) {
-    if (!s.config.adaptive.enabled() || s.screen == nullptr) return nullptr;
-    return s.config.adaptive.band_for(s.screen->flagged_fraction(), s.screen->screened());
+    if (!s.config.adaptive.enabled()) return nullptr;
+    AttribState* at = s.service->attrib.get();
+    if (s.screen == nullptr && at == nullptr) return nullptr;
+    std::uint64_t screened = s.screen != nullptr ? s.screen->screened() : 0;
+    double suspicion = s.screen != nullptr ? s.screen->flagged_fraction() : 0.0;
+    if (at != nullptr) {
+        screened = std::max(screened, at->engine.pooled_screened(s.id));
+        // Campaign suspicion is the max of the detector-flagged and
+        // probe-shaped row fractions: hard-driven extraction probes are
+        // escalated even where the enrolled detector's coverage is
+        // partial, while clean tenants stay near zero on both.
+        suspicion = std::max(suspicion, at->engine.pooled_suspicion_fraction(s.id));
+        if (at->engine.alert()) {
+            // The deployment is under active probing: warm-up no longer
+            // shields a freshly rotated session. band_for still refuses
+            // an entirely empty window (screened == 0).
+            screened = std::max<std::uint64_t>(
+                screened, std::max<std::uint64_t>(s.config.adaptive.min_screened, 1));
+        }
+    }
+    return s.config.adaptive.band_for(suspicion, screened);
 }
 
 /// Effective sensing-noise sigma at admission: the session's static
@@ -284,6 +340,20 @@ const AdaptivePolicy::Band* adaptive_band(const SessionState& s) {
 double effective_power_sigma(const SessionState& s) {
     double sigma = s.config.power_noise_sigma;
     if (const AdaptivePolicy::Band* band = adaptive_band(s)) sigma *= band->sigma_multiplier;
+    return sigma;
+}
+
+/// Sigma for one admitted submission: the band-scaled sigma, raised to
+/// the strongest band's multiplier when this submission itself was
+/// escalated (deployment alert + its own rows looked like probes). The
+/// per-query escalation is what closes the pre-merge window — a forged
+/// source's first probes get degraded before clustering catches up.
+double escalated_power_sigma(const SessionState& s, bool escalate) {
+    double sigma = effective_power_sigma(s);
+    if (escalate && s.config.adaptive.enabled()) {
+        sigma = std::max(sigma,
+                         s.config.power_noise_sigma * s.config.adaptive.bands.back().sigma_multiplier);
+    }
     return sigma;
 }
 
@@ -323,7 +393,13 @@ ReplicaState& route(ServiceState& svc, const SessionState& s) {
 /// touches the BudgetLedger is a ServiceConfig decision. A submission
 /// refused at any step charges and counts nothing downstream of the
 /// refusal point.
-void screen(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
+///
+/// Returns whether this submission is *escalated*: attribution is on,
+/// the deployment alert is up, and at least one of these rows was
+/// flagged or probe-shaped. Callers degrade an escalated submission
+/// per-query (Raw → refused, Power → strongest-band sigma). Always
+/// false with attribution off — the legacy path is untouched.
+bool screen(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
     XS_EXPECTS(U.rows() > 0);
     XS_EXPECTS(U.cols() == s.service->inputs);
     switch (kind) {
@@ -347,7 +423,34 @@ void screen(SessionState& s, QueryKind kind, const tensor::Matrix& U) {
             }
             break;
     }
-    if (kind != QueryKind::Power && s.screen != nullptr) s.screen->screen_batch(U);
+    AttribState* at = s.service->attrib.get();
+    if (at == nullptr) {
+        if (kind != QueryKind::Power && s.screen != nullptr) s.screen->screen_batch(U);
+        return false;
+    }
+    // Attribution path: screen row by row so every row's detector
+    // verdict and content hash reach the engine (power rows are not
+    // detector-screened — same as the legacy path — but their shape
+    // still feeds the probe-population window and the sketches).
+    const attrib::EngineConfig& ec = at->engine.config();
+    bool hot = false;
+    for (std::size_t r = 0; r < U.rows(); ++r) {
+        const auto row = U.row_span(r);
+        bool flagged = false;
+        if (kind != QueryKind::Power && s.screen != nullptr) flagged = s.screen->screen(U.row(r));
+        attrib::Observation obs;
+        obs.session = s.id;
+        obs.source = s.config.source;
+        obs.input_hash = attrib::hash_row(row);
+        obs.flagged = flagged;
+        obs.suspicious = attrib::AttributionEngine::suspicious_row(row, ec);
+        obs.basis_like = attrib::AttributionEngine::basis_like_row(row, ec);
+        at->engine.observe(obs);
+        hot = hot || flagged || obs.suspicious;
+    }
+    // Alert read *after* observing: a burst that trips the window
+    // escalates from the same submission on.
+    return hot && at->engine.alert();
 }
 
 /// Budget then session counters. `charge_budget` is false only for cache
@@ -373,7 +476,7 @@ void charge(SessionState& s, QueryKind kind, std::uint64_t rows, bool charge_bud
 template <typename Promise>
 auto enqueue(const std::shared_ptr<SessionState>& session, ReplicaState& replica, QueryKind kind,
              bool scalar, tensor::Matrix inputs, bool flush_hint, std::uint64_t cache_hash,
-             bool cache_store) {
+             bool cache_store, bool escalate) {
     const ServiceConfig& config = session->service->config;
     Unit unit;
     unit.session = session;
@@ -384,10 +487,11 @@ auto enqueue(const std::shared_ptr<SessionState>& session, ReplicaState& replica
     if (kind == QueryKind::Power) {
         unit.power_ordinal =
             session->power_ordinal.fetch_add(inputs.rows(), std::memory_order_relaxed);
-        // Capture the (possibly suspicion-scaled) sigma now: the noise a
-        // submission gets reflects the session's standing when it was
-        // admitted, not when the flusher happens to deliver it.
-        unit.power_sigma = effective_power_sigma(*session);
+        // Capture the (possibly suspicion-scaled, possibly escalated)
+        // sigma now: the noise a submission gets reflects the session's
+        // standing when it was admitted, not when the flusher happens
+        // to deliver it.
+        unit.power_sigma = escalated_power_sigma(*session, escalate);
     }
     const std::size_t rows = inputs.rows();
     unit.inputs = std::move(inputs);
@@ -465,13 +569,47 @@ auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool s
     }
     SessionState& s = *session;
     ServiceState& svc = *s.service;
-    screen(s, kind, inputs);
+    const bool escalate = screen(s, kind, inputs);
+    if (escalate && kind == QueryKind::Raw) {
+        // Deployment alert + probe-shaped rows: raw outputs close
+        // per-query, before campaign clustering has even merged the
+        // session — a forged source gets no pre-attribution window.
+        throw AccessDenied("raw outputs are withheld while the deployment alert is active");
+    }
+    // Attribution-level refusals run *after* screening so the refused
+    // rows still feed the engine: the probe-population window stays hot
+    // (the alert cannot be waited out by hammering a frozen source) and
+    // overlap evidence keeps accruing against the campaign.
+    if (AttribState* at = svc.attrib.get()) {
+        if (at->engine.probation(s.config.source)) {
+            throw QueryRefused(
+                "source is on probation: first seen while the deployment alert was active");
+        }
+    }
+    if (const AdaptivePolicy::Band* band = adaptive_band(s);
+        band != nullptr && band->refuse_queries) {
+        // Campaign quarantine: the top suspicion band refuses service
+        // outright. Label-degraded answers still distill a model; an
+        // attributed campaign gets nothing, and rotation lands every
+        // fresh session straight back in the pooled window.
+        throw QueryRefused("session's campaign is quarantined at this suspicion level");
+    }
     const std::uint64_t rows = inputs.rows();
     // Rate admission after screening (a screened-out submission spends
     // no tokens) and before the cache probe — hits consume rate like
     // any answered query, otherwise replaying popular inputs would be
-    // rate-free. All-or-nothing: RateLimited takes nothing.
+    // rate-free. All-or-nothing: RateLimited takes nothing. The
+    // per-source bucket (attribution) is acquired second and rolls the
+    // session bucket back on refusal, so a refusal still takes nothing.
     if (s.bucket != nullptr) s.bucket->acquire(rows);
+    if (s.source_bucket != nullptr) {
+        try {
+            s.source_bucket->acquire(rows);
+        } catch (...) {
+            if (s.bucket != nullptr) s.bucket->refund(rows);
+            throw;
+        }
+    }
     try {
         std::uint64_t cache_hash = 0;
         bool cacheable = false;
@@ -496,7 +634,7 @@ auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool s
                 } else if constexpr (std::is_same_v<Promise, std::promise<double>>) {
                     const std::uint64_t ordinal =
                         s.power_ordinal.fetch_add(1, std::memory_order_relaxed);
-                    const double sigma = effective_power_sigma(s);
+                    const double sigma = escalated_power_sigma(s, escalate);
                     promise.set_value(value.power +
                                       (sigma > 0.0 ? session_noise(s, sigma, ordinal) : 0.0));
                 } else if constexpr (std::is_same_v<Promise, std::promise<tensor::Vector>>) {
@@ -512,7 +650,7 @@ auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool s
         try {
             if (replica == nullptr) replica = &route(svc, s);
             return enqueue<Promise>(session, *replica, kind, scalar, std::move(inputs), flush_hint,
-                                    cache_hash, cacheable);
+                                    cache_hash, cacheable, escalate);
         } catch (...) {
             unadmit(s, kind, rows);
             throw;
@@ -521,6 +659,7 @@ auto submit(const std::shared_ptr<SessionState>& session, QueryKind kind, bool s
         // Refused downstream of rate admission (budget, shutdown): the
         // tokens go back, so a refusal costs the client nothing.
         if (s.bucket != nullptr) s.bucket->refund(rows);
+        if (s.source_bucket != nullptr) s.source_bucket->refund(rows);
         throw;
     }
 }
@@ -928,7 +1067,14 @@ bool Session::open() const {
 
 void Session::close() {
     if (state_ == nullptr) return;
-    state_->open.store(false, std::memory_order_release);
+    // exchange(): exactly one closer runs the attribution close hook
+    // (destructor after an explicit close() must not run it twice).
+    const bool was_open = state_->open.exchange(false, std::memory_order_acq_rel);
+    if (was_open && state_->service->attrib != nullptr) {
+        // The sketch-similarity merge pass; per-source and campaign
+        // windows survive — that is the point of the attribution layer.
+        state_->service->attrib->engine.note_session_close(state_->id);
+    }
     // In-flight submissions complete normally; nudge every flusher so
     // their futures resolve promptly.
     for (auto& replica : state_->service->replicas) {
@@ -977,6 +1123,16 @@ OracleService::OracleService(const std::vector<Oracle*>& replicas, ServiceConfig
             throw ConfigError("CacheConfig::capacity must be > 0 when the cache is enabled");
         }
         state_->cache = std::make_unique<detail::ResultCache>(config.cache.capacity);
+    }
+    if (config.attribution.enabled) {
+        const attrib::EngineConfig& ec = config.attribution.engine;
+        if (ec.window_events == 0 || ec.sketch_k == 0 || ec.repeat_overlap == 0 ||
+            ec.index_capacity == 0) {
+            throw ConfigError(
+                "AttributionConfig::engine window_events, sketch_k, repeat_overlap, and "
+                "index_capacity must all be > 0 when attribution is enabled");
+        }
+        state_->attrib = std::make_unique<detail::AttribState>(config.attribution);
     }
     state_->inputs = inputs;
     state_->outputs = outputs;
@@ -1117,6 +1273,51 @@ double OracleService::cache_hit_rate() const {
     const std::uint64_t hits = state_->cache->hits();
     const std::uint64_t probes = QueryCounters::saturating_add(hits, state_->cache->misses());
     return probes > 0 ? static_cast<double>(hits) / static_cast<double>(probes) : 0.0;
+}
+
+bool OracleService::attribution_enabled() const { return state_->attrib != nullptr; }
+
+bool OracleService::attribution_alert() const {
+    return state_->attrib != nullptr && state_->attrib->engine.alert();
+}
+
+std::size_t OracleService::attribution_source_count() const {
+    return state_->attrib != nullptr ? state_->attrib->engine.source_count() : 0;
+}
+
+std::vector<attrib::SourceId> OracleService::attribution_sources() const {
+    if (state_->attrib == nullptr) return {};
+    return state_->attrib->engine.sources();
+}
+
+attrib::SourceCounters OracleService::attribution_source_counters(attrib::SourceId source) const {
+    // Keyed telemetry follows the per-replica convention: asking a
+    // service without the subsystem (or for an unknown key) is a
+    // configuration error, not a zero.
+    if (state_->attrib == nullptr) {
+        throw ConfigError("attribution is not enabled on this service");
+    }
+    return state_->attrib->engine.source_counters(source);
+}
+
+std::size_t OracleService::attribution_campaign_count() const {
+    return state_->attrib != nullptr ? state_->attrib->engine.campaign_count() : 0;
+}
+
+std::vector<attrib::CampaignCounters> OracleService::attribution_campaigns() const {
+    if (state_->attrib == nullptr) return {};
+    return state_->attrib->engine.campaigns();
+}
+
+attrib::CampaignCounters OracleService::attribution_campaign_of(std::uint64_t session) const {
+    if (state_->attrib == nullptr) {
+        throw ConfigError("attribution is not enabled on this service");
+    }
+    return state_->attrib->engine.campaign_of(session);
+}
+
+std::string OracleService::attribution_snapshot() const {
+    return state_->attrib != nullptr ? state_->attrib->engine.json_snapshot() : "{}";
 }
 
 ThreadPool* OracleService::pool() { return state_->pool; }

@@ -46,6 +46,7 @@ TEST(AdaptiveAttacker, StrategyNamesRoundTrip) {
     EXPECT_STREQ(to_string(AttackerStrategy::Throttle), "throttle");
     EXPECT_STREQ(to_string(AttackerStrategy::Rotate), "rotate");
     EXPECT_STREQ(to_string(AttackerStrategy::Spread), "spread");
+    EXPECT_STREQ(to_string(AttackerStrategy::Forge), "forge");
 }
 
 TEST(AdaptiveAttacker, FixedCollectsEverythingOnAnOpenService) {

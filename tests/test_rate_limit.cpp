@@ -132,6 +132,18 @@ TEST(AdaptivePolicy, BandSelectionAndWarmup) {
     EXPECT_FALSE(escalated.band_for(0.5, 100)->expose_raw_outputs);
 }
 
+TEST(AdaptivePolicy, EmptyWindowNeverSelectsABand) {
+    // Regression: screened == 0 is a 0/0 suspicion. A policy configured
+    // with min_screened = 0 (no warm-up) must still not pick a band off
+    // an entirely empty window — the first screened query used to admit
+    // under whatever band suspicion 0.0 selected.
+    AdaptivePolicy policy = AdaptivePolicy::escalate_at(0.0, 4.0);
+    policy.min_screened = 0;
+    EXPECT_EQ(policy.band_for(0.0, 0), nullptr);
+    EXPECT_EQ(policy.band_for(1.0, 0), nullptr);
+    ASSERT_NE(policy.band_for(0.0, 1), nullptr);
+}
+
 // ---- rate-limited sessions --------------------------------------------------
 
 TEST(RateLimitedSession, RefusalChargesAndCountsNothing) {
@@ -254,6 +266,108 @@ TEST(RateLimitedSession, CoalescedMatchesSerialBitIdentical) {
     for (std::size_t i = 0; i < serial.size(); ++i) {
         EXPECT_EQ(serial[i], coalesced[i]) << "power answer " << i << " diverged";
     }
+}
+
+// ---- per-source buckets (attribution) ---------------------------------------
+
+TEST(PerSourceBucket, SessionRotationRecoversThePerSessionBurst) {
+    // The PR 8 benign-loss / rotation loophole, pinned as the "before"
+    // numbers: under the arms race's per-session bucket {400/s, burst
+    // 48}, a benign client firing its whole 192-query workload at once
+    // gets exactly the 48-token burst (75% refused) — while an attacker
+    // rotating sessions collects a *fresh* burst per rotation.
+    set_clock_ms(0);
+    Rng rng(8);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle backend = make_oracle(net);
+    OracleService service(backend);
+
+    SessionConfig limited;
+    limited.rate = RateLimit{400.0, 48.0};
+    limited.rate_clock = &test_clock;
+    const tensor::Vector u(net.inputs(), 0.5);
+
+    auto burst_through = [&](Session& session, std::size_t attempts) {
+        std::size_t answered = 0;
+        for (std::size_t q = 0; q < attempts; ++q) {
+            try {
+                (void)session.submit_label(u).get();
+                ++answered;
+            } catch (const RateLimited&) {
+            }
+        }
+        return answered;
+    };
+
+    Session benign = service.open_session(limited);
+    EXPECT_EQ(burst_through(benign, 192), 48u);  // 144 of 192 lost
+
+    Session rotation_a = service.open_session(limited);
+    EXPECT_EQ(burst_through(rotation_a, 48), 48u);
+    rotation_a = service.open_session(limited);  // rotate: fresh bucket
+    EXPECT_EQ(burst_through(rotation_a, 48), 48u);
+}
+
+TEST(PerSourceBucket, AllowanceFollowsTheSourceAcrossRotation) {
+    // The attribution fix, pinned as the "after" numbers: the per-source
+    // bucket {400/s, burst 256} admits the same benign 192-query
+    // workload in full — and rotation draws from the *same* bucket, so
+    // a rotating attacker no longer collects fresh bursts.
+    set_clock_ms(0);
+    Rng rng(9);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle backend = make_oracle(net);
+    ServiceConfig config;
+    config.attribution.enabled = true;
+    config.attribution.source_rate = RateLimit{400.0, 256.0};
+    config.attribution.source_clock = &test_clock;
+    OracleService service(backend, config);
+
+    SessionConfig tenant;  // no per-session bucket: the source owns the allowance
+    tenant.source = 7;
+    const tensor::Vector u(net.inputs(), 0.5);
+
+    Session benign = service.open_session(tenant);
+    for (int q = 0; q < 192; ++q) (void)benign.submit_label(u).get();
+    EXPECT_EQ(benign.counters().inference, 192u);  // all answered (48 before)
+
+    // Rotation inherits the drained bucket: 64 tokens remain of the
+    // 256-token burst, frozen clock, so the 65th query is refused.
+    Session rotated = service.open_session(tenant);
+    for (int q = 0; q < 64; ++q) (void)rotated.submit_label(u).get();
+    EXPECT_THROW(rotated.submit_label(u), RateLimited);
+
+    // A different principal has its own allowance.
+    SessionConfig other = tenant;
+    other.source = 8;
+    Session fresh = service.open_session(other);
+    for (int q = 0; q < 256; ++q) (void)fresh.submit_label(u).get();
+    EXPECT_THROW(fresh.submit_label(u), RateLimited);
+}
+
+TEST(PerSourceBucket, RefusalDownstreamRefundsTheSourceBucket) {
+    set_clock_ms(0);
+    Rng rng(10);
+    const nn::SingleLayerNet net = make_net(rng);
+    CrossbarOracle backend = make_oracle(net);
+    ServiceConfig config;
+    config.attribution.enabled = true;
+    config.attribution.source_rate = RateLimit{400.0, 10.0};
+    config.attribution.source_clock = &test_clock;
+    OracleService service(backend, config);
+
+    SessionConfig tenant;
+    tenant.source = 3;
+    tenant.budget.max_inference = 2;
+    Session session = service.open_session(tenant);
+    const tensor::Vector u(net.inputs(), 0.5);
+
+    (void)session.submit_label(u).get();
+    (void)session.submit_label(u).get();
+    // Budget refuses after source-rate admission: tokens must come back.
+    for (int i = 0; i < 8; ++i) EXPECT_THROW(session.submit_label(u), QueryBudgetExceeded);
+    for (int i = 0; i < 8; ++i) (void)session.submit_power(u).get();
+    EXPECT_THROW(session.submit_power(u), RateLimited);  // 10 spent exactly
 }
 
 // ---- suspicion-scaled defenses ----------------------------------------------
